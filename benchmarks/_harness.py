@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment harnesses (E1-E12).
+
+Every ``bench_eNN_*.py`` module exposes:
+
+- ``table() -> list[dict]`` — runs the experiment sweep and returns the
+  rows the paper-style table would contain;
+- ``main()`` — prints that table (``python benchmarks/bench_eNN_*.py``);
+- one or more ``test_*`` functions using pytest-benchmark to time the
+  hot path of the experiment.
+
+Rows are plain dicts so EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+
+def print_table(title: str, rows: list[dict], claim: str = "") -> None:
+    """Render rows as an aligned text table."""
+    print(f"\n== {title} ==")
+    if claim:
+        print(f"   paper claim: {claim}")
+    if not rows:
+        print("   (no rows)")
+        return
+    columns = list(rows[0])
+    widths = {
+        column: max(len(column), *(len(_fmt(row[column])) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    print("   " + header)
+    print("   " + "-" * len(header))
+    for row in rows:
+        print("   " + "  ".join(_fmt(row[column]).ljust(widths[column]) for column in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def seeded(seed: int = 42) -> random.Random:
+    """A deterministic RNG for workload generation."""
+    return random.Random(seed)
+
+
+def run_main(table_fn: Callable[[], list[dict]], title: str, claim: str) -> None:
+    print_table(title, table_fn(), claim)

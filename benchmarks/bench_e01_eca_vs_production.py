@@ -1,0 +1,129 @@
+"""E1 (Thesis 1): ECA rules vs production (CA) rules.
+
+Paper claim: ECA rules fire once per event; production rules either re-fire
+while the condition holds (naive) or need refractory bookkeeping, and they
+*miss* conditions that become true and false between evaluation cycles.
+CA->ECA derivation fixes both.  We also compare condition-evaluation cost.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _harness import print_table, seeded
+
+from repro.core import (
+    ProductionEngine,
+    ProductionRule,
+    PyAction,
+    QueryCond,
+    ReactiveEngine,
+    derive_eca,
+    eca,
+)
+from repro.events.queries import EAtom
+from repro.terms import parse_data, parse_query
+from repro.web import Simulation
+
+URI = "http://shop.example/basket"
+CONDITION = QueryCond(URI, parse_query("basket{{ total[var T -> > 100] }}"))
+
+
+def _world():
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://shop.example")
+    node.put(URI, parse_data("basket{ total[0] }"))
+    return sim, node
+
+
+def _drive(node, sim, events, rng, pulse_width):
+    """Totals pulse above the threshold for `pulse_width` sim-seconds."""
+    times = []
+    for i in range(events):
+        at = float(i + 1)
+        times.append(at)
+        sim.scheduler.at(at, lambda: node.put(URI, parse_data("basket{ total[500] }")))
+        sim.scheduler.at(at, lambda: node.raise_local(
+            parse_data(f'resource-changed{{ uri["{URI}"] }}')))
+        sim.scheduler.at(at + pulse_width, lambda: node.put(
+            URI, parse_data("basket{ total[0] }")))
+        sim.scheduler.at(at + pulse_width, lambda: node.raise_local(
+            parse_data(f'resource-changed{{ uri["{URI}"] }}')))
+    return times
+
+
+def run_variant(variant: str, events: int = 50, poll_interval: float = 0.4,
+                pulse_width: float = 0.25) -> dict:
+    sim, node = _world()
+    fired = []
+    action = PyAction(lambda n, b: fired.append(n.now))
+    production_rule = ProductionRule("discount", CONDITION, action)
+    production = None
+    engine = None
+    if variant == "production-naive":
+        production = ProductionEngine(node, lambda a, b: a.fn(node, b), refractory=False)
+        production.install(production_rule)
+        production.run_every(poll_interval, until=events + 2.0)
+    elif variant == "production-refractory":
+        production = ProductionEngine(node, lambda a, b: a.fn(node, b), refractory=True)
+        production.install(production_rule)
+        production.run_every(poll_interval, until=events + 2.0)
+    else:  # eca (derived from the CA rule, Thesis 1)
+        engine = ReactiveEngine(node)
+        engine.install(derive_eca(production_rule, ["resource-changed"]))
+    _drive(node, sim, events, seeded(), pulse_width)
+    sim.run_until(events + 3.0)
+    evaluations = (production.condition_evaluations if production is not None
+                   else engine.stats.condition_evaluations)
+    return {
+        "variant": variant,
+        "true pulses": events,
+        "firings": len(fired),
+        "missed": max(0, events - len(set(int(t) for t in fired))),
+        "cond evals": evaluations,
+    }
+
+
+def table() -> list[dict]:
+    return [
+        run_variant("production-naive"),
+        run_variant("production-refractory"),
+        run_variant("eca"),
+    ]
+
+
+def test_e01_eca_exactly_once(benchmark):
+    row = benchmark(run_variant, "eca")
+    assert row["firings"] == row["true pulses"]
+    assert row["missed"] == 0
+
+
+def test_e01_production_refractory(benchmark):
+    row = benchmark(run_variant, "production-refractory")
+    # Polling at 0.4 with 0.25 pulses: some pulses fall between polls.
+    assert row["missed"] > 0
+
+
+def test_e01_production_naive_overfires():
+    naive = run_variant("production-naive", events=20, poll_interval=0.1,
+                        pulse_width=0.35)
+    # Several polls per pulse: strictly more firings than pulses.
+    assert naive["firings"] > naive["true pulses"]
+
+
+def test_e01_eca_fewer_evaluations():
+    eca_row = run_variant("eca")
+    prod_row = run_variant("production-refractory")
+    assert eca_row["cond evals"] <= prod_row["cond evals"]
+
+
+def main() -> None:
+    print_table(
+        "E1 — ECA vs production rules (50 condition pulses)",
+        table(),
+        "ECA fires exactly once per event; production rules re-fire or miss "
+        "transient conditions and evaluate conditions on every cycle",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""E2 (Thesis 2): local rule processing vs a central rule processor.
+
+Paper claim: rules should be processed locally at each site, with global
+behaviour through event messages (choreography); a central processing
+entity does not fit the Web's distributed, loosely coupled architecture.
+Measured: total messages and the hotspot load (messages handled by the
+busiest node) for a k-node event ring, direct vs relayed through a broker.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _harness import print_table
+
+from repro.core import ReactiveEngine, eca
+from repro.core.actions import Raise
+from repro.events.queries import EAtom
+from repro.terms import parse_construct, parse_data, parse_query
+from repro.web import Simulation
+
+
+def run_ring(k: int, rounds: int, broker: bool) -> dict:
+    sim = Simulation(latency=0.01,
+                     broker="http://hub.example" if broker else None)
+    if broker:
+        hub = sim.node("http://hub.example")
+    nodes = [sim.node(f"http://n{i}.example") for i in range(k)]
+    limit = rounds * k
+    from repro.core.conditions import CompareCond
+    from repro.terms.ast import Var
+
+    for i, node in enumerate(nodes):
+        nxt = nodes[(i + 1) % k].uri
+        engine = ReactiveEngine(node)
+        engine.install(eca(
+            f"forward-{i}",
+            EAtom(parse_query("token{{ hops[var H] }}")),
+            Raise(nxt, parse_construct("token{ hops[add(var H, 1)] }")),
+            if_=CompareCond(Var("H"), "<", limit),
+        ))
+    nodes[-1].raise_event(nodes[0].uri, parse_data("token{ hops[1] }"))
+    sim.run(max_callbacks=200_000)
+    hotspot_uri, hotspot_load = sim.stats.hotspot()
+    return {
+        "nodes": k,
+        "topology": "central broker" if broker else "choreography",
+        "messages": sim.stats.messages,
+        "hotspot load": hotspot_load,
+        "hotspot": hotspot_uri.replace("http://", ""),
+    }
+
+
+def table() -> list[dict]:
+    rows = []
+    for k in (4, 8, 16):
+        rows.append(run_ring(k, rounds=5, broker=False))
+        rows.append(run_ring(k, rounds=5, broker=True))
+    return rows
+
+
+def test_e02_broker_doubles_traffic(benchmark):
+    direct = benchmark(run_ring, 8, 5, False)
+    brokered = run_ring(8, 5, True)
+    assert brokered["messages"] == 2 * direct["messages"]
+
+
+def test_e02_hotspot_concentration():
+    direct = run_ring(8, 5, False)
+    brokered = run_ring(8, 5, True)
+    # Choreography spreads load evenly; the broker handles every message.
+    assert brokered["hotspot load"] >= 4 * direct["hotspot load"]
+    assert brokered["hotspot"] == "hub.example"
+
+
+def main() -> None:
+    print_table(
+        "E2 — choreography vs central broker (5 ring laps)",
+        table(),
+        "central processing doubles traffic and concentrates it on one node; "
+        "local processing spreads it evenly",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""E3 (Thesis 3): push vs poll.
+
+Paper claim: polling "causes more network traffic, increases reaction time,
+and requires more local resources" than push.  Sweep: poll interval at a
+fixed event rate.  Push traffic equals the number of events and detects
+immediately (one latency); poll traffic grows with 1/interval and detection
+delay with interval/2 — the crossover (poll cheaper than push) appears only
+when events are much more frequent than polls, at the price of missing
+intermediate changes.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _harness import print_table, seeded
+
+from repro.terms import parse_data
+from repro.web import PollingWatcher, Simulation
+
+HORIZON = 200.0
+LATENCY = 0.05
+
+
+def _changes(rng, rate: float) -> list[float]:
+    times, t = [], 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= HORIZON:
+            return times
+        times.append(t)
+
+
+def run_push(event_rate: float, seed: int = 7) -> dict:
+    sim = Simulation(latency=LATENCY)
+    source = sim.node("http://source.example")
+    sink = sim.node("http://sink.example")
+    detections = []
+    sink.on_event(lambda e: detections.append(sim.now - e.occurrence))
+    changes = _changes(seeded(seed), event_rate)
+    for i, at in enumerate(changes):
+        sim.scheduler.at(at, lambda i=i: source.raise_event(
+            sink.uri, parse_data(f"changed{{ seq[{i}] }}")))
+    sim.run_until(HORIZON + 1.0)
+    return {
+        "mode": "push",
+        "event rate": event_rate,
+        "poll interval": "-",
+        "messages": sim.stats.messages,
+        "mean delay": sum(detections) / len(detections) if detections else 0.0,
+        "detected": len(detections),
+        "changes": len(changes),
+    }
+
+
+def run_poll(event_rate: float, interval: float, seed: int = 7) -> dict:
+    sim = Simulation(latency=LATENCY)
+    source = sim.node("http://source.example")
+    sink = sim.node("http://sink.example")
+    uri = "http://source.example/doc"
+    source.put(uri, parse_data("doc{ seq[-1] }"))
+    watcher = PollingWatcher(sink, uri, interval, until=HORIZON)
+    changes = _changes(seeded(seed), event_rate)
+    for i, at in enumerate(changes):
+        def change(i=i):
+            source.put(uri, parse_data(f"doc{{ seq[{i}] }}"))
+            watcher.record_change(sim.now)
+        sim.scheduler.at(at, change)
+    sim.run_until(HORIZON + 1.0)
+    return {
+        "mode": "poll",
+        "event rate": event_rate,
+        "poll interval": interval,
+        "messages": sim.stats.messages,
+        "mean delay": watcher.mean_detection_delay,
+        "detected": watcher.changes_detected,
+        "changes": len(changes),
+    }
+
+
+def table() -> list[dict]:
+    rows = [run_push(0.2)]
+    for interval in (0.5, 1.0, 5.0, 20.0):
+        rows.append(run_poll(0.2, interval))
+    rows.append(run_push(5.0))
+    rows.append(run_poll(5.0, 5.0))
+    return rows
+
+
+def test_e03_push_less_traffic_lower_latency(benchmark):
+    push = benchmark(run_push, 0.2)
+    poll = run_poll(0.2, 1.0)
+    assert push["messages"] < poll["messages"]
+    assert push["mean delay"] < poll["mean delay"]
+    assert push["detected"] == push["changes"]
+
+
+def test_e03_poll_delay_scales_with_interval():
+    fast = run_poll(0.2, 1.0)
+    slow = run_poll(0.2, 10.0)
+    assert slow["mean delay"] > 3 * fast["mean delay"]
+    assert slow["messages"] < fast["messages"]
+
+
+def test_e03_crossover_at_high_event_rate():
+    # When events are far more frequent than polls, polling transfers
+    # fewer messages — by missing intermediate changes.
+    push = run_push(5.0)
+    poll = run_poll(5.0, 5.0)
+    assert poll["messages"] < push["messages"]
+    assert poll["detected"] < poll["changes"]
+
+
+def main() -> None:
+    print_table(
+        "E3 — push vs poll (horizon 200 s, change rate in events/s)",
+        table(),
+        "push: less traffic, immediate reaction; poll traffic ~ 1/interval, "
+        "delay ~ interval/2; crossover only when events >> polls (and then "
+        "polling misses changes)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""E10 (Thesis 10): surrogate vs extensional identity under updates.
+
+Paper claim: "For monitoring changes of objects, surrogate identity is
+advantageous" — extensional identity is lost whenever the value changes, so
+a modification can only be reported as delete+insert.  Measured: over a
+random stream of item edits, how many modifications each mode reports as a
+genuine change (identity preserved) vs as a delete/insert pair (lost).
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _harness import print_table, seeded
+
+from repro.core.identity import ChangeMonitor
+from repro.terms import parse_data, parse_query
+from repro.web import Simulation
+
+URI = "http://news.example/articles"
+
+
+def _render(items: dict[int, int]) -> str:
+    rows = ", ".join(
+        f'article{{ id["a{key}"], revision[{rev}] }}' for key, rev in sorted(items.items())
+    )
+    return f"articles{{ {rows} }}"
+
+
+def run_mode(mode: str, edits: int = 300, seed: int = 31) -> dict:
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://news.example")
+    rng = seeded(seed)
+    items = {k: 0 for k in range(10)}
+    next_key = 10
+    node.put(URI, parse_data(_render(items)))
+    monitor = ChangeMonitor(node, URI, parse_query("article"), mode=mode)
+    true_modifications = 0
+    for _ in range(edits):
+        operation = rng.random()
+        if operation < 0.70 and items:            # edit an article's text
+            key = rng.choice(list(items))
+            items[key] += 1
+            true_modifications += 1
+        elif operation < 0.85:                     # publish a new article
+            items[next_key] = 0
+            next_key += 1
+        elif items:                                # retract an article
+            del items[rng.choice(list(items))]
+        node.put(URI, parse_data(_render(items)))
+    stats = monitor.stats
+    return {
+        "identity": mode,
+        "true modifications": true_modifications,
+        "reported as change": stats.changed,
+        "reported as delete+insert": stats.identities_lost,
+        "preservation rate": stats.changed / max(1, true_modifications),
+    }
+
+
+def table() -> list[dict]:
+    return [run_mode("surrogate"), run_mode("extensional")]
+
+
+def test_e10_surrogate_preserves_identity(benchmark):
+    row = benchmark(run_mode, "surrogate", 100)
+    assert row["preservation rate"] > 0.95
+
+
+def test_e10_extensional_loses_identity():
+    row = run_mode("extensional", 100)
+    assert row["reported as change"] == 0
+    assert row["reported as delete+insert"] > 0
+
+
+def main() -> None:
+    print_table(
+        "E10 — identity of monitored items over 300 random edits",
+        table(),
+        "surrogate identity reports modifications as changes of the same "
+        "object; extensional identity degrades every modification to "
+        "delete+insert",
+    )
+
+
+if __name__ == "__main__":
+    main()

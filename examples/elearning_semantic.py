@@ -1,0 +1,102 @@
+"""Semantic-Web reactivity: the paper's e-learning scenario.
+
+    "an e-learning system might refer to inference rules expressed in terms
+    of RDF triples, RDF Schema, and OWL [...] e-learning systems that
+    select and deliver teaching materials depending on a student's test
+    performances" (Sections 1-2)
+
+A tutor node keeps its course catalogue as RDF (with RDFS/OWL semantics:
+prerequisite chains are transitive, ``teaches``/``taughtBy`` are inverses).
+Students push ``test-result`` events; reactive rules
+
+1. persist the result,
+2. consult the *inferred* catalogue to find what the student unlocked, and
+3. push a recommendation for the next unit back to the student.
+
+The RDF graph is stored as an ordinary resource (its term encoding), so
+rule conditions query it with the same query language as everything else —
+Thesis 7's language coherency on Semantic Web data.
+"""
+
+from repro.core import ReactiveEngine, eca
+from repro.core.actions import PyAction
+from repro.events.queries import EAtom
+from repro.terms import parse_data, parse_query, to_text
+from repro.terms.owl import OWL_INVERSE_OF, OWL_TRANSITIVE, semantic_closure
+from repro.terms.rdf import Graph, RDF_TYPE
+from repro.web import Simulation
+
+
+def build_catalogue() -> Graph:
+    g = Graph()
+    g.assert_("ex:requires", RDF_TYPE, OWL_TRANSITIVE)
+    g.assert_("ex:teaches", OWL_INVERSE_OF, "ex:taughtBy")
+    # algebra2 requires algebra1; calculus requires algebra2 (so, by
+    # transitivity, also algebra1).
+    g.assert_("ex:algebra2", "ex:requires", "ex:algebra1")
+    g.assert_("ex:calculus", "ex:requires", "ex:algebra2")
+    g.assert_("ex:kim", "ex:teaches", "ex:calculus")
+    return g
+
+
+def main() -> None:
+    sim = Simulation(latency=0.02)
+    tutor = sim.node("http://tutor.example")
+    student = sim.node("http://student.example")
+    engine = ReactiveEngine(tutor)
+
+    catalogue = semantic_closure(build_catalogue())
+    tutor.put("http://tutor.example/catalogue", catalogue.to_term())
+
+    def recommend(node, bindings):
+        passed = str(bindings["UNIT"])
+        student_uri = str(bindings["WHO"])
+        graph = Graph.from_term(node.get("http://tutor.example/catalogue"))
+        # Record the pass as a triple and re-close the graph.
+        graph.assert_(student_uri, "ex:passed", f"ex:{passed}")
+        graph = semantic_closure(graph)
+        node.put("http://tutor.example/catalogue", graph.to_term())
+        # A unit is unlocked when every (transitively) required unit is passed.
+        passed_units = {t.object for t in graph.triples(student_uri, "ex:passed")}
+        for candidate in ("ex:algebra1", "ex:algebra2", "ex:calculus"):
+            if candidate in passed_units:
+                continue
+            requirements = {t.object for t in graph.triples(candidate, "ex:requires")}
+            if requirements <= passed_units:
+                teacher = [t.subject for t in graph.triples(None, "ex:teaches", candidate)]
+                note = f', taught by {teacher[0]}' if teacher else ""
+                node.raise_event(student_uri, parse_data(
+                    f'recommendation{{ unit["{candidate}"], note["unlocked{note}"] }}'))
+                return
+
+    engine.install(eca(
+        "on-test-result",
+        EAtom(parse_query("test-result{{ unit[var UNIT], student[var WHO], "
+                          "score[var S -> >= 50] }}")),
+        PyAction(recommend),
+    ))
+    engine.install(eca(
+        "on-failed-test",
+        EAtom(parse_query("test-result{{ unit[var UNIT], student[var WHO], "
+                          "score[var S -> < 50] }}")),
+        PyAction(lambda n, b: n.raise_event(str(b["WHO"]), parse_data(
+            f'recommendation{{ unit["ex:{b["UNIT"]}"], note["repeat this unit"] }}'))),
+    ))
+
+    student.on_event(lambda e: print(f"[{sim.now:4.2f}s] student <- {to_text(e.term)}"))
+
+    def submit(at, unit, score):
+        sim.scheduler.at(at, lambda: student.raise_event(
+            "http://tutor.example",
+            parse_data(f'test-result{{ unit["{unit}"], '
+                       f'student["http://student.example"], score[{score}] }}')))
+
+    submit(0.0, "algebra1", 40)   # fail: repeat
+    submit(1.0, "algebra1", 80)   # pass: unlocks algebra2
+    submit(2.0, "algebra2", 75)   # pass: unlocks calculus (requires both,
+    #                               satisfied via the transitive closure)
+    sim.run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Online marketplace: the paper's motivating application, end to end.
+
+Combines most of the theses in one scenario:
+
+- ECA rules with branching (ECAA) process orders (Theses 1, 9);
+- rules run locally at the shop, the warehouse, and the bank; global
+  behaviour is pure event choreography (Theses 2, 3);
+- the shipping reaction is a *procedure* shared by the card-payment and
+  invoice-payment rules (Thesis 9, procedural abstraction);
+- rules are grouped into nested rule sets (Thesis 9, grouping);
+- every served order is metered and billed (Thesis 12, accounting);
+- a composite event watches for orders that were paid but not shipped
+  within a deadline and escalates them (Thesis 5, absence).
+"""
+
+from repro.core import ReactiveEngine, RuleSet
+from repro.core.aaa import Accountant
+from repro.lang import parse_program, parse_rule
+from repro.terms import parse_data, to_text
+from repro.web import Simulation
+
+SHOP = "http://shop.example"
+WAREHOUSE = "http://warehouse.example"
+BANK = "http://bank.example"
+CUSTOMER = "http://franz.example"
+
+
+def main() -> None:
+    sim = Simulation(latency=0.05)
+    shop = sim.node(SHOP)
+    warehouse = sim.node(WAREHOUSE)
+    bank = sim.node(BANK)
+    customer = sim.node(CUSTOMER)
+
+    shop.put(f"{SHOP}/stock", parse_data(
+        'stock{ item{ id["ball"], qty[2] }, item{ id["shirt"], qty[1] } }'))
+
+    shop_engine = ReactiveEngine(shop)
+    accountant = Accountant(shop_engine)
+    accountant.attach()
+
+    # The shared shipping procedure (Thesis 9).
+    shop_engine.define_procedure(
+        "dispatch", ("ITEM", "WHO"),
+        parse_rule('''
+            RULE unused ON never DO
+            SEQUENCE
+              REPLACE item{ id[var ITEM], qty[var Q] }
+                IN "http://shop.example/stock"
+                BY item{ id[var ITEM], qty[sub(var Q, 1)] }
+              ALSO RAISE TO "http://warehouse.example"
+                     ship{ item[var ITEM], to[var WHO] }
+            END
+        ''').action,
+    )
+
+    # The shop's rule program: payments subset + escalation subset.
+    program = parse_program(f'''
+        RULESET shop
+          RULESET payments
+            RULE card-order
+            ON order{{{{ item[var I], customer[var C], pay["card"] }}}}
+            IF IN "{SHOP}/stock" : stock{{{{ item{{{{ id[var I], qty[var Q -> > 0] }}}} }}}}
+            DO SEQUENCE
+                 RAISE TO "{BANK}" charge{{ item[var I], customer[var C] }}
+                 ALSO CALL dispatch(ITEM = var I, WHO = var C)
+               END
+            ELSE RAISE TO var C rejected{{ item[var I], reason["out of stock"] }}
+
+            RULE invoice-order
+            ON order{{{{ item[var I], customer[var C], pay["invoice"] }}}}
+            IF IN "{SHOP}/stock" : stock{{{{ item{{{{ id[var I], qty[var Q -> > 0] }}}} }}}}
+            DO CALL dispatch(ITEM = var I, WHO = var C)
+            ELSE RAISE TO var C rejected{{ item[var I], reason["out of stock"] }}
+          END
+
+          RULESET monitoring
+            # An order that is not shipped within 5s — lost, rejected, or
+            # stuck — is escalated to customer service (absence, Thesis 5).
+            RULE unfulfilled-order
+            ON WITHIN 5.0 ( order{{{{ item[var I], customer[var C] }}}}
+                            THEN NOT shipped{{{{ item[var I], to[var C] }}}} )
+            DO PERSIST escalation{{ item[var I], customer[var C] }}
+                 INTO "{SHOP}/escalations"
+          END
+        END
+    ''')
+    for item in program:
+        shop_engine.install(item)
+    # Meter every order (Thesis 12).
+    shop_engine.install(parse_rule(f'''
+        RULE meter-orders
+        ON order{{{{ item[var I], customer[var C] }}}}
+        DO RAISE TO "{SHOP}"
+             service-request{{ principal[var C], service["order"], units[1] }}
+    '''))
+
+    # Warehouse: confirm shipments back to shop and customer.
+    ReactiveEngine(warehouse).install(parse_rule(f'''
+        RULE handle-ship
+        ON ship{{{{ item[var I], to[var C] }}}}
+        DO SEQUENCE
+             PERSIST shipment{{ item[var I], to[var C] }} INTO "{WAREHOUSE}/log"
+             ALSO RAISE TO "{SHOP}" shipped{{ item[var I], to[var C] }}
+             ALSO RAISE TO var C shipped{{ item[var I], to[var C] }}
+           END
+    '''))
+
+    # Bank: acknowledge charges.
+    ReactiveEngine(bank).install(parse_rule(f'''
+        RULE charge
+        ON charge{{{{ item[var I], customer[var C] }}}}
+        DO RAISE TO "{SHOP}" charge-ok{{ item[var I], customer[var C] }}
+    '''))
+
+    customer.on_event(lambda e: print(f"[{sim.now:5.2f}s] franz <- {to_text(e.term)}"))
+
+    def order(item, pay):
+        customer.raise_event(SHOP, parse_data(
+            f'order{{ item["{item}"], customer["{CUSTOMER}"], pay["{pay}"] }}'))
+
+    order("ball", "card")
+    order("shirt", "invoice")
+    order("ball", "card")
+    order("mug", "card")           # not stocked: rejected, then escalated
+    sim.run()
+
+    print("\nstock after trading:", to_text(shop.get(f"{SHOP}/stock")))
+    print("warehouse log:", to_text(warehouse.get(f"{WAREHOUSE}/log")))
+    print("shop bill:", accountant.bill())
+    escalations = (to_text(shop.get(f"{SHOP}/escalations"))
+                   if f"{SHOP}/escalations" in shop.resources else "none")
+    print("escalations:", escalations)
+
+
+if __name__ == "__main__":
+    main()

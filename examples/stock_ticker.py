@@ -1,0 +1,66 @@
+"""Stock ticker: event accumulation (Thesis 5, fourth dimension).
+
+The paper's two accumulation examples in one scenario:
+
+- "notification if the average over the last 5 reported stock prices
+  raises by 5%" — a sliding aggregate with a rise predicate;
+- "a reaction when 3 server outages have been reported within 1 hour" —
+  a grouped sliding count (here: 3 trade halts for the same symbol).
+
+A market node pushes ticks; the analyst's rules accumulate them.
+"""
+
+from repro.core import ReactiveEngine
+from repro.lang import parse_rule
+from repro.terms import parse_data, to_text
+from repro.web import Simulation
+
+
+def main() -> None:
+    sim = Simulation(latency=0.0)
+    market = sim.node("http://market.example")
+    analyst = sim.node("http://analyst.example")
+
+    engine = ReactiveEngine(analyst)
+    engine.install(parse_rule('''
+        RULE rally-alert
+        ON AGG avg var P OF tick{{ symbol[var S], price[var P] }}
+           LAST 5 INTO var A BY [S] RISE 5.0
+        DO PERSIST rally{ symbol[var S], average[var A] }
+             INTO "http://analyst.example/alerts" ROOT alerts
+    '''))
+    engine.install(parse_rule('''
+        RULE halt-storm
+        ON COUNT 3 OF halt{{ symbol[var S] }} WITHIN 60.0 BY [S]
+        DO PERSIST storm{ symbol[var S] }
+             INTO "http://analyst.example/alerts" ROOT alerts
+    '''))
+
+    prices = {
+        # flat, then a jump that lifts the 5-tick average by >5%.
+        "ACME": [100, 101, 100, 99, 100, 100, 135, 140, 138, 139],
+        # steady decline: never triggers.
+        "EMCA": [100, 98, 96, 94, 92, 90, 88, 86, 84, 82],
+    }
+    clock = 0.0
+    for i in range(10):
+        for symbol, series in prices.items():
+            clock += 1.0
+            market.raise_event(
+                "http://analyst.example",
+                parse_data(f'tick{{ symbol["{symbol}"], price[{series[i]}] }}'),
+            )
+    # Three ACME trade halts in quick succession.
+    for at in (25.0, 35.0, 50.0):
+        sim.scheduler.at(at, lambda: market.raise_event(
+            "http://analyst.example", parse_data('halt{ symbol["ACME"] }')))
+    sim.run()
+
+    alerts = analyst.get("http://analyst.example/alerts")
+    print("alerts raised:")
+    for alert in alerts.children:
+        print("  ", to_text(alert))
+
+
+if __name__ == "__main__":
+    main()

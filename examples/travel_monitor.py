@@ -1,0 +1,61 @@
+"""Travel monitor: composite events with absence (the paper's example).
+
+    "if a flight has been canceled, and there is no notification within the
+    next two hours that the passenger is put onto another flight, this
+    might well require a reaction."  (Thesis 5)
+
+An airline pushes cancellation/rebooking events to a travel agent whose
+rule detects *stranded passengers* — a cancellation NOT followed by a
+rebooking within two hours — and reacts by booking a hotel and notifying
+the traveller.  Absence is confirmed by the engine's deadline wake-ups;
+no polling is involved.
+"""
+
+from repro.core import ReactiveEngine
+from repro.lang import parse_rule
+from repro.terms import parse_data, to_text
+from repro.web import Simulation
+
+HOUR = 1.0  # simulated hours
+
+
+def main() -> None:
+    sim = Simulation(latency=0.01)
+    airline = sim.node("http://airline.example")
+    agent = sim.node("http://agent.example")
+    traveller = sim.node("http://traveller.example")
+
+    agent_engine = ReactiveEngine(agent)
+    agent_engine.install(parse_rule('''
+        RULE stranded-passenger
+        ON WITHIN 2.0 ( cancellation{{ flight[var F], passenger[var P] }}
+                        THEN NOT rebooking{{ flight[var F], passenger[var P] }} )
+        DO SEQUENCE
+             PERSIST stranded{ flight[var F], passenger[var P] }
+               INTO "http://agent.example/cases" ROOT cases
+             ALSO RAISE TO "http://traveller.example"
+                    hotel-booked{ flight[var F], passenger[var P] }
+           END
+    '''))
+
+    traveller.on_event(lambda e: print(
+        f"[{sim.now:5.2f}h] traveller notified: {to_text(e.term)}"))
+
+    def push(at, text):
+        sim.scheduler.at(at, lambda: airline.raise_event(
+            "http://agent.example", parse_data(text)))
+
+    # LH07 is cancelled but rebooked after 1.5h: no reaction.
+    push(0.0, 'cancellation{ flight["LH07"], passenger["franz"] }')
+    push(1.5, 'rebooking{ flight["LH07"], passenger["franz"] }')
+    # LH99 is cancelled and never rebooked: hotel at the 2h deadline.
+    push(0.5, 'cancellation{ flight["LH99"], passenger["ida"] }')
+    # A rebooking for a DIFFERENT passenger does not help ida.
+    push(1.0, 'rebooking{ flight["LH99"], passenger["someone-else"] }')
+
+    sim.run()
+    print("\ncase file:", to_text(agent.get("http://agent.example/cases")))
+
+
+if __name__ == "__main__":
+    main()

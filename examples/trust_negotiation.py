@@ -1,0 +1,107 @@
+"""Trust negotiation: meta-circular rule exchange (Thesis 11).
+
+The paper's scenario, step by step: Franz wants ten soccer balls from
+fussbaelle.biz, a shop he has never dealt with.
+
+1. Franz sends a purchase request.
+2. The shop replies with its *payment policy* — an ECA rule, shipped as an
+   ordinary data term (rules are data: meta-circularity).
+3. Franz installs the policy locally and, unwilling to reveal his card to
+   an untrusted shop, asks for a certificate.
+4. The shop sends its Better Business Bureau membership certificate.
+5. Franz verifies it, then offers credit-card payment — to his *own* node,
+   where the shop's installed policy rule evaluates the offer and answers
+   the shop with the acceptance.  Deal closed.
+
+Only the relevant policy rule ever crosses the wire; the shop's other
+(sensitive) rules stay home — the two advantages the paper claims.
+"""
+
+from repro.core import ReactiveEngine, eca
+from repro.core.aaa import Authenticator, Certificate
+from repro.core.actions import InstallRule, PyAction, Raise
+from repro.core.meta import rule_to_term
+from repro.events.queries import EAtom
+from repro.terms import Var, parse_construct, parse_data, parse_query, to_text
+from repro.web import Simulation
+
+
+def main() -> None:
+    sim = Simulation(latency=0.05)
+    shop = sim.node("http://fussbaelle.biz")
+    franz = sim.node("http://franz.example")
+    shop_engine = ReactiveEngine(shop)
+    franz_engine = ReactiveEngine(franz)
+
+    def log(who, what):
+        print(f"[{sim.now:5.2f}s] {who}: {what}")
+
+    # The shop's payment policy, to be shipped as data (step 2).
+    payment_policy = eca(
+        "payment-policy",
+        EAtom(parse_query('payment-offer{{ method["credit-card"] }}')),
+        Raise("http://fussbaelle.biz",
+              parse_construct('payment-accepted{ method["credit-card"] }')),
+    )
+    shop_engine.install(eca(
+        "on-purchase-request",
+        EAtom(parse_query("purchase-request{{ customer[var C] }}")),
+        Raise(Var("C"), rule_to_term(payment_policy)),
+    ))
+
+    # Franz: install received policies, then ask for credentials (step 3).
+    franz_engine.install(eca(
+        "install-policy", EAtom(parse_query("eca-rule"), alias="R"),
+        InstallRule(Var("R")),
+    ))
+    franz_engine.install(eca(
+        "request-certificate", EAtom(parse_query("eca-rule")),
+        PyAction(lambda n, b: (
+            log("franz", "policy received and installed; asking for certificate"),
+            n.raise_event("http://fussbaelle.biz", parse_data(
+                'certificate-request{ customer["http://franz.example"] }')),
+        )),
+    ))
+
+    # The shop answers with its BBB certificate (step 4).
+    certificate = Certificate("fussbaelle.biz", "http://bbb.example")
+    shop_engine.install(eca(
+        "send-certificate",
+        EAtom(parse_query("certificate-request{{ customer[var C] }}")),
+        Raise(Var("C"), certificate.to_term()),
+    ))
+
+    # Franz verifies and pays (step 5).
+    authenticator = Authenticator()
+    authenticator.trust_authority("http://bbb.example")
+
+    def verify_and_pay(node, bindings):
+        subject = authenticator.authenticate_certificate(
+            Certificate.from_term(bindings["CERT"]))
+        log("franz", f"certificate of {subject!r} verified; offering credit card")
+        node.raise_event(node.uri, parse_data(
+            'payment-offer{ method["credit-card"] }'))
+
+    franz_engine.install(eca(
+        "verify-certificate", EAtom(parse_query("certificate"), alias="CERT"),
+        PyAction(verify_and_pay),
+    ))
+    shop_engine.install(eca(
+        "close-deal", EAtom(parse_query("payment-accepted{{}}")),
+        PyAction(lambda n, b: log("shop", "payment accepted — deal closed, "
+                                          "shipping ten soccer balls")),
+    ))
+
+    log("franz", "requesting ten soccer balls")
+    franz.raise_event("http://fussbaelle.biz", parse_data(
+        'purchase-request{ customer["http://franz.example"], '
+        'item["soccer-ball"], qty[10] }'))
+    sim.run()
+
+    print("\nrules now active on franz's node:", franz_engine.rules())
+    print("messages exchanged:", sim.stats.messages,
+          f"({sim.stats.bytes} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and an old setuptools
+without the ``wheel`` package, so PEP 660 editable installs are unavailable;
+this shim lets ``pip install -e .`` fall back to ``setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""ReWeb: reactive ECA rules for the Web.
+
+A full reproduction of the system designed in Bry & Eckert, *Twelve Theses on
+Reactive Rules for the Web* (EDBT 2006): an XChange-style reactive rule
+language with an Xcerpt-style query substrate, a composite-event algebra with
+incremental evaluation, a simulated Web messaging layer, an update language,
+rule structuring, identity monitoring, meta-circular rule exchange, and AAA
+support.
+
+Quickstart::
+
+    from repro.web import Simulation
+    from repro.lang import parse_rule
+
+    sim = Simulation()
+    shop = sim.node("http://shop.example")
+    shop.install(parse_rule('''
+        RULE greet
+        ON ping{{ sender{ var F } }}
+        DO RAISE TO var F pong{}
+    '''))
+
+See ``examples/quickstart.py`` for a complete runnable scenario.
+"""
+
+from repro import errors
+from repro.terms import (
+    Bindings,
+    Data,
+    d,
+    match,
+    matches,
+    parse_construct,
+    parse_data,
+    parse_query,
+    to_text,
+    u,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bindings",
+    "Data",
+    "d",
+    "errors",
+    "match",
+    "matches",
+    "parse_construct",
+    "parse_data",
+    "parse_query",
+    "to_text",
+    "u",
+    "__version__",
+]

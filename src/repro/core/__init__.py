@@ -1,0 +1,76 @@
+"""The reactive rule core: ECA rules and their engine (Theses 1-2, 8-12).
+
+- :mod:`repro.core.rules` — ECA / ECAA / ECnAn rule forms (Thesis 9
+  branching) with per-rule firing modes;
+- :mod:`repro.core.conditions` — the condition part: Web queries over
+  (local and remote) resources, parameterised by event bindings (Thesis 7);
+- :mod:`repro.core.actions` — the action part: updates, event raising,
+  persistence, compounds (sequence / alternative / conditional), procedure
+  calls, and rule installation (Theses 8, 9, 11);
+- :mod:`repro.core.engine` — the local engine: one per node (Thesis 2),
+  incremental event evaluation, deadline wake-ups, deductive event views;
+- :mod:`repro.core.production` — the production-rule (CA) baseline and the
+  CA-to-ECA derivation of Thesis 1;
+- :mod:`repro.core.rulesets` — named, nestable rule sets (Thesis 9);
+- :mod:`repro.core.identity` — extensional vs surrogate identity monitoring
+  (Thesis 10);
+- :mod:`repro.core.meta` — rules as data terms, meta-circular exchange
+  (Thesis 11);
+- :mod:`repro.core.aaa` — authentication, authorization, accounting
+  (Thesis 12).
+"""
+
+from repro.core.actions import (
+    Alternative,
+    CallProcedure,
+    Conditional,
+    DeleteResource,
+    InstallRule,
+    Persist,
+    PutResource,
+    PyAction,
+    Raise,
+    Sequence,
+    Update,
+)
+from repro.core.conditions import (
+    AndCond,
+    CompareCond,
+    NotCond,
+    OrCond,
+    QueryCond,
+    TrueCond,
+)
+from repro.core.engine import ReactiveEngine
+from repro.core.production import ProductionEngine, ProductionRule, derive_eca
+from repro.core.rules import ECARule, eca, ecaa, ecna
+from repro.core.rulesets import RuleSet
+
+__all__ = [
+    "Alternative",
+    "AndCond",
+    "CallProcedure",
+    "CompareCond",
+    "Conditional",
+    "DeleteResource",
+    "ECARule",
+    "InstallRule",
+    "NotCond",
+    "OrCond",
+    "Persist",
+    "ProductionEngine",
+    "ProductionRule",
+    "PutResource",
+    "PyAction",
+    "QueryCond",
+    "Raise",
+    "ReactiveEngine",
+    "RuleSet",
+    "Sequence",
+    "TrueCond",
+    "Update",
+    "derive_eca",
+    "eca",
+    "ecaa",
+    "ecna",
+]

@@ -1,0 +1,271 @@
+"""Authentication, authorization, and accounting (Thesis 12).
+
+The "three As" are non-functional requirements a reactive language should
+support out of the box:
+
+- :class:`Authenticator` — principals register credentials (shared-secret
+  tokens or certificates issued by authorities); messages carry a
+  credential term, verified before rules see the event.
+- :class:`Authorizer` — rule-based access control: ``allow``/``deny`` facts
+  and deductive rules over a policy base decide whether a principal may
+  read a resource or invoke a service; wired into a node's GET guard.
+- :class:`Accountant` — the dynamic one: accounting *reacts to* service
+  requests ("double reactivity").  It installs an ordinary ECA rule that
+  matches ``service-request`` events and persists a log entry; billing
+  summaries aggregate the log with the ordinary construct language.  The
+  accounting rules are orthogonal to the service rules — no
+  meta-programming involved, exactly as the thesis observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actions import Persist
+from repro.core.engine import ReactiveEngine
+from repro.core.rules import eca
+from repro.deductive.base import TermBase
+from repro.deductive.evaluation import BackwardEvaluator
+from repro.deductive.rules import Program
+from repro.errors import AuthenticationError, AuthorizationError
+from repro.events.queries import EAtom
+from repro.terms.ast import Bindings, Data, QTerm, Var
+from repro.terms.parser import parse_construct, parse_query
+
+
+# ---------------------------------------------------------------------------
+# Authentication
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A certificate: an authority vouches for a subject."""
+
+    subject: str
+    authority: str
+    claim: str = "member"
+
+    def to_term(self) -> Data:
+        return Data(
+            "certificate",
+            (Data("subject", (self.subject,)), Data("authority", (self.authority,)),
+             Data("claim", (self.claim,))),
+            False,
+        )
+
+    @staticmethod
+    def from_term(term: Data) -> "Certificate":
+        subject = term.first("subject")
+        authority = term.first("authority")
+        claim = term.first("claim")
+        if term.label != "certificate" or subject is None or authority is None:
+            raise AuthenticationError(f"malformed certificate term: {term!r}")
+        return Certificate(
+            str(subject.value),
+            str(authority.value),
+            str(claim.value) if claim is not None else "member",
+        )
+
+
+class Authenticator:
+    """Verifies that principals are who they claim to be."""
+
+    def __init__(self) -> None:
+        self._secrets: dict[str, str] = {}
+        self._trusted_authorities: set[str] = set()
+        self.checks = 0
+
+    def register(self, principal: str, secret: str) -> None:
+        """Enrol a principal with a shared-secret token."""
+        self._secrets[principal] = secret
+
+    def trust_authority(self, authority: str) -> None:
+        """Accept certificates issued by *authority*."""
+        self._trusted_authorities.add(authority)
+
+    def authenticate_token(self, principal: str, secret: str) -> str:
+        """Check a token credential; returns the principal."""
+        self.checks += 1
+        if self._secrets.get(principal) != secret:
+            raise AuthenticationError(f"bad credentials for {principal!r}")
+        return principal
+
+    def authenticate_certificate(self, certificate: Certificate) -> str:
+        """Check a certificate credential; returns the subject."""
+        self.checks += 1
+        if certificate.authority not in self._trusted_authorities:
+            raise AuthenticationError(
+                f"authority {certificate.authority!r} is not trusted"
+            )
+        return certificate.subject
+
+    def authenticate_term(self, credential: Data) -> str:
+        """Authenticate a credential term carried in a message."""
+        if credential.label == "token":
+            principal = credential.first("principal")
+            secret = credential.first("secret")
+            if principal is None or secret is None:
+                raise AuthenticationError("malformed token credential")
+            return self.authenticate_token(str(principal.value), str(secret.value))
+        if credential.label == "certificate":
+            return self.authenticate_certificate(Certificate.from_term(credential))
+        raise AuthenticationError(f"unknown credential kind {credential.label!r}")
+
+
+# ---------------------------------------------------------------------------
+# Authorization
+# ---------------------------------------------------------------------------
+
+
+class Authorizer:
+    """Rule-based access control over a policy fact base.
+
+    Facts: ``grant{principal[...], operation[...], resource[...]}`` and
+    ``deny{...}`` with the same shape; either may use ``"*"`` wildcards.
+    Deductive rules can derive grants (e.g. group membership); denies win.
+    """
+
+    def __init__(self, policy: "TermBase | None" = None,
+                 rules: "Program | None" = None) -> None:
+        self.policy = policy if policy is not None else TermBase()
+        self._evaluator = BackwardEvaluator(rules, self.policy) if rules is not None else None
+        self.decisions = 0
+        self.denials = 0
+
+    def grant(self, principal: str, operation: str, resource: str) -> None:
+        self.policy.add(_access_fact("grant", principal, operation, resource))
+        if self._evaluator is not None:
+            self._evaluator.invalidate()
+
+    def deny(self, principal: str, operation: str, resource: str) -> None:
+        self.policy.add(_access_fact("deny", principal, operation, resource))
+        if self._evaluator is not None:
+            self._evaluator.invalidate()
+
+    def _lookup(self, label: str, principal: str, operation: str, resource: str) -> bool:
+        facts = (
+            self._evaluator.facts(label)
+            if self._evaluator is not None
+            else self.policy.with_label(label)
+        )
+        for fact in facts:
+            if (
+                _field_matches(fact, "principal", principal)
+                and _field_matches(fact, "operation", operation)
+                and _field_matches(fact, "resource", resource)
+            ):
+                return True
+        return False
+
+    def allowed(self, principal: str, operation: str, resource: str) -> bool:
+        """Deny-overrides decision for one access."""
+        self.decisions += 1
+        if self._lookup("deny", principal, operation, resource):
+            self.denials += 1
+            return False
+        if self._lookup("grant", principal, operation, resource):
+            return True
+        self.denials += 1
+        return False
+
+    def check(self, principal: str, operation: str, resource: str) -> None:
+        """Raise :class:`AuthorizationError` unless allowed."""
+        if not self.allowed(principal, operation, resource):
+            raise AuthorizationError(
+                f"{principal!r} may not {operation} {resource}"
+            )
+
+    def guard_node_gets(self, node) -> None:
+        """Install this authorizer as the node's GET guard."""
+        node.guard_gets(lambda uri, requester: self.check(requester, "read", uri))
+
+
+def _access_fact(label: str, principal: str, operation: str, resource: str) -> Data:
+    return Data(
+        label,
+        (Data("principal", (principal,)), Data("operation", (operation,)),
+         Data("resource", (resource,))),
+        False,
+    )
+
+
+def _field_matches(fact: Data, label: str, value: str) -> bool:
+    child = fact.first(label)
+    if child is None or child.value is None:
+        return False
+    want = str(child.value)
+    return want == "*" or want == value
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+
+
+class Accountant:
+    """Accounting as reactive rules over service-request events.
+
+    ``attach`` installs an ECA rule on the node's engine that reacts to
+    ``service-request{principal[...], service[...], units[...]}`` events by
+    persisting a log entry — the "double reactivity" of Thesis 12.  The
+    service's own rules raise those events locally via :meth:`meter` (or
+    any rule action), and stay entirely ignorant of the accounting rules.
+    """
+
+    LOG_URI_SUFFIX = "/accounting-log"
+
+    def __init__(self, engine: ReactiveEngine) -> None:
+        self.engine = engine
+        self.log_uri = engine.node.uri + self.LOG_URI_SUFFIX
+        self._attached = False
+
+    def attach(self) -> None:
+        """Install the accounting rule (idempotent)."""
+        if self._attached:
+            return
+        self._attached = True
+        rule = eca(
+            "accounting/record",
+            EAtom(parse_query(
+                "service-request{{ principal[var P], service[var S], units[var U] }}"
+            )),
+            Persist(
+                self.log_uri,
+                parse_construct("entry{ principal[var P], service[var S], units[var U] }"),
+                root_label="accounting",
+            ),
+        )
+        self.engine.install(rule)
+
+    def meter(self, principal: str, service: str, units: float = 1.0) -> None:
+        """Raise a local service-request event (what service rules do)."""
+        self.engine.node.raise_local(
+            Data(
+                "service-request",
+                (Data("principal", (principal,)), Data("service", (service,)),
+                 Data("units", (units,))),
+                False,
+            )
+        )
+
+    def bill(self) -> dict[str, float]:
+        """Total units per principal, aggregated from the persisted log."""
+        if self.log_uri not in self.engine.node.resources:
+            return {}
+        log = self.engine.node.resources.get(self.log_uri)
+        totals: dict[str, float] = {}
+        for entry in log.all("entry"):
+            principal = entry.first("principal")
+            units = entry.first("units")
+            if principal is None or units is None:
+                continue
+            key = str(principal.value)
+            totals[key] = totals.get(key, 0.0) + float(units.value)
+        return totals
+
+    def entries(self) -> int:
+        """Number of log entries recorded so far."""
+        if self.log_uri not in self.engine.node.resources:
+            return 0
+        return len(self.engine.node.resources.get(self.log_uri).all("entry"))

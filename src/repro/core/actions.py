@@ -1,0 +1,183 @@
+"""The action part of ECA rules (Thesis 8) and its structuring (Thesis 9).
+
+Primitive actions:
+
+- :class:`Raise` — push an event to another node (or locally): the
+  communication action that produces global behaviour from local rules;
+- :class:`Update` — insert/delete/replace inside a *local* persistent
+  resource (remote updates must be requested via events — Thesis 2);
+- :class:`PutResource` / :class:`DeleteResource` — whole-resource writes;
+- :class:`Persist` — explicitly persist (volatile) event data into a
+  resource (the only sanctioned way event data outlives its windows,
+  Thesis 4);
+- :class:`InstallRule` / :class:`UninstallRule` — meta-programming: treat a
+  received rule term as a rule (Thesis 11);
+- :class:`PyAction` — an escape hatch for tests and examples (not
+  serialisable; flagged accordingly).
+
+Compound actions: :class:`Sequence` (atomic by default, rolled back on
+failure), :class:`Alternative` (try each until one succeeds — the paper's
+"specification of alternative actions"), :class:`Conditional`, and
+:class:`CallProcedure` (named, parameterised action procedures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ActionError, RuleError
+from repro.terms.ast import Bindings, Construct, Data, Query, Var
+from repro.terms.construct import instantiate
+
+
+@dataclass(frozen=True)
+class Raise:
+    """Send a constructed event term to *to* (URI string or variable)."""
+
+    to: "str | Var"
+    term: Construct
+
+
+@dataclass(frozen=True)
+class Update:
+    """An in-place update of a local resource.
+
+    ``kind`` is ``insert`` (payload added under matching parents),
+    ``delete`` (matching subterms removed; payload unused), or ``replace``
+    (matching subterms replaced by the payload construct).
+    """
+
+    uri: "str | Var"
+    kind: str
+    target: Query
+    payload: "Construct | None" = None
+    position: str = "end"
+    require_effect: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete", "replace"):
+            raise RuleError(f"unknown update kind {self.kind!r}")
+        if self.kind != "delete" and self.payload is None:
+            raise RuleError(f"update kind {self.kind!r} needs a payload construct")
+
+
+@dataclass(frozen=True)
+class PutResource:
+    """Create or overwrite a local resource with constructed content."""
+
+    uri: "str | Var"
+    content: Construct
+
+
+@dataclass(frozen=True)
+class DeleteResource:
+    """Remove a local resource."""
+
+    uri: "str | Var"
+
+
+@dataclass(frozen=True)
+class Persist:
+    """Append constructed (event) data to a local resource, creating it
+    with the given root label if missing — Thesis 4's explicit
+    persistence."""
+
+    uri: "str | Var"
+    content: Construct
+    root_label: str = "log"
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """Run member actions in order; atomic by default (all or nothing)."""
+
+    actions: tuple["Action", ...]
+    atomic: bool = True
+
+    def __init__(self, *actions: "Action", atomic: bool = True) -> None:
+        object.__setattr__(self, "actions", tuple(actions))
+        object.__setattr__(self, "atomic", atomic)
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """Try member actions in order until one succeeds."""
+
+    actions: tuple["Action", ...]
+
+    def __init__(self, *actions: "Action") -> None:
+        object.__setattr__(self, "actions", tuple(actions))
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """``if condition then A1 else A2`` *inside* the action part."""
+
+    condition: object  # a Condition
+    then: "Action"
+    otherwise: "Action | None" = None
+
+
+@dataclass(frozen=True)
+class CallProcedure:
+    """Invoke a named action procedure with constructed arguments."""
+
+    name: str
+    args: tuple[tuple[str, Construct], ...] = ()
+
+
+@dataclass(frozen=True)
+class InstallRule:
+    """Meta-programming: install the rule encoded by a term (Thesis 11).
+
+    The construct must build a rule term as produced by
+    :func:`repro.core.meta.rule_to_term` — typically a variable bound to a
+    rule term received in an event payload.
+    """
+
+    rule_term: Construct
+
+
+@dataclass(frozen=True)
+class UninstallRule:
+    """Remove an installed rule by name."""
+
+    name: "str | Var"
+
+
+@dataclass(frozen=True)
+class PyAction:
+    """Escape hatch: run a Python callable ``fn(node, bindings)``.
+
+    Not serialisable — rules containing it cannot be exchanged (Thesis 11
+    tooling refuses them).
+    """
+
+    fn: Callable
+    label: str = "py"
+
+
+#: Any action.
+Action = (
+    "Raise | Update | PutResource | DeleteResource | Persist | Sequence | "
+    "Alternative | Conditional | CallProcedure | InstallRule | UninstallRule | PyAction"
+)
+
+
+def resolve_uri(uri: "str | Var", bindings: Bindings) -> str:
+    """Resolve a URI that may be a variable bound by the event/condition."""
+    if isinstance(uri, Var):
+        value = bindings.get(uri.name)
+        if not isinstance(value, str):
+            raise ActionError(f"URI variable {uri.name!r} not bound to a string")
+        return value
+    return uri
+
+
+def build_term(construct: Construct, bindings: Bindings) -> Data:
+    """Instantiate a construct that must yield a data term."""
+    built = instantiate(construct, bindings)
+    if not isinstance(built, Data):
+        raise ActionError(f"expected a data term, constructed {built!r}")
+    return built

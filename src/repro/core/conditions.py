@@ -1,0 +1,147 @@
+"""The condition part of ECA rules: Web queries over persistent data.
+
+Thesis 7: the condition part embeds the Web query language, and variables
+bound by the event query *parameterise* the condition ("the value delivered
+by the event query can be accessed and used in the condition query").  A
+condition evaluates to a list of binding extensions — existential semantics
+with data flow to the action part.
+
+Conditions can consult any resource on the Web by URI (local reads are
+free; remote reads go over the network and are accounted, Thesis 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuleError
+from repro.terms.ast import Bindings, Construct, Query, Var, is_scalar
+from repro.terms.construct import instantiate
+from repro.terms.simulation import _compare_holds, match
+from repro.terms.ast import Compare
+
+
+@dataclass(frozen=True)
+class TrueCond:
+    """The trivially true condition (plain ``on E do A`` rules)."""
+
+
+@dataclass(frozen=True)
+class QueryCond:
+    """Match a query term against the resource at *uri*.
+
+    ``uri`` may be a string or a variable bound by the event part — the
+    event data decides *which* resource the condition consults.
+    """
+
+    uri: "str | Var"
+    query: Query
+
+
+@dataclass(frozen=True)
+class NotCond:
+    """Negation as failure: holds iff the inner condition has no answer."""
+
+    inner: "Condition"
+
+
+@dataclass(frozen=True)
+class AndCond:
+    """All conditions hold; bindings flow left to right."""
+
+    members: tuple["Condition", ...]
+
+    def __init__(self, *members: "Condition") -> None:
+        object.__setattr__(self, "members", tuple(members))
+
+
+@dataclass(frozen=True)
+class OrCond:
+    """At least one condition holds; answers are the union."""
+
+    members: tuple["Condition", ...]
+
+    def __init__(self, *members: "Condition") -> None:
+        object.__setattr__(self, "members", tuple(members))
+
+
+@dataclass(frozen=True)
+class CompareCond:
+    """Scalar comparison between two construct expressions."""
+
+    lhs: Construct
+    op: str
+    rhs: Construct
+
+
+#: Any rule condition.
+Condition = "TrueCond | QueryCond | NotCond | AndCond | OrCond | CompareCond"
+
+
+def evaluate(condition, node, bindings: Bindings, stats=None,
+             views: "dict | None" = None) -> list[Bindings]:
+    """Evaluate a condition at *node* under *bindings*.
+
+    Returns all binding extensions under which it holds (empty list: the
+    condition fails).  ``stats`` (an engine stats object) counts condition
+    evaluations for experiment E9.  ``views`` maps resource URIs to
+    deductive view states (see ``ReactiveEngine.define_web_views``): a
+    query against a view URI solves over the resource's facts *plus* the
+    derived facts, instead of matching the document root.
+    """
+    if stats is not None:
+        stats.condition_evaluations += 1
+    return _evaluate(condition, node, bindings, views)
+
+
+def _evaluate(condition, node, bindings: Bindings,
+              views: "dict | None" = None) -> list[Bindings]:
+    if isinstance(condition, TrueCond) or condition is None:
+        return [bindings]
+    if isinstance(condition, QueryCond):
+        uri = condition.uri
+        if isinstance(uri, Var):
+            value = bindings.get(uri.name)
+            if not isinstance(value, str):
+                raise RuleError(
+                    f"condition URI variable {uri.name!r} is not bound to a string"
+                )
+            uri = value
+        if views is not None and uri in views:
+            return views[uri].refresh().solve(condition.query, bindings)
+        document = node.get(uri)
+        return match(condition.query, document, bindings)
+    if isinstance(condition, NotCond):
+        return [] if _evaluate(condition.inner, node, bindings, views) else [bindings]
+    if isinstance(condition, AndCond):
+        frontier = [bindings]
+        for member in condition.members:
+            frontier = [
+                b2 for b in frontier for b2 in _evaluate(member, node, b, views)
+            ]
+            if not frontier:
+                return []
+        return _dedup(frontier)
+    if isinstance(condition, OrCond):
+        out = []
+        for member in condition.members:
+            out.extend(_evaluate(member, node, bindings, views))
+        return _dedup(out)
+    if isinstance(condition, CompareCond):
+        lhs = instantiate(condition.lhs, bindings)
+        rhs = instantiate(condition.rhs, bindings)
+        if not is_scalar(lhs) or not is_scalar(rhs):
+            return []
+        holds = _compare_holds(Compare(condition.op, rhs), lhs, bindings)
+        return [bindings] if holds else []
+    raise RuleError(f"not a condition: {condition!r}")
+
+
+def _dedup(items: list[Bindings]) -> list[Bindings]:
+    seen: set[Bindings] = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

@@ -1,0 +1,392 @@
+"""The reactive engine: local rule processing at one Web node (Thesis 2).
+
+Each node runs its own engine over its own rule base; engines never talk to
+each other except through event messages and resource reads — global
+behaviour is choreography, not orchestration.
+
+The engine:
+
+- keeps one *incremental* event evaluator per installed rule (Thesis 6);
+- schedules scheduler wake-ups at absence deadlines, so trailing-``ENot``
+  answers fire at the right simulated time without polling;
+- evaluates rule conditions against local and remote resources,
+  parameterised by the event bindings (Thesis 7);
+- executes actions, including atomic sequences, alternatives, procedure
+  calls (Thesis 9), and rule installation from received rule terms
+  (Thesis 11);
+- optionally expands *deductive event views* (Thesis 9): a non-recursive
+  deductive program derives further event terms from each incoming event
+  (e.g. classifying ``order`` events as ``high-value-order``), and rules
+  can subscribe to the derived labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import actions as act
+from repro.core import conditions as cond
+from repro.core.rules import ECARule
+from repro.core.rulesets import RuleSet
+from repro.deductive.base import TermBase
+from repro.deductive.evaluation import forward_chain
+from repro.deductive.rules import Program
+from repro.errors import ActionError, RecursionRejected, RuleError
+from repro.events.consumption import ConsumingEvaluator
+from repro.events.incremental import IncrementalEvaluator
+from repro.events.model import Event, make_event
+from repro.terms.ast import Bindings, Data, canonical_str
+from repro.updates.primitives import delete_terms, insert_child, replace_terms
+from repro.updates.transactions import Transaction
+from repro.web.network import authority
+from repro.web.node import WebNode
+
+
+@dataclass
+class EngineStats:
+    """Counters the benchmark experiments report."""
+
+    events_processed: int = 0
+    derived_events: int = 0
+    rule_firings: int = 0
+    condition_evaluations: int = 0
+    actions_executed: int = 0
+    updates_applied: int = 0
+    events_raised: int = 0
+    rollbacks: int = 0
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A named, parameterised action (Thesis 9 procedural abstraction)."""
+
+    name: str
+    params: tuple[str, ...]
+    action: object
+
+
+class ReactiveEngine:
+    """Rule evaluation and action execution for one node."""
+
+    def __init__(self, node: WebNode, event_views: "Program | None" = None,
+                 consumption: str = "unrestricted") -> None:
+        if event_views is not None and event_views.is_recursive():
+            raise RecursionRejected(
+                "event-level deductive views must be non-recursive (Thesis 9)"
+            )
+        self.node = node
+        self.stats = EngineStats()
+        self.consumption = consumption
+        self._event_views = event_views
+        self._rulesets: list[RuleSet] = []
+        self._single_rules: dict[str, ECARule] = {}
+        self._active: dict[str, tuple[ECARule, object]] = {}
+        self._procedures: dict[str, Procedure] = {}
+        self._scheduled: set[float] = set()
+        self._web_views: dict[str, object] = {}  # uri -> BackwardEvaluator
+        node.on_event(self.handle_event)
+
+    # -- rule management ------------------------------------------------------
+
+    def install(self, item: "ECARule | RuleSet") -> None:
+        """Install a rule or a whole rule set."""
+        if isinstance(item, RuleSet):
+            self._rulesets.append(item)
+        elif isinstance(item, ECARule):
+            if item.name in self._single_rules:
+                raise RuleError(f"rule {item.name!r} already installed")
+            self._single_rules[item.name] = item
+        else:
+            raise RuleError(f"cannot install {item!r}")
+        self.refresh()
+
+    def uninstall(self, name: str) -> None:
+        """Remove an individually installed rule by name."""
+        if name not in self._single_rules:
+            raise RuleError(f"no installed rule {name!r}")
+        del self._single_rules[name]
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Rebuild the active rule table (after enable/disable toggles).
+
+        Evaluators of rules that stay installed keep their partial-match
+        state; new rules start fresh.
+        """
+        wanted: dict[str, ECARule] = dict(self._single_rules)
+        for ruleset in self._rulesets:
+            for qualified_name, rule, _owner in ruleset.qualified():
+                if qualified_name in wanted:
+                    raise RuleError(f"duplicate rule name {qualified_name!r}")
+                wanted[qualified_name] = rule
+        active: dict[str, tuple[ECARule, object]] = {}
+        for name, rule in wanted.items():
+            current = self._active.get(name)
+            if current is not None and current[0] is rule:
+                active[name] = current
+            else:
+                evaluator: object = IncrementalEvaluator(rule.event)
+                if self.consumption != "unrestricted":
+                    evaluator = ConsumingEvaluator(evaluator, self.consumption)
+                active[name] = (rule, evaluator)
+        self._active = active
+
+    def rules(self) -> list[str]:
+        """Names of the currently active rules."""
+        return list(self._active)
+
+    def define_procedure(self, name: str, params: tuple[str, ...], action) -> None:
+        """Register a named action procedure (Thesis 9)."""
+        if name in self._procedures:
+            raise RuleError(f"procedure {name!r} already defined")
+        self._procedures[name] = Procedure(name, tuple(params), action)
+
+    def define_web_views(self, uri: str, program: Program) -> None:
+        """Attach deductive views to a local resource (Thesis 9).
+
+        Conditions querying *uri* then see the resource's child terms plus
+        every fact the view rules derive from them — like querying a
+        database view.  Views may be recursive (they run over persistent
+        data, not per event) and are re-materialised lazily after the
+        resource changes.
+        """
+        from repro.deductive.evaluation import BackwardEvaluator
+
+        resource_uri = uri
+
+        class _ViewState:
+            def __init__(self, node) -> None:
+                self.node = node
+                self.evaluator: BackwardEvaluator | None = None
+
+            def refresh(self) -> BackwardEvaluator:
+                if self.evaluator is None:
+                    root = self.node.resources.get(resource_uri)
+                    base = TermBase.from_document(root)
+                    self.evaluator = BackwardEvaluator(program, base)
+                return self.evaluator
+
+            def invalidate(self, changed_uri, old, new, version) -> None:
+                if changed_uri == resource_uri:
+                    self.evaluator = None
+
+        state = _ViewState(self.node)
+        self.node.resources.watch(state.invalidate)
+        self._web_views[uri] = state
+
+    # -- event handling ----------------------------------------------------------
+
+    def handle_event(self, event: Event) -> None:
+        """Node inbox entry point."""
+        self.stats.events_processed += 1
+        self._dispatch(event)
+        for derived in self._derive_events(event):
+            self.stats.derived_events += 1
+            self._dispatch(derived)
+        self._schedule_wakeups()
+
+    def _derive_events(self, event: Event) -> list[Event]:
+        if self._event_views is None:
+            return []
+        base = TermBase([event.term])
+        closed = forward_chain(self._event_views, base)
+        out = []
+        for fact in closed:
+            if canonical_str(fact) == canonical_str(event.term):
+                continue
+            out.append(make_event(fact, event.time, source=self.node.uri,
+                                  occurrence=event.occurrence))
+        return out
+
+    def _dispatch(self, event: Event) -> None:
+        for _name, (rule, evaluator) in list(self._active.items()):
+            answers = evaluator.on_event(event)
+            if rule.firing == "first" and len(answers) > 1:
+                answers = answers[:1]
+            for answer in answers:
+                self._fire(rule, answer.bindings)
+
+    def _on_time(self, when: float) -> None:
+        self._scheduled.discard(when)
+        for _name, (rule, evaluator) in list(self._active.items()):
+            answers = evaluator.advance_time(when)
+            if rule.firing == "first" and len(answers) > 1:
+                answers = answers[:1]
+            for answer in answers:
+                self._fire(rule, answer.bindings)
+        self._schedule_wakeups()
+
+    def _schedule_wakeups(self) -> None:
+        for _name, (_rule, evaluator) in self._active.items():
+            deadline = evaluator.next_deadline()
+            if deadline is None or deadline in self._scheduled:
+                continue
+            self._scheduled.add(deadline)
+            self.node.clock.at(deadline, lambda d=deadline: self._on_time(d))
+
+    # -- rule firing ------------------------------------------------------------------
+
+    def _fire(self, rule: ECARule, bindings: Bindings) -> None:
+        self.stats.rule_firings += 1
+        for branch_condition, action in rule.branches:
+            if branch_condition is None or isinstance(branch_condition, cond.TrueCond):
+                extensions = [bindings]
+            else:
+                extensions = cond.evaluate(branch_condition, self.node, bindings,
+                                           self.stats, self._web_views)
+            if extensions:
+                if rule.firing == "first":
+                    extensions = extensions[:1]
+                for extension in extensions:
+                    self.execute(action, extension)
+                return
+        if rule.otherwise is not None:
+            self.execute(rule.otherwise, bindings)
+
+    # -- action execution -----------------------------------------------------------------
+
+    def execute(self, action, bindings: Bindings) -> None:
+        """Execute one action under the given bindings."""
+        self.stats.actions_executed += 1
+        if isinstance(action, act.Raise):
+            to = act.resolve_uri(action.to, bindings)
+            term = act.build_term(action.term, bindings)
+            self.stats.events_raised += 1
+            self.node.raise_event(to, term)
+            return
+        if isinstance(action, act.Update):
+            self._apply_update(action, bindings)
+            return
+        if isinstance(action, act.PutResource):
+            uri = self._local_uri(act.resolve_uri(action.uri, bindings))
+            self.node.resources.put(uri, act.build_term(action.content, bindings))
+            self.stats.updates_applied += 1
+            return
+        if isinstance(action, act.DeleteResource):
+            uri = self._local_uri(act.resolve_uri(action.uri, bindings))
+            self.node.resources.delete(uri)
+            self.stats.updates_applied += 1
+            return
+        if isinstance(action, act.Persist):
+            self._persist(action, bindings)
+            return
+        if isinstance(action, act.Sequence):
+            self._run_sequence(action, bindings)
+            return
+        if isinstance(action, act.Alternative):
+            self._run_alternative(action, bindings)
+            return
+        if isinstance(action, act.Conditional):
+            extensions = cond.evaluate(action.condition, self.node, bindings,
+                                       self.stats, self._web_views)
+            if extensions:
+                self.execute(action.then, extensions[0])
+            elif action.otherwise is not None:
+                self.execute(action.otherwise, bindings)
+            return
+        if isinstance(action, act.CallProcedure):
+            self._call_procedure(action, bindings)
+            return
+        if isinstance(action, act.InstallRule):
+            from repro.core.meta import term_to_rule
+
+            rule = term_to_rule(act.build_term(action.rule_term, bindings))
+            self.install(rule)
+            return
+        if isinstance(action, act.UninstallRule):
+            name = action.name
+            if not isinstance(name, str):
+                value = bindings.get(name.name)
+                if not isinstance(value, str):
+                    raise ActionError(f"rule-name variable {name.name!r} unbound")
+                name = value
+            self.uninstall(name)
+            return
+        if isinstance(action, act.PyAction):
+            try:
+                action.fn(self.node, bindings)
+            except ActionError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - deliberate wrap
+                raise ActionError(f"python action {action.label!r} failed: {exc}") from exc
+            return
+        raise ActionError(f"not an action: {action!r}")
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _local_uri(self, uri: str) -> str:
+        if authority(uri) != self.node.uri:
+            raise ActionError(
+                f"{self.node.uri} cannot update remote resource {uri}; "
+                "request the update by raising an event (Thesis 2)"
+            )
+        return uri
+
+    def _apply_update(self, action: act.Update, bindings: Bindings) -> None:
+        uri = self._local_uri(act.resolve_uri(action.uri, bindings))
+        root = self.node.resources.get(uri)
+        if action.kind == "insert":
+            new_root, count = insert_child(root, action.target, action.payload,
+                                           bindings, action.position)
+        elif action.kind == "delete":
+            new_root, count = delete_terms(root, action.target, bindings)
+        else:
+            new_root, count = replace_terms(root, action.target, action.payload, bindings)
+        if count == 0 and action.require_effect:
+            raise ActionError(f"update on {uri} matched nothing")
+        if count:
+            self.node.resources.put(uri, new_root)
+            self.stats.updates_applied += 1
+
+    def _persist(self, action: act.Persist, bindings: Bindings) -> None:
+        uri = self._local_uri(act.resolve_uri(action.uri, bindings))
+        content = act.build_term(action.content, bindings)
+        if uri in self.node.resources:
+            root = self.node.resources.get(uri)
+        else:
+            root = Data(action.root_label, (), False)
+        self.node.resources.put(uri, root.append(content))
+        self.stats.updates_applied += 1
+
+    def _run_sequence(self, action: act.Sequence, bindings: Bindings) -> None:
+        if not action.atomic:
+            for step in action.actions:
+                self.execute(step, bindings)
+            return
+        transaction = Transaction(self.node.resources)
+        try:
+            for step in action.actions:
+                self.execute(step, bindings)
+        except Exception:
+            transaction.rollback()
+            self.stats.rollbacks += 1
+            raise
+        transaction.commit()
+
+    def _run_alternative(self, action: act.Alternative, bindings: Bindings) -> None:
+        failures = []
+        for option in action.actions:
+            try:
+                self.execute(option, bindings)
+                return
+            except ActionError as exc:
+                failures.append(str(exc))
+        raise ActionError(
+            f"all {len(action.actions)} alternatives failed: {failures}"
+        )
+
+    def _call_procedure(self, action: act.CallProcedure, bindings: Bindings) -> None:
+        procedure = self._procedures.get(action.name)
+        if procedure is None:
+            raise ActionError(f"no procedure {action.name!r}")
+        from repro.terms.construct import instantiate
+
+        supplied = dict(action.args)
+        items = []
+        for param in procedure.params:
+            if param not in supplied:
+                raise ActionError(
+                    f"procedure {action.name!r} missing argument {param!r}"
+                )
+            items.append((param, instantiate(supplied[param], bindings)))
+        self.execute(procedure.action, Bindings(tuple(items)))

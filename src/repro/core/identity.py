@@ -1,0 +1,157 @@
+"""Identity of monitored data items (Thesis 10).
+
+To react to *changes of a particular item* inside a resource, the item must
+be identified across versions.  The thesis contrasts:
+
+- **extensional identity** — an item *is* its value; when the value
+  changes, identity is lost, and a change can only be reported as a
+  deletion plus an insertion;
+- **surrogate identity** — items carry an identity independent of their
+  value (here: a registry-assigned object id, ``oid``); value changes keep
+  the identity, and can be reported as genuine modifications.
+
+A :class:`ChangeMonitor` watches one resource, diffs consecutive versions
+at the granularity of an item query, and raises local events:
+``item-inserted{oid, item}``, ``item-deleted{oid, item}``, and — surrogate
+mode only — ``item-changed{oid, old, new}``.  Surrogate matching uses, in
+order: unchanged value, an explicit key child (e.g. ``id``), and positional
+pairing of the remaining items.  Counters report how many identities each
+mode preserved (experiment E10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import RuleError
+from repro.terms.ast import Data, Query, canonical_str
+from repro.terms.simulation import matches
+from repro.web.node import WebNode
+
+_oids = itertools.count(1)
+
+
+@dataclass
+class MonitorStats:
+    inserted: int = 0
+    deleted: int = 0
+    changed: int = 0
+
+    @property
+    def identities_preserved(self) -> int:
+        return self.changed
+
+    @property
+    def identities_lost(self) -> int:
+        """Value changes reported as delete+insert pairs."""
+        return min(self.inserted, self.deleted)
+
+
+class ChangeMonitor:
+    """Watches items matching a query inside one resource."""
+
+    def __init__(self, node: WebNode, uri: str, item_query: Query,
+                 mode: str = "surrogate", key_label: "str | None" = "id") -> None:
+        if mode not in ("surrogate", "extensional"):
+            raise RuleError(f"unknown identity mode {mode!r}")
+        self.node = node
+        self.uri = uri
+        self.item_query = item_query
+        self.mode = mode
+        self.key_label = key_label
+        self.stats = MonitorStats()
+        self._oids: dict[str, int] = {}  # canonical form -> oid (live items)
+        if uri in node.resources:
+            for item in self._items(node.resources.get(uri)):
+                self._oids[canonical_str(item)] = next(_oids)
+        node.resources.watch(self._on_change)
+
+    def _items(self, root: "Data | None") -> list[Data]:
+        if root is None:
+            return []
+        return [
+            sub for sub in root.subterms()
+            if sub is not root and matches(self.item_query, sub)
+        ]
+
+    # -- diffing -----------------------------------------------------------------
+
+    def _on_change(self, uri: str, old: "Data | None", new: "Data | None",
+                   version: int) -> None:
+        if uri != self.uri:
+            return
+        old_items = self._items(old)
+        new_items = self._items(new)
+        old_by_form = {canonical_str(item): item for item in old_items}
+        new_by_form = {canonical_str(item): item for item in new_items}
+        vanished = [item for form, item in old_by_form.items() if form not in new_by_form]
+        appeared = [item for form, item in new_by_form.items() if form not in old_by_form]
+        if self.mode == "surrogate":
+            pairs = self._pair(vanished, appeared)
+            paired_old = {id(o) for o, _ in pairs}
+            paired_new = {id(n) for _, n in pairs}
+            for old_item, new_item in pairs:
+                oid = self._oids.pop(canonical_str(old_item), None) or next(_oids)
+                self._oids[canonical_str(new_item)] = oid
+                self.stats.changed += 1
+                self._raise("item-changed", oid, old_item, new_item)
+            vanished = [item for item in vanished if id(item) not in paired_old]
+            appeared = [item for item in appeared if id(item) not in paired_new]
+        for item in vanished:
+            oid = self._oids.pop(canonical_str(item), 0)
+            self.stats.deleted += 1
+            self._raise("item-deleted", oid, item, None)
+        for item in appeared:
+            oid = next(_oids)
+            self._oids[canonical_str(item)] = oid
+            self.stats.inserted += 1
+            self._raise("item-inserted", oid, None, item)
+
+    def _pair(self, vanished: list[Data], appeared: list[Data]
+              ) -> list[tuple[Data, Data]]:
+        """Surrogate matching of old items to their new versions."""
+        pairs: list[tuple[Data, Data]] = []
+        remaining_new = list(appeared)
+        unmatched_old = []
+        # 1. explicit key child (e.g. id[...]), the xml:id analogue.
+        for old_item in vanished:
+            key = self._key_of(old_item)
+            partner = None
+            if key is not None:
+                for new_item in remaining_new:
+                    if self._key_of(new_item) == key and new_item.label == old_item.label:
+                        partner = new_item
+                        break
+            if partner is not None:
+                pairs.append((old_item, partner))
+                remaining_new.remove(partner)
+            else:
+                unmatched_old.append(old_item)
+        # 2. positional fallback: pair leftovers with the same label in order.
+        for old_item in list(unmatched_old):
+            for new_item in remaining_new:
+                if new_item.label == old_item.label:
+                    pairs.append((old_item, new_item))
+                    remaining_new.remove(new_item)
+                    unmatched_old.remove(old_item)
+                    break
+        return pairs
+
+    def _key_of(self, item: Data) -> "str | None":
+        if self.key_label is None:
+            return None
+        key_child = item.first(self.key_label)
+        if key_child is not None and key_child.value is not None:
+            return str(key_child.value)
+        attr = item.attr(self.key_label)
+        return attr
+
+    def _raise(self, label: str, oid: int, old: "Data | None",
+               new: "Data | None") -> None:
+        children: list = [Data("oid", (oid,)), Data("uri", (self.uri,))]
+        if old is not None:
+            children.append(Data("old", (old,)))
+        if new is not None:
+            children.append(Data("new", (new,)))
+        self.node.raise_local(Data(label, tuple(children), False))

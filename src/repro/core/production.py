@@ -1,0 +1,118 @@
+"""Production rules (CA rules): the Thesis 1 comparison baseline.
+
+    "Production rules have the form 'if condition do action' and specify to
+    execute the action automatically when the condition becomes true."
+
+A :class:`ProductionEngine` holds CA rules over a node's resources and
+re-evaluates them in cycles (on demand or scheduled).  Footnote 4 of the
+paper explains why ``if C do A`` is *not* the ECA rule ``on true if C do
+A``: a production rule fires when the condition **becomes** true (and, in a
+naive engine, keeps firing while it stays true), whereas an ECA rule fires
+once per event.  The engine exposes both naive re-firing and a
+refractory-set mode, and :func:`derive_eca` implements the paper's
+suggestion of deriving ECA rules from production rules automatically (fire
+on the update events of the resources the condition reads).
+
+Experiment E1 uses this module to measure both the duplicate/missed-firing
+mismatch and the evaluation-count gap against genuine ECA rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import conditions as cond
+from repro.core.rules import ECARule, eca
+from repro.errors import RuleError
+from repro.events.queries import EAtom
+from repro.terms.ast import Bindings, QTerm
+from repro.web.node import WebNode
+
+
+@dataclass(frozen=True)
+class ProductionRule:
+    """``if condition do action`` — no event part."""
+
+    name: str
+    condition: object
+    action: object
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RuleError("production rules need a name")
+
+
+class ProductionEngine:
+    """Cycle-based evaluation of CA rules.
+
+    ``refractory=True`` remembers which (rule, bindings) pairs already
+    fired and suppresses them while the condition stays true — the extra
+    machinery a production system needs to approximate fire-once
+    semantics.  ``refractory=False`` is the naive semantics: a rule fires
+    on *every* cycle in which its condition holds.
+    """
+
+    def __init__(self, node: WebNode, executor, refractory: bool = True) -> None:
+        self.node = node
+        self.refractory = refractory
+        self._executor = executor  # callable(action, bindings)
+        self._rules: dict[str, ProductionRule] = {}
+        self._fired: set[tuple[str, Bindings]] = set()
+        self.cycles = 0
+        self.condition_evaluations = 0
+        self.firings = 0
+
+    def install(self, rule: ProductionRule) -> None:
+        if rule.name in self._rules:
+            raise RuleError(f"production rule {rule.name!r} already installed")
+        self._rules[rule.name] = rule
+
+    def run_cycle(self) -> int:
+        """Evaluate every rule's condition once; fire matches; return count."""
+        self.cycles += 1
+        fired = 0
+        for rule in self._rules.values():
+            self.condition_evaluations += 1
+            extensions = cond.evaluate(rule.condition, self.node, Bindings())
+            still_true = set()
+            for extension in extensions:
+                key = (rule.name, extension)
+                still_true.add(key)
+                if self.refractory and key in self._fired:
+                    continue
+                self._fired.add(key)
+                self.firings += 1
+                fired += 1
+                self._executor(rule.action, extension)
+            if self.refractory:
+                # Once the condition stops holding for a binding, it may
+                # fire again when it becomes true anew.
+                self._fired = {
+                    key for key in self._fired
+                    if key[0] != rule.name or key in still_true
+                }
+        return fired
+
+    def run_every(self, interval: float, until: float | None = None) -> None:
+        """Schedule periodic cycles on the node's clock."""
+        self.node.clock.every(interval, self.run_cycle, until=until)
+
+
+def derive_eca(rule: ProductionRule, watched_labels: "list[str] | None" = None) -> ECARule:
+    """Derive an ECA rule from a production rule (Thesis 1).
+
+    The derived rule fires on ``resource-changed`` events (as raised by the
+    identity monitor or polling watcher) — i.e., the condition is
+    re-checked exactly when the data it reads may have changed, instead of
+    on a polling cycle.  ``watched_labels`` optionally narrows the trigger
+    to specific change-event labels.
+    """
+    labels = watched_labels or ["resource-changed", "item-inserted",
+                                "item-changed", "item-deleted"]
+    if len(labels) == 1:
+        trigger = EAtom(QTerm(labels[0], (), False, False))
+    else:
+        from repro.events.queries import EOr
+
+        trigger = EOr(*(EAtom(QTerm(label, (), False, False)) for label in labels))
+    return eca(f"eca-from-{rule.name}", trigger, rule.action, if_=rule.condition)

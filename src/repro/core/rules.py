@@ -1,0 +1,83 @@
+"""Reactive rule forms: ECA, ECAA, and ECnAn (Theses 1 and 9).
+
+One class covers all three shapes from the paper:
+
+- plain ECA — one branch ``(condition, action)``;
+- ECAA ("on E if C do A1 else A2") — one branch plus ``otherwise``;
+- ECnAn — several ``(condition, action)`` branches tried in order, with an
+  optional final ``otherwise``.
+
+Branch semantics: for each answer of the event query, conditions are
+evaluated top to bottom and the *first* holding branch fires — so the
+shared condition of an ECAA rule is tested exactly once, which is the
+efficiency point Thesis 9 makes (experiment E9 measures it against the
+two-rule encoding with C and ¬C).
+
+``firing`` selects how many condition answers trigger the action:
+``"all"`` (one firing per distinct binding extension) or ``"first"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuleError
+from repro.events.queries import validate_query
+
+
+@dataclass(frozen=True)
+class ECARule:
+    """An Event-Condition-Action rule (with ECAA/ECnAn generalisations)."""
+
+    name: str
+    event: object  # EventQuery
+    branches: tuple[tuple[object, object], ...]  # (Condition | None, Action)
+    otherwise: object = None  # Action | None
+    firing: str = "all"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RuleError("rules need a name")
+        validate_query(self.event)
+        if not self.branches and self.otherwise is None:
+            raise RuleError(f"rule {self.name!r} has no action")
+        if self.firing not in ("all", "first"):
+            raise RuleError(f"unknown firing mode {self.firing!r}")
+        # Normalise missing conditions to TrueCond so that structurally
+        # round-tripped rules (meta encoding, surface language) compare equal.
+        from repro.core.conditions import TrueCond
+
+        normalised = tuple(
+            (TrueCond() if condition is None else condition, action)
+            for condition, action in self.branches
+        )
+        object.__setattr__(self, "branches", normalised)
+
+    @property
+    def is_ecaa(self) -> bool:
+        return self.otherwise is not None and len(self.branches) == 1
+
+    @property
+    def condition(self):
+        """The condition of a plain ECA rule (first branch)."""
+        return self.branches[0][0] if self.branches else None
+
+    @property
+    def action(self):
+        """The action of a plain ECA rule (first branch)."""
+        return self.branches[0][1] if self.branches else self.otherwise
+
+
+def eca(name: str, on, do, if_=None, firing: str = "all") -> ECARule:
+    """A plain ECA rule: ``on E if C do A``."""
+    return ECARule(name, on, ((if_, do),), None, firing)
+
+
+def ecaa(name: str, on, if_, do, else_do, firing: str = "all") -> ECARule:
+    """An ECAA rule: ``on E if C do A1 else A2`` — C is tested once."""
+    return ECARule(name, on, ((if_, do),), else_do, firing)
+
+
+def ecna(name: str, on, branches, else_do=None, firing: str = "all") -> ECARule:
+    """An ECnAn rule: ordered (condition, action) branches, first match fires."""
+    return ECARule(name, on, tuple(branches), else_do, firing)

@@ -1,0 +1,29 @@
+"""Deductive rules (views) for Web queries and event queries (Thesis 9).
+
+Deductive rules play the role of database views over term data: they derive
+intensional facts from extensional ones, avoid replicating complicated
+queries, and mediate between schemas.  The paper proposes the same mechanism
+for event queries, but restricted (no recursion) because event queries are
+evaluated at high frequency.
+
+- :class:`~repro.deductive.base.TermBase` — a store of term facts.
+- :class:`~repro.deductive.rules.DeductiveRule` / ``Program`` — rules with
+  dependency analysis (recursion and stratified-negation checks).
+- :mod:`repro.deductive.evaluation` — semi-naive forward chaining
+  (materialised views) and memoised backward chaining (on-demand views).
+"""
+
+from repro.deductive.base import TermBase
+from repro.deductive.evaluation import BackwardEvaluator, forward_chain
+from repro.deductive.rules import DeductiveRule, Filter, Match, Negation, Program
+
+__all__ = [
+    "BackwardEvaluator",
+    "DeductiveRule",
+    "Filter",
+    "Match",
+    "Negation",
+    "Program",
+    "TermBase",
+    "forward_chain",
+]

@@ -1,0 +1,88 @@
+"""Term fact bases: the extensional data deductive rules run over.
+
+A :class:`TermBase` stores root-level data terms ("facts") indexed by label.
+Facts are deduplicated by canonical form, so unordered terms that differ only
+in child order count once — the set semantics deductive evaluation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.terms.ast import Bindings, Data, canonical_str
+from repro.terms.simulation import match
+
+
+class TermBase:
+    """An indexed, deduplicated collection of term facts."""
+
+    def __init__(self, facts: Iterable[Data] = ()) -> None:
+        self._facts: dict[str, Data] = {}
+        self._by_label: dict[str, list[Data]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Data]:
+        return iter(self._facts.values())
+
+    def __contains__(self, fact: Data) -> bool:
+        return canonical_str(fact) in self._facts
+
+    def add(self, fact: Data) -> bool:
+        """Insert a fact; returns False if (semantically) already present."""
+        key = canonical_str(fact)
+        if key in self._facts:
+            return False
+        self._facts[key] = fact
+        self._by_label.setdefault(fact.label, []).append(fact)
+        return True
+
+    def remove(self, fact: Data) -> bool:
+        """Remove a fact; returns False if it was absent."""
+        key = canonical_str(fact)
+        stored = self._facts.pop(key, None)
+        if stored is None:
+            return False
+        self._by_label[stored.label].remove(stored)
+        return True
+
+    def copy(self) -> "TermBase":
+        """Independent copy sharing the (immutable) facts."""
+        return TermBase(self)
+
+    def with_label(self, label: str) -> tuple[Data, ...]:
+        """All facts whose root label is *label* (or everything for ``*``)."""
+        if label == "*":
+            return tuple(self)
+        return tuple(self._by_label.get(label, ()))
+
+    def candidates(self, root_label: "str | None") -> tuple[Data, ...]:
+        """Facts that could match a query with the given root label.
+
+        ``None`` (label variable or non-QTerm query) returns all facts.
+        """
+        if root_label is None or root_label == "*":
+            return tuple(self)
+        return self.with_label(root_label)
+
+    def solve(self, query, bindings: Bindings = Bindings()) -> list[Bindings]:
+        """Match *query* against every candidate fact, collecting bindings."""
+        from repro.terms.ast import QTerm
+
+        label = query.label if isinstance(query, QTerm) and isinstance(query.label, str) else None
+        out: list[Bindings] = []
+        seen: set[Bindings] = set()
+        for fact in self.candidates(label):
+            for b in match(query, fact, bindings):
+                if b not in seen:
+                    seen.add(b)
+                    out.append(b)
+        return out
+
+    @staticmethod
+    def from_document(root: Data) -> "TermBase":
+        """Build a base from a document root: each child term is a fact."""
+        return TermBase(child for child in root.children if isinstance(child, Data))

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the ReWeb library.
+
+Every error raised by the library derives from :class:`ReWebError` so that
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReWebError(Exception):
+    """Base class for all errors raised by the ReWeb library."""
+
+
+class TermError(ReWebError):
+    """Malformed data, query, or construct term."""
+
+
+class ParseError(TermError):
+    """Raised by the textual parsers (terms and rule language).
+
+    Carries the position of the offending token so error messages can point
+    at the source text.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1) -> None:
+        self.position = position
+        self.line = line
+        if line >= 0:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class QueryError(TermError):
+    """A query term is invalid (e.g. ``without`` in an ordered total term)."""
+
+
+class ConstructError(TermError):
+    """A construct term cannot be instantiated (e.g. unbound variable)."""
+
+
+class UnboundVariableError(ConstructError):
+    """A variable referenced during construction has no binding."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unbound variable: {name!r}")
+
+
+class EventError(ReWebError):
+    """Malformed event or event query."""
+
+
+class EventQueryError(EventError):
+    """An event query is structurally invalid (e.g. unguarded negation)."""
+
+
+class WebError(ReWebError):
+    """Errors from the simulated Web substrate."""
+
+
+class ResourceNotFound(WebError):
+    """A GET/update targeted a URI that does not exist."""
+
+    def __init__(self, uri: str) -> None:
+        self.uri = uri
+        super().__init__(f"no such resource: {uri}")
+
+
+class NodeNotFound(WebError):
+    """A message was sent to a URI whose authority is not on the network."""
+
+    def __init__(self, uri: str) -> None:
+        self.uri = uri
+        super().__init__(f"no node registered for: {uri}")
+
+
+class UpdateError(ReWebError):
+    """An update primitive could not be applied."""
+
+
+class TransactionError(UpdateError):
+    """A transaction failed to commit and was rolled back."""
+
+
+class ActionError(ReWebError):
+    """An action failed to execute; triggers ``Alternative`` fallback."""
+
+
+class RuleError(ReWebError):
+    """Malformed reactive rule or rule set."""
+
+
+class DeductiveError(ReWebError):
+    """Malformed deductive rule program (e.g. recursion where forbidden)."""
+
+
+class RecursionRejected(DeductiveError):
+    """Recursive deductive rules are rejected for event-level views (Thesis 9)."""
+
+
+class MetaError(ReWebError):
+    """Rule (de)serialisation to data terms failed (Thesis 11)."""
+
+
+class AuthenticationError(ReWebError):
+    """The principal could not be authenticated (Thesis 12)."""
+
+
+class AuthorizationError(ReWebError):
+    """The principal is not authorised for the requested action (Thesis 12)."""

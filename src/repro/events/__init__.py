@@ -1,0 +1,54 @@
+"""Events: volatile data, composite event queries, and their evaluation.
+
+Implements Theses 4-6 of the paper:
+
+- **Thesis 4** — events are *volatile* data, distinct from persistent Web
+  data: :class:`~repro.events.model.Event` instances are immutable,
+  timestamped, and never stored beyond what live partial matches require
+  (windowed queries give every piece of state a deadline; see
+  :meth:`IncrementalEvaluator.state_size`).
+- **Thesis 5** — the four dimensions of event queries: *data extraction*
+  (term patterns with variables), *event composition* (and/or/seq with
+  negation), *temporal conditions* (windows, relative order), and *event
+  accumulation* (counts and sliding aggregates).
+- **Thesis 6** — data-driven, *incremental* evaluation
+  (:class:`IncrementalEvaluator`) versus the query-driven, re-evaluate-the-
+  whole-history baseline (:class:`NaiveEvaluator`).  Both implement the same
+  declarative semantics (:func:`repro.events.naive.answers`), which the
+  property suite checks on random streams.
+"""
+
+from repro.events.consumption import ConsumptionPolicy, ConsumingEvaluator
+from repro.events.incremental import IncrementalEvaluator
+from repro.events.model import Event, EventAnswer
+from repro.events.naive import NaiveEvaluator, answers
+from repro.events.queries import (
+    EAggregate,
+    EAnd,
+    EAtom,
+    ECount,
+    ENot,
+    EOr,
+    ESeq,
+    EWithin,
+    validate_query,
+)
+
+__all__ = [
+    "ConsumingEvaluator",
+    "ConsumptionPolicy",
+    "EAggregate",
+    "EAnd",
+    "EAtom",
+    "ECount",
+    "ENot",
+    "EOr",
+    "ESeq",
+    "EWithin",
+    "Event",
+    "EventAnswer",
+    "IncrementalEvaluator",
+    "NaiveEvaluator",
+    "answers",
+    "validate_query",
+]

@@ -1,0 +1,102 @@
+"""The event model: atomic events and event-query answers.
+
+Events are *volatile data* (Thesis 4): immutable, timestamped messages that
+signal state changes.  They are kept distinct from persistent Web data — an
+event cannot be modified, only superseded by later events — and the library
+never stores them indefinitely unless an explicit persist action is used.
+
+An event carries:
+
+- ``term`` — its payload, an ordinary data term (so the *same* query
+  language matches events and persistent documents, Thesis 7);
+- ``occurrence`` — when it happened at its source;
+- ``reception`` — when the local node received it (the time base for
+  composite-event ordering, since a node can only order what it has seen);
+- ``source`` — the URI of the emitting node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import EventError
+from repro.terms.ast import Bindings, Data
+
+
+@dataclass(frozen=True)
+class Event:
+    """An atomic event: an immutable, timestamped term payload."""
+
+    id: int
+    term: Data
+    occurrence: float
+    reception: float
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.term, Data):
+            raise EventError(f"event payload must be a data term: {self.term!r}")
+        if self.reception < self.occurrence:
+            raise EventError(
+                f"event received before it occurred: "
+                f"occurrence={self.occurrence}, reception={self.reception}"
+            )
+
+    @property
+    def time(self) -> float:
+        """The time base for composite-event semantics (reception time)."""
+        return self.reception
+
+    @property
+    def label(self) -> str:
+        """Root label of the payload (the event's 'type')."""
+        return self.term.label
+
+
+_ids = itertools.count(1)
+
+
+def make_event(term: Data, time: float, source: str = "", occurrence: float | None = None) -> Event:
+    """Create an event with a fresh globally unique id.
+
+    Convenience for tests and standalone evaluator use; the Web simulator
+    assigns ids through the same counter so ids never collide.
+    """
+    occurred = time if occurrence is None else occurrence
+    return Event(next(_ids), term, occurred, time, source)
+
+
+@dataclass(frozen=True)
+class EventAnswer:
+    """One answer to an event query.
+
+    ``events`` lists the ids of the contributing atomic events (in
+    chronological order), ``start``/``end`` delimit the answer's temporal
+    extent, and ``end`` is also the moment the answer was *confirmed* —
+    for answers involving absence (negation), confirmation happens at the
+    negation deadline, later than the last contributing event.
+    """
+
+    bindings: Bindings
+    events: tuple[int, ...]
+    start: float
+    end: float
+
+    def merge_with(self, other: "EventAnswer") -> "EventAnswer | None":
+        """Conjunction of two answers; None if their bindings disagree."""
+        merged = self.bindings.merge(other.bindings)
+        if merged is None:
+            return None
+        ids = tuple(sorted(set(self.events) | set(other.events)))
+        return EventAnswer(
+            merged,
+            ids,
+            min(self.start, other.start),
+            max(self.end, other.end),
+        )
+
+    @property
+    def span(self) -> float:
+        """Temporal extent of the answer."""
+        return self.end - self.start

@@ -1,0 +1,229 @@
+"""Composite event query algebra (Thesis 5).
+
+The four dimensions the paper requires of an event query language:
+
+1. **Data extraction** — :class:`EAtom` matches one incoming event's payload
+   with an ordinary query term, binding variables usable in the rest of the
+   rule (condition and action parts).
+2. **Event composition** — :class:`EAnd`, :class:`EOr`, :class:`ESeq`
+   (temporal sequence) and :class:`ENot` (absence within a sequence frame).
+3. **Temporal conditions** — :class:`EWithin` bounds the temporal extent of
+   a composite answer ("A and B within 1 hour"); :class:`ESeq` expresses
+   relative order ("A before B").
+4. **Event accumulation** — :class:`ECount` ("3 outages within 1 hour") and
+   :class:`EAggregate` (sliding aggregates such as "average of the last 5
+   stock prices", with an optional rise predicate).
+
+Negation is *guarded*: ``ENot`` may appear only between the members of an
+``ESeq`` (absence during the gap) or as its final member (absence until a
+deadline), and a trailing ``ENot`` needs an enclosing ``EWithin`` to supply
+the deadline.  The guard is what keeps event state finite (Thesis 4): every
+piece of partial-match state expires with its window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EventQueryError
+from repro.terms.ast import Query, free_vars
+
+
+@dataclass(frozen=True)
+class EAtom:
+    """Matches a single event whose payload matches *pattern*.
+
+    ``alias``, if given, binds the whole event payload term to a variable.
+    """
+
+    pattern: Query
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class EAnd:
+    """All member queries answered (any temporal order), bindings joined."""
+
+    members: tuple["EventQuery", ...]
+
+    def __init__(self, *members: "EventQuery") -> None:
+        object.__setattr__(self, "members", tuple(members))
+
+
+@dataclass(frozen=True)
+class EOr:
+    """Any member query answered."""
+
+    members: tuple["EventQuery", ...]
+
+    def __init__(self, *members: "EventQuery") -> None:
+        object.__setattr__(self, "members", tuple(members))
+
+
+@dataclass(frozen=True)
+class ENot:
+    """Absence of a matching event; only valid inside an :class:`ESeq`."""
+
+    pattern: Query
+
+
+@dataclass(frozen=True)
+class ESeq:
+    """Members answered in strict temporal order (gaps may be negated)."""
+
+    members: tuple["EventQuery | ENot", ...]
+
+    def __init__(self, *members: "EventQuery | ENot") -> None:
+        object.__setattr__(self, "members", tuple(members))
+
+    def positives(self) -> tuple["EventQuery", ...]:
+        return tuple(m for m in self.members if not isinstance(m, ENot))
+
+
+@dataclass(frozen=True)
+class EWithin:
+    """Answers of *query* whose temporal extent is at most *window*."""
+
+    query: "EventQuery"
+    window: float
+
+
+@dataclass(frozen=True)
+class ECount:
+    """Accumulation: *n* events matching *pattern* within *window*.
+
+    Events are grouped by the projection of their bindings onto
+    ``group_by`` (empty tuple: one global group).  An answer is emitted for
+    every matching event that completes a group of at least *n* events in
+    the sliding window, and carries the most recent *n* of them.
+    """
+
+    pattern: Query
+    n: int
+    window: float
+    group_by: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EAggregate:
+    """Accumulation: sliding aggregate of a bound scalar over matching events.
+
+    For every matching event, aggregates variable ``on`` over the last
+    ``size`` matching events (of the same ``group_by`` group) — or over the
+    events in the trailing ``window`` if ``size`` is None — and binds the
+    result to variable ``into``.
+
+    ``predicate`` optionally filters emissions:
+
+    - ``(op, value)`` with a comparison operator: emit only when
+      ``aggregate op value`` holds (e.g. ``(">", 100.0)``);
+    - ``("rise%", pct)``: emit only when the aggregate exceeds its value at
+      the previous matching event by at least ``pct`` percent (the paper's
+      "average of the last 5 stock prices rises by 5%").
+    """
+
+    pattern: Query
+    on: str
+    fn: str
+    into: str
+    size: int | None = None
+    window: float | None = None
+    group_by: tuple[str, ...] = ()
+    predicate: tuple[str, float] | None = None
+
+    _FNS = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.fn not in self._FNS:
+            raise EventQueryError(f"unknown aggregate function {self.fn!r}")
+        if (self.size is None) == (self.window is None):
+            raise EventQueryError("exactly one of size= or window= must be given")
+        if self.size is not None and self.size < 1:
+            raise EventQueryError("size must be at least 1")
+        if self.predicate is not None:
+            op = self.predicate[0]
+            if op not in ("==", "!=", "<", "<=", ">", ">=", "rise%"):
+                raise EventQueryError(f"unknown aggregate predicate {op!r}")
+
+
+#: Any event query.
+EventQuery = "EAtom | EAnd | EOr | ESeq | EWithin | ECount | EAggregate"
+
+
+def query_vars(query: "EventQuery | ENot") -> frozenset[str]:
+    """Variables an event query can bind."""
+    if isinstance(query, EAtom):
+        names = free_vars(query.pattern)
+        return names | {query.alias} if query.alias else names
+    if isinstance(query, (EAnd, EOr, ESeq)):
+        out: frozenset[str] = frozenset()
+        for member in query.members:
+            if not isinstance(member, ENot):
+                out |= query_vars(member)
+        return out
+    if isinstance(query, EWithin):
+        return query_vars(query.query)
+    if isinstance(query, ECount):
+        return frozenset(query.group_by)
+    if isinstance(query, EAggregate):
+        return frozenset(query.group_by) | {query.into}
+    if isinstance(query, ENot):
+        return frozenset()
+    raise EventQueryError(f"not an event query: {query!r}")
+
+
+def validate_query(query: "EventQuery", _window: float | None = None) -> None:
+    """Check the structural rules; raises :class:`EventQueryError`.
+
+    - composition nodes need at least one member; ``ESeq`` needs at least
+      one positive member;
+    - ``ENot`` appears only inside ``ESeq``, never first;
+    - a trailing ``ENot`` (or any ``ENot``, which needs bounded blocker
+      storage) requires an enclosing ``EWithin``;
+    - windows must be positive.
+    """
+    if isinstance(query, EAtom):
+        return
+    if isinstance(query, (EAnd, EOr)):
+        if not query.members:
+            raise EventQueryError(f"{type(query).__name__} needs at least one member")
+        for member in query.members:
+            if isinstance(member, ENot):
+                raise EventQueryError("ENot is only valid inside an ESeq")
+            validate_query(member, _window)
+        return
+    if isinstance(query, ESeq):
+        members = query.members
+        if not members or not query.positives():
+            raise EventQueryError("ESeq needs at least one positive member")
+        if isinstance(members[0], ENot):
+            raise EventQueryError("ENot cannot be the first member of an ESeq")
+        for left, right in zip(members, members[1:]):
+            if isinstance(left, ENot) and isinstance(right, ENot):
+                raise EventQueryError("adjacent ENot members are redundant; merge them")
+        has_not = any(isinstance(m, ENot) for m in members)
+        if has_not and _window is None:
+            raise EventQueryError(
+                "an ESeq containing ENot must be inside an EWithin "
+                "(the window bounds absence checking and blocker storage)"
+            )
+        for member in members:
+            if not isinstance(member, ENot):
+                validate_query(member, _window)
+        return
+    if isinstance(query, EWithin):
+        if query.window <= 0:
+            raise EventQueryError("window must be positive")
+        validate_query(query.query, query.window)
+        return
+    if isinstance(query, ECount):
+        if query.n < 1:
+            raise EventQueryError("count threshold must be at least 1")
+        if query.window <= 0:
+            raise EventQueryError("window must be positive")
+        return
+    if isinstance(query, EAggregate):
+        if query.window is not None and query.window <= 0:
+            raise EventQueryError("window must be positive")
+        return
+    raise EventQueryError(f"not an event query: {query!r}")

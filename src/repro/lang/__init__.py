@@ -1,0 +1,25 @@
+"""The surface syntax for reactive rule programs (the XChange role).
+
+A small, readable textual language for whole rules and rule programs::
+
+    RULE notify-shipment
+    ON order{{ id[var O], customer[var C] }} THEN payment{{ id[var O] }}
+    IF IN "http://shop.example/stock" : item{{ id[var O], qty[var Q] }}
+       AND var Q > 0
+    DO SEQUENCE
+         REPLACE qty[var Q] IN "http://shop.example/stock"
+                 BY qty[sub(var Q, 1)]
+         ALSO RAISE TO "http://warehouse.example" ship{ id[var O], to[var C] }
+       END
+
+Keywords are upper-case; everything lower-case inside patterns is the term
+language from :mod:`repro.terms.parser`.  ``parse_rule``/``parse_program``
+and ``rule_to_text`` round-trip (tested), which together with the term
+encoding in :mod:`repro.core.meta` gives two interchangeable wire formats
+for rule exchange (Thesis 11).
+"""
+
+from repro.lang.parser import parse_program, parse_rule
+from repro.lang.serializer import program_to_text, rule_to_text
+
+__all__ = ["parse_program", "parse_rule", "program_to_text", "rule_to_text"]

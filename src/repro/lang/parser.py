@@ -1,0 +1,429 @@
+"""Parser for the surface rule language.
+
+Builds on the term tokenizer/parser: rule keywords are UPPER-CASE
+identifiers, term patterns are parsed by the inherited term grammar from
+the same token stream.
+
+Grammar (informal)::
+
+    program   := (rule | procedure | ruleset)*
+    ruleset   := RULESET name program END
+    procedure := PROCEDURE name [params...] action
+    rule      := RULE name [FIRST]
+                 ON event
+                 ( (IF cond DO action)+ [ELSE action] | DO action [ELSE action] )
+    event     := seq (OR seq)*
+    seq       := conj (THEN [NOT pattern THEN?] conj)* [THEN NOT pattern]
+    conj      := prim (AND prim)*
+    prim      := WITHIN number ( event )
+               | COUNT int OF pattern WITHIN number [BY [vars]]
+               | AGG fn var OF pattern (LAST int | WITHIN number) INTO var
+                     [BY [vars]] [RISE number % | WHEN op number]
+               | ( event )
+               | pattern [AS var]
+    cond      := c_or;  c_or := c_and (OR c_and)*;  c_and := c_prim (AND c_prim)*
+    c_prim    := TRUE | NOT c_prim | ( cond )
+               | IN uri : pattern
+               | construct op construct          (comparison)
+    action    := SEQUENCE action (ALSO action)* END [NONATOMIC]
+               | TRY action (ELSETRY action)* END
+               | WHEN cond THEN action [ELSE action] END
+               | RAISE TO uri construct
+               | INSERT construct INTO uri AT pattern [START]
+               | DELETE pattern FROM uri
+               | REPLACE pattern IN uri BY construct
+               | PUT uri construct
+               | DELETERESOURCE uri
+               | PERSIST construct INTO uri [ROOT name]
+               | CALL name [p = construct, ...]
+               | INSTALL construct
+               | UNINSTALL (name | var X)
+    uri       := "string" | var X
+"""
+
+from __future__ import annotations
+
+from repro.core import actions as act
+from repro.core import conditions as cond
+from repro.core.rules import ECARule
+from repro.core.rulesets import RuleSet
+from repro.errors import ParseError
+from repro.events.queries import (
+    EAggregate,
+    EAnd,
+    EAtom,
+    ECount,
+    ENot,
+    EOr,
+    ESeq,
+    EWithin,
+)
+from repro.terms.ast import Var
+from repro.terms.parser import _Parser
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+_AGG_FNS = ("count", "sum", "avg", "min", "max")
+
+
+class _RuleParser(_Parser):
+    """Extends the term parser with the rule grammar."""
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _at_kw(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "ident" and token.value == word
+
+    def _eat_kw(self, word: str) -> bool:
+        if self._at_kw(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_kw(self, word: str) -> None:
+        token = self._peek()
+        if not self._eat_kw(word):
+            raise ParseError(
+                f"expected {word!r}, found {token.value or token.kind!r}",
+                token.position, token.line,
+            )
+
+    def _name(self) -> str:
+        return self._expect_label()
+
+    def _uri(self) -> "str | Var":
+        token = self._peek()
+        if token.kind == "string":
+            return self._advance().value
+        if self._at_keyword("var"):
+            self._advance()
+            return Var(self._expect("ident").value)
+        raise ParseError(
+            f"expected a URI string or var, found {token.value or token.kind!r}",
+            token.position, token.line,
+        )
+
+    def _number(self) -> float:
+        token = self._expect("number")
+        return float(token.value)
+
+    def _int(self) -> int:
+        token = self._expect("number")
+        try:
+            return int(token.value)
+        except ValueError as exc:
+            raise ParseError(f"expected an integer, found {token.value!r}",
+                             token.position, token.line) from exc
+
+    # -- events -------------------------------------------------------------------
+
+    def parse_event(self):
+        members = [self._event_seq()]
+        while self._eat_kw("OR"):
+            members.append(self._event_seq())
+        return members[0] if len(members) == 1 else EOr(*members)
+
+    def _event_seq(self):
+        members = [self._event_conj()]
+        has_seq = False
+        while self._eat_kw("THEN"):
+            has_seq = True
+            if self._eat_kw("NOT"):
+                members.append(ENot(self.parse_query()))
+                if self._eat_kw("THEN"):
+                    members.append(self._event_conj())
+            else:
+                members.append(self._event_conj())
+        return members[0] if not has_seq else ESeq(*members)
+
+    def _event_conj(self):
+        members = [self._event_prim()]
+        while self._eat_kw("AND"):
+            members.append(self._event_prim())
+        return members[0] if len(members) == 1 else EAnd(*members)
+
+    def _event_prim(self):
+        if self._eat_kw("WITHIN"):
+            window = self._number()
+            self._expect("punct", "(")
+            inner = self.parse_event()
+            self._expect("punct", ")")
+            return EWithin(inner, window)
+        if self._eat_kw("COUNT"):
+            n = self._int()
+            self._expect_kw("OF")
+            pattern = self.parse_query()
+            self._expect_kw("WITHIN")
+            window = self._number()
+            group = self._group_by()
+            return ECount(pattern, n, window, group)
+        if self._eat_kw("AGG"):
+            fn = self._expect("ident").value
+            if fn not in _AGG_FNS:
+                raise ParseError(f"unknown aggregate function {fn!r}")
+            self._expect("ident", "var")
+            on = self._expect("ident").value
+            self._expect_kw("OF")
+            pattern = self.parse_query()
+            size = None
+            window = None
+            if self._eat_kw("LAST"):
+                size = self._int()
+            else:
+                self._expect_kw("WITHIN")
+                window = self._number()
+            self._expect_kw("INTO")
+            self._expect("ident", "var")
+            into = self._expect("ident").value
+            group = self._group_by()
+            predicate = None
+            if self._eat_kw("RISE"):
+                predicate = ("rise%", self._number())
+            elif self._eat_kw("WHEN"):
+                op = self._expect("cmp").value
+                predicate = (op, self._number())
+            return EAggregate(pattern, on, fn, into, size=size, window=window,
+                              group_by=group, predicate=predicate)
+        if self._at_punct("("):
+            self._advance()
+            inner = self.parse_event()
+            self._expect("punct", ")")
+            return inner
+        pattern = self.parse_query()
+        alias = None
+        if self._eat_kw("AS"):
+            self._expect("ident", "var")
+            alias = self._expect("ident").value
+        return EAtom(pattern, alias=alias)
+
+    def _group_by(self) -> tuple[str, ...]:
+        if not self._eat_kw("BY"):
+            return ()
+        self._expect("punct", "[")
+        names = []
+        while not self._at_punct("]"):
+            names.append(self._expect("ident").value)
+            if not self._eat_punct(","):
+                break
+        self._expect("punct", "]")
+        return tuple(names)
+
+    # -- conditions -------------------------------------------------------------------
+
+    def parse_condition(self):
+        members = [self._cond_and()]
+        while self._eat_kw("OR"):
+            members.append(self._cond_and())
+        return members[0] if len(members) == 1 else cond.OrCond(*members)
+
+    def _cond_and(self):
+        members = [self._cond_prim()]
+        while self._eat_kw("AND"):
+            members.append(self._cond_prim())
+        return members[0] if len(members) == 1 else cond.AndCond(*members)
+
+    def _cond_prim(self):
+        if self._eat_kw("TRUE"):
+            return cond.TrueCond()
+        if self._eat_kw("NOT"):
+            return cond.NotCond(self._cond_prim())
+        if self._at_punct("("):
+            self._advance()
+            inner = self.parse_condition()
+            self._expect("punct", ")")
+            return inner
+        if self._eat_kw("IN"):
+            uri = self._uri()
+            self._expect("punct", ":")
+            query = self.parse_query()
+            return cond.QueryCond(uri, query)
+        # comparison: construct op construct
+        lhs = self.parse_construct()
+        token = self._peek()
+        if token.kind != "cmp":
+            raise ParseError(
+                f"expected a comparison operator, found {token.value or token.kind!r}",
+                token.position, token.line,
+            )
+        op = self._advance().value
+        rhs = self.parse_construct()
+        return cond.CompareCond(lhs, op, rhs)
+
+    # -- actions -----------------------------------------------------------------------
+
+    def parse_action(self):
+        if self._eat_kw("SEQUENCE"):
+            steps = [self.parse_action()]
+            while self._eat_kw("ALSO"):
+                steps.append(self.parse_action())
+            self._expect_kw("END")
+            atomic = not self._eat_kw("NONATOMIC")
+            return act.Sequence(*steps, atomic=atomic)
+        if self._eat_kw("TRY"):
+            options = [self.parse_action()]
+            while self._eat_kw("ELSETRY"):
+                options.append(self.parse_action())
+            self._expect_kw("END")
+            return act.Alternative(*options)
+        if self._eat_kw("WHEN"):
+            condition = self.parse_condition()
+            self._expect_kw("THEN")
+            then = self.parse_action()
+            otherwise = self.parse_action() if self._eat_kw("ELSE") else None
+            self._expect_kw("END")
+            return act.Conditional(condition, then, otherwise)
+        if self._eat_kw("RAISE"):
+            self._expect_kw("TO")
+            to = self._uri()
+            return act.Raise(to, self.parse_construct())
+        if self._eat_kw("INSERT"):
+            payload = self.parse_construct()
+            self._expect_kw("INTO")
+            uri = self._uri()
+            self._expect_kw("AT")
+            target = self.parse_query()
+            position = "start" if self._eat_kw("START") else "end"
+            return act.Update(uri, "insert", target, payload, position)
+        if self._eat_kw("DELETE"):
+            target = self.parse_query()
+            self._expect_kw("FROM")
+            return act.Update(self._uri(), "delete", target)
+        if self._eat_kw("REPLACE"):
+            target = self.parse_query()
+            self._expect_kw("IN")
+            uri = self._uri()
+            self._expect_kw("BY")
+            return act.Update(uri, "replace", target, self.parse_construct())
+        if self._eat_kw("PUT"):
+            uri = self._uri()
+            return act.PutResource(uri, self.parse_construct())
+        if self._eat_kw("DELETERESOURCE"):
+            return act.DeleteResource(self._uri())
+        if self._eat_kw("PERSIST"):
+            content = self.parse_construct()
+            self._expect_kw("INTO")
+            uri = self._uri()
+            root = self._name() if self._eat_kw("ROOT") else "log"
+            return act.Persist(uri, content, root)
+        if self._eat_kw("CALL"):
+            name = self._name()
+            args = []
+            if self._eat_punct("("):
+                while not self._at_punct(")"):
+                    param = self._expect("ident").value
+                    self._expect("eq")
+                    args.append((param, self.parse_construct()))
+                    if not self._eat_punct(","):
+                        break
+                self._expect("punct", ")")
+            return act.CallProcedure(name, tuple(args))
+        if self._eat_kw("INSTALL"):
+            return act.InstallRule(self.parse_construct())
+        if self._eat_kw("UNINSTALL"):
+            if self._at_keyword("var"):
+                self._advance()
+                return act.UninstallRule(Var(self._expect("ident").value))
+            return act.UninstallRule(self._name())
+        token = self._peek()
+        raise ParseError(
+            f"expected an action keyword, found {token.value or token.kind!r}",
+            token.position, token.line,
+        )
+
+    # -- rules -------------------------------------------------------------------------
+
+    def parse_one_rule(self) -> ECARule:
+        self._expect_kw("RULE")
+        name = self._name()
+        firing = "first" if self._eat_kw("FIRST") else "all"
+        self._expect_kw("ON")
+        event = self.parse_event()
+        branches = []
+        otherwise = None
+        while self._eat_kw("IF"):
+            condition = self.parse_condition()
+            self._expect_kw("DO")
+            branches.append((condition, self.parse_action()))
+        if not branches:
+            self._expect_kw("DO")
+            branches.append((None, self.parse_action()))
+        if self._eat_kw("ELSE"):
+            otherwise = self.parse_action()
+        return ECARule(name, event, tuple(branches), otherwise, firing)
+
+    def parse_program_items(self, toplevel: bool = True):
+        """Yield rules / (name, params, action) procedures / RuleSets."""
+        items = []
+        while True:
+            if self._at_kw("RULE"):
+                items.append(self.parse_one_rule())
+            elif self._at_kw("PROCEDURE"):
+                self._advance()
+                name = self._name()
+                params = []
+                self._expect("punct", "(")
+                while not self._at_punct(")"):
+                    params.append(self._expect("ident").value)
+                    if not self._eat_punct(","):
+                        break
+                self._expect("punct", ")")
+                items.append(("procedure", name, tuple(params), self.parse_action()))
+            elif self._at_kw("RULESET"):
+                self._advance()
+                name = self._name()
+                ruleset = RuleSet(name)
+                for item in self.parse_program_items(toplevel=False):
+                    if isinstance(item, ECARule):
+                        ruleset.add(item)
+                    elif isinstance(item, RuleSet):
+                        child = ruleset.subset(item.name)
+                        _merge_ruleset(child, item)
+                    else:
+                        raise ParseError("procedures must be declared at top level")
+                self._expect_kw("END")
+                items.append(ruleset)
+            else:
+                if not toplevel:
+                    return items
+                token = self._peek()
+                if token.kind == "end":
+                    return items
+                raise ParseError(
+                    f"expected RULE/PROCEDURE/RULESET, found {token.value or token.kind!r}",
+                    token.position, token.line,
+                )
+
+
+def _merge_ruleset(target: RuleSet, source: RuleSet) -> None:
+    for name, rule in source._rules.items():
+        target.add(rule)
+    for name, child in source._children.items():
+        _merge_ruleset(target.subset(name), child)
+
+
+def parse_rule(text: str) -> ECARule:
+    """Parse a single ``RULE ...`` definition."""
+    parser = _RuleParser(text)
+    rule = parser.parse_one_rule()
+    parser.expect_end()
+    return rule
+
+
+def parse_program(text: str) -> list:
+    """Parse a whole program: rules, procedures, and rule sets.
+
+    Returns a list whose items are :class:`ECARule`, :class:`RuleSet`, or
+    ``("procedure", name, params, action)`` tuples, in source order.
+    Install them on an engine with::
+
+        for item in parse_program(src):
+            if isinstance(item, tuple):
+                engine.define_procedure(item[1], item[2], item[3])
+            else:
+                engine.install(item)
+    """
+    parser = _RuleParser(text)
+    items = parser.parse_program_items()
+    parser.expect_end()
+    return items

@@ -1,0 +1,94 @@
+"""Term data model: the library's single representation for Web data.
+
+This package realises Thesis 7's "language coherency": one term language is
+used for persistent Web documents (data terms), for querying both documents
+and event payloads (query terms), and for building new data, messages, and
+update payloads (construct terms).
+
+Public API
+----------
+- :mod:`repro.terms.ast` — term classes (``Data``, ``Var``, ``QTerm``, ...)
+- :mod:`repro.terms.simulation` — the matcher (simulation unification)
+- :mod:`repro.terms.construct` — answer construction with grouping
+- :mod:`repro.terms.parser` — textual syntax (parse/serialise round-trip)
+- :mod:`repro.terms.rdf` — RDF triples, RDFS inference, term bridge
+"""
+
+from repro.terms.ast import (
+    Agg,
+    All,
+    Bindings,
+    Child,
+    Compare,
+    Construct,
+    CTerm,
+    Data,
+    Desc,
+    EMPTY_BINDINGS,
+    Fn,
+    LabelVar,
+    Optional_,
+    QTerm,
+    Query,
+    RegexMatch,
+    Scalar,
+    Var,
+    Without,
+    all_vars,
+    c,
+    canonical_str,
+    d,
+    free_vars,
+    is_scalar,
+    q,
+    u,
+    values_equal,
+)
+from repro.terms.construct import instantiate, instantiate_all, register_function
+from repro.terms.parser import (
+    parse_construct,
+    parse_data,
+    parse_query,
+    to_text,
+)
+from repro.terms.simulation import match, matches
+
+__all__ = [
+    "Agg",
+    "All",
+    "Bindings",
+    "Child",
+    "Compare",
+    "Construct",
+    "CTerm",
+    "Data",
+    "Desc",
+    "EMPTY_BINDINGS",
+    "Fn",
+    "LabelVar",
+    "Optional_",
+    "QTerm",
+    "Query",
+    "RegexMatch",
+    "Scalar",
+    "Var",
+    "Without",
+    "all_vars",
+    "c",
+    "canonical_str",
+    "d",
+    "free_vars",
+    "instantiate",
+    "instantiate_all",
+    "is_scalar",
+    "match",
+    "matches",
+    "parse_construct",
+    "parse_data",
+    "parse_query",
+    "q",
+    "register_function",
+    "to_text",
+    "u",
+    "values_equal",
+]

@@ -1,0 +1,557 @@
+"""Term classes: data terms, query terms, and construct terms.
+
+The term model follows the Xcerpt design the paper builds on (Theses 5-9):
+
+- *Data terms* represent persistent Web data (XML-ish labelled trees) and
+  event payloads.  A data term has a label, attributes, and children that are
+  either nested data terms or scalar leaves; children may be *ordered* (like
+  an XML document) or *unordered* (like a database relation).
+- *Query terms* are patterns matched against data terms by simulation
+  unification (:mod:`repro.terms.simulation`).  A query term is *total*
+  (matches all children of a node) or *partial* (matches a sub-multiset), and
+  ordered or unordered, giving the four matching modes of Xcerpt
+  (``{ }``, ``{{ }}``, ``[ ]``, ``[[ ]]``).
+- *Construct terms* build new data terms from variable bindings
+  (:mod:`repro.terms.construct`), including grouping (``all``) and
+  aggregation.
+
+All classes are immutable (frozen dataclasses) so terms can be shared freely
+between resources, events, and rule state, and used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Union
+
+from repro.errors import QueryError, TermError
+
+# ---------------------------------------------------------------------------
+# Scalars
+# ---------------------------------------------------------------------------
+
+#: Scalar leaf values allowed as children of data terms.
+Scalar = Union[str, int, float, bool]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def is_scalar(value: object) -> bool:
+    """Return True if *value* is a scalar leaf (str, int, float, or bool)."""
+    return isinstance(value, _SCALAR_TYPES)
+
+
+# ---------------------------------------------------------------------------
+# Data terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Data:
+    """An immutable data term: ``label[attrs]{children}``.
+
+    Parameters
+    ----------
+    label:
+        Non-empty element name.
+    children:
+        Tuple of child terms; each child is a :class:`Data` or a scalar.
+    ordered:
+        Whether the order of children is significant (XML-like) or not
+        (relation-like).  Matching and structural equality respect this.
+    attrs:
+        Attribute name/value pairs, stored sorted by name.
+    """
+
+    label: str
+    children: tuple["Child", ...] = ()
+    ordered: bool = True
+    attrs: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise TermError(f"data term label must be a non-empty string, got {self.label!r}")
+        for child in self.children:
+            if not isinstance(child, Data) and not is_scalar(child):
+                raise TermError(f"invalid data term child: {child!r}")
+        sorted_attrs = tuple(sorted(self.attrs))
+        for key, value in sorted_attrs:
+            if not isinstance(key, str) or not isinstance(value, str):
+                raise TermError(f"attributes must be str pairs, got {(key, value)!r}")
+        object.__setattr__(self, "attrs", sorted_attrs)
+
+    # -- inspection ---------------------------------------------------------
+
+    def attr(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute *name*, or *default*."""
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def value(self) -> Scalar | None:
+        """The single scalar child, if this term wraps exactly one scalar."""
+        if len(self.children) == 1 and is_scalar(self.children[0]):
+            return self.children[0]  # type: ignore[return-value]
+        return None
+
+    def first(self, label: str) -> "Data | None":
+        """Return the first direct child data term with the given label."""
+        for child in self.children:
+            if isinstance(child, Data) and child.label == label:
+                return child
+        return None
+
+    def all(self, label: str) -> tuple["Data", ...]:
+        """Return all direct child data terms with the given label."""
+        return tuple(
+            child for child in self.children if isinstance(child, Data) and child.label == label
+        )
+
+    def subterms(self) -> Iterator["Data"]:
+        """Yield this term and all descendant data terms, pre-order."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Data):
+                yield from child.subterms()
+
+    def size(self) -> int:
+        """Total number of nodes (data terms and scalar leaves)."""
+        total = 1
+        for child in self.children:
+            total += child.size() if isinstance(child, Data) else 1
+        return total
+
+    def depth(self) -> int:
+        """Height of the term tree (a leaf term has depth 1)."""
+        best = 0
+        for child in self.children:
+            if isinstance(child, Data):
+                best = max(best, child.depth())
+        return best + 1
+
+    # -- functional updates --------------------------------------------------
+
+    def with_children(self, children: tuple["Child", ...]) -> "Data":
+        """Return a copy with *children* replacing the current children."""
+        return Data(self.label, children, self.ordered, self.attrs)
+
+    def with_attr(self, name: str, value: str) -> "Data":
+        """Return a copy with attribute *name* set to *value*."""
+        attrs = tuple((k, v) for k, v in self.attrs if k != name) + ((name, value),)
+        return Data(self.label, self.children, self.ordered, attrs)
+
+    def append(self, *new_children: "Child") -> "Data":
+        """Return a copy with *new_children* appended."""
+        return self.with_children(self.children + tuple(new_children))
+
+    # -- canonical form ------------------------------------------------------
+
+    def canonical(self) -> "Data":
+        """Return a canonical form: unordered children sorted recursively.
+
+        Two data terms are semantically equal iff their canonical forms are
+        structurally equal; see :func:`values_equal`.
+        """
+        kids = tuple(c.canonical() if isinstance(c, Data) else c for c in self.children)
+        if not self.ordered:
+            kids = tuple(sorted(kids, key=canonical_str))
+        return Data(self.label, kids, self.ordered, self.attrs)
+
+    def __str__(self) -> str:
+        return canonical_str(self)
+
+
+#: A child of a data term: nested term or scalar leaf.
+Child = Union[Data, Scalar]
+
+
+def d(label: str, *children: Child, ordered: bool = True, **attrs: str) -> Data:
+    """Convenience factory for data terms.
+
+    >>> d("book", d("title", "TAPL"), d("year", 2002), lang="en").label
+    'book'
+    """
+    return Data(label, tuple(children), ordered, tuple(sorted(attrs.items())))
+
+
+def u(label: str, *children: Child, **attrs: str) -> Data:
+    """Convenience factory for *unordered* data terms."""
+    return Data(label, tuple(children), False, tuple(sorted(attrs.items())))
+
+
+def canonical_str(child: Child) -> str:
+    """Deterministic string form of a child, used for sorting and equality.
+
+    Scalars are tagged with their type so ``1`` and ``"1"`` and ``True``
+    stay distinct.  Memoised per (immutable) data term: canonicalisation is
+    on the hot path of fact deduplication and unordered comparison.
+    """
+    if isinstance(child, Data):
+        cached = child.__dict__.get("_canonical_str")
+        if cached is not None:
+            return cached
+        attrs = "".join(f"@{k}={v};" for k, v in child.attrs)
+        parts = [canonical_str(c) for c in child.children]
+        if not child.ordered:
+            parts.sort()
+        braces = "[%s]" if child.ordered else "{%s}"
+        text = child.label + attrs + (braces % ",".join(parts))
+        object.__setattr__(child, "_canonical_str", text)
+        return text
+    if isinstance(child, bool):
+        return f"b:{child}"
+    if isinstance(child, int):
+        return f"i:{child}"
+    if isinstance(child, float):
+        return f"f:{child!r}"
+    return f"s:{child}"
+
+
+def values_equal(left: Child, right: Child) -> bool:
+    """Semantic equality of term values (unordered children order-blind)."""
+    if isinstance(left, Data) and isinstance(right, Data):
+        return canonical_str(left) == canonical_str(right)
+    if isinstance(left, Data) or isinstance(right, Data):
+        return False
+    # bool is an int subtype: require matching boolean-ness, allow 1 == 1.0.
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    return type(left) is type(right) and left == right if isinstance(left, str) else left == right
+
+
+# ---------------------------------------------------------------------------
+# Bindings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Bindings:
+    """An immutable set of variable bindings produced by matching.
+
+    A binding maps a variable name to a term value (data term or scalar).
+    Bindings are hashable, so answer sets can be deduplicated with ``set``.
+    """
+
+    items: tuple[tuple[str, Child], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(sorted(self.items, key=lambda kv: kv[0])))
+
+    @staticmethod
+    def of(**values: Child) -> "Bindings":
+        """Build bindings from keyword arguments."""
+        return Bindings(tuple(values.items()))
+
+    def get(self, name: str, default: Child | None = None) -> Child | None:
+        """Return the value bound to *name*, or *default*."""
+        for key, value in self.items:
+            if key == name:
+                return value
+        return default
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self.items)
+
+    def __getitem__(self, name: str) -> Child:
+        for key, value in self.items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:  # an empty Bindings is still a valid answer
+        return True
+
+    @property
+    def names(self) -> frozenset[str]:
+        """The set of bound variable names."""
+        return frozenset(key for key, _ in self.items)
+
+    def bind(self, name: str, value: Child) -> "Bindings | None":
+        """Extend with ``name -> value``; None if *name* is bound differently."""
+        current = self.get(name, _MISSING)
+        if current is _MISSING:
+            return Bindings(self.items + ((name, value),))
+        return self if values_equal(current, value) else None  # type: ignore[arg-type]
+
+    def merge(self, other: "Bindings") -> "Bindings | None":
+        """Combine two binding sets; None if they disagree on any variable."""
+        merged: Bindings | None = self
+        for key, value in other.items:
+            merged = merged.bind(key, value)
+            if merged is None:
+                return None
+        return merged
+
+    def project(self, names: frozenset[str] | set[str]) -> "Bindings":
+        """Restrict to the given variable names."""
+        return Bindings(tuple((k, v) for k, v in self.items if k in names))
+
+    def as_dict(self) -> dict[str, Child]:
+        """Return a plain dict copy of the bindings."""
+        return dict(self.items)
+
+
+_MISSING = object()
+
+#: The empty binding set (a successful match that bound nothing).
+EMPTY_BINDINGS = Bindings()
+
+
+# ---------------------------------------------------------------------------
+# Query terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabelVar:
+    """A variable in label position: ``^X{...}`` binds X to the label."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Var:
+    """A term variable: ``var X`` or the restricted form ``var X -> q``.
+
+    Matches any child term (or, restricted, any child matching ``inner``)
+    and binds it to *name*.
+    """
+
+    name: str
+    inner: "Query | None" = None
+
+
+@dataclass(frozen=True)
+class Desc:
+    """``desc q``: matches a term if *q* matches it or any descendant."""
+
+    inner: "Query"
+
+
+@dataclass(frozen=True)
+class Without:
+    """Subterm negation: as a child pattern, asserts *no* sibling matches."""
+
+    inner: "Query"
+
+
+@dataclass(frozen=True)
+class Optional_:
+    """Optional child pattern: matches one child if possible, else nothing.
+
+    When the child is absent and *default* is given, variables inside a plain
+    ``Var`` pattern are bound to the default value.
+    """
+
+    inner: "Query"
+    default: Child | None = None
+
+
+@dataclass(frozen=True)
+class Compare:
+    """Scalar comparison pattern: matches a scalar child satisfying ``op``.
+
+    ``rhs`` may be a scalar or a :class:`Var`; a variable must already be
+    bound when the comparison is evaluated.
+    """
+
+    op: str
+    rhs: "Scalar | Var"
+
+    _OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class RegexMatch:
+    """Matches a string child against a regular expression (full match)."""
+
+    pattern: str
+
+
+@dataclass(frozen=True)
+class QTerm:
+    """A structured query term.
+
+    ``total`` selects whether all children of the data term must be matched
+    (curly single braces in Xcerpt) or only a subset (double braces);
+    ``ordered`` selects whether query children must appear in document order.
+    Attributes always match partially: listed attributes must be present and
+    agree, extra attributes on the data term are ignored.
+    """
+
+    label: "str | LabelVar"
+    children: tuple["Query", ...] = ()
+    ordered: bool = True
+    total: bool = True
+    attrs: tuple[tuple[str, "str | Var"], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.label, str) and not self.label:
+            raise QueryError("query term label must be non-empty")
+        if self.ordered and self.total:
+            for child in self.children:
+                if isinstance(child, Without):
+                    raise QueryError(
+                        "'without' is not allowed in an ordered total term; "
+                        "use a partial ({{ }} or [[ ]]) or unordered term"
+                    )
+
+
+#: Any query pattern (scalars match equal scalar leaves).
+Query = Union[QTerm, Var, Desc, Without, Optional_, Compare, RegexMatch, Scalar, Data]
+
+
+def q(
+    label: "str | LabelVar",
+    *children: "Query",
+    ordered: bool = False,
+    total: bool = False,
+    **attrs: "str | Var",
+) -> QTerm:
+    """Convenience factory for query terms (default: unordered partial)."""
+    return QTerm(label, tuple(children), ordered, total, tuple(sorted(attrs.items())))
+
+
+# ---------------------------------------------------------------------------
+# Construct terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CTerm:
+    """A structured construct term: builds a :class:`Data` when instantiated."""
+
+    label: "str | Var"
+    children: tuple["Construct", ...] = ()
+    ordered: bool = True
+    attrs: tuple[tuple[str, "str | Var | Fn"], ...] = ()
+
+
+@dataclass(frozen=True)
+class All:
+    """Grouping construct: ``all c`` instantiates *c* once per distinct
+    binding of its free variables across the alternative bindings of the
+    query part (Xcerpt's grouping semantics).
+
+    ``order_by`` names variables whose values determine the output order;
+    without it, groups appear in first-seen order.
+    """
+
+    inner: "Construct"
+    order_by: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Agg:
+    """Aggregation over grouped bindings: ``count(var X)``, ``avg(var X)``...
+
+    Supported functions: count, sum, avg, min, max, first, last.
+    """
+
+    fn: str
+    var: str
+
+    _FNS = ("count", "sum", "avg", "min", "max", "first", "last")
+
+    def __post_init__(self) -> None:
+        if self.fn not in self._FNS:
+            raise TermError(f"unknown aggregation function {self.fn!r}")
+
+
+@dataclass(frozen=True)
+class Fn:
+    """A scalar function application over construct arguments.
+
+    The function registry lives in :mod:`repro.terms.construct`; built-ins
+    include add, sub, mul, div, mod, concat, lower, upper, str, num.
+    """
+
+    name: str
+    args: tuple["Construct", ...] = ()
+
+
+#: Any construct term (scalars and ground data terms construct themselves).
+Construct = Union[CTerm, All, Agg, Fn, Var, Scalar, Data]
+
+
+def c(label: "str | Var", *children: "Construct", ordered: bool = True,
+      **attrs: "str | Var") -> CTerm:
+    """Convenience factory for construct terms."""
+    return CTerm(label, tuple(children), ordered, tuple(sorted(attrs.items())))
+
+
+# ---------------------------------------------------------------------------
+# Variable analysis
+# ---------------------------------------------------------------------------
+
+
+def free_vars(term: "Query | Construct") -> frozenset[str]:
+    """Variables bound by (queries) or required by (constructs) *term*.
+
+    For query terms, variables under ``Without`` are *not* free: negated
+    subterms are locally scoped and produce no bindings.  Label variables
+    count as free.
+    """
+    names: set[str] = set()
+    _collect_vars(term, names, include_negated=False)
+    return frozenset(names)
+
+
+def all_vars(term: "Query | Construct") -> frozenset[str]:
+    """All variable names occurring anywhere in *term*, negation included."""
+    names: set[str] = set()
+    _collect_vars(term, names, include_negated=True)
+    return frozenset(names)
+
+
+def _collect_vars(term: object, out: set[str], include_negated: bool) -> None:
+    if isinstance(term, Var):
+        out.add(term.name)
+        if term.inner is not None:
+            _collect_vars(term.inner, out, include_negated)
+    elif isinstance(term, LabelVar):
+        out.add(term.name)
+    elif isinstance(term, QTerm):
+        if isinstance(term.label, LabelVar):
+            out.add(term.label.name)
+        for _, value in term.attrs:
+            if isinstance(value, Var):
+                out.add(value.name)
+        for child in term.children:
+            _collect_vars(child, out, include_negated)
+    elif isinstance(term, CTerm):
+        if isinstance(term.label, Var):
+            out.add(term.label.name)
+        for _, value in term.attrs:
+            if isinstance(value, (Var, Fn)):
+                _collect_vars(value, out, include_negated)
+        for child in term.children:
+            _collect_vars(child, out, include_negated)
+    elif isinstance(term, Desc):
+        _collect_vars(term.inner, out, include_negated)
+    elif isinstance(term, Without):
+        if include_negated:
+            _collect_vars(term.inner, out, include_negated)
+    elif isinstance(term, Optional_):
+        _collect_vars(term.inner, out, include_negated)
+    elif isinstance(term, Compare):
+        if isinstance(term.rhs, Var):
+            out.add(term.rhs.name)
+    elif isinstance(term, All):
+        _collect_vars(term.inner, out, include_negated)
+        out.update(term.order_by)
+    elif isinstance(term, Agg):
+        out.add(term.var)
+    elif isinstance(term, Fn):
+        for arg in term.args:
+            _collect_vars(arg, out, include_negated)
+    # Data, scalars, RegexMatch: no variables.

@@ -1,0 +1,361 @@
+"""Construction of data terms from construct terms and bindings.
+
+The construction side of the query language (Theses 7-8): rule actions and
+event-raising build new data terms from the bindings collected by event and
+condition queries.  Supports Xcerpt-style grouping (``all``), aggregation
+over groups, and scalar functions.
+
+Two entry points:
+
+- :func:`instantiate` — build from a single binding set (no grouping
+  context; ``all`` raises).
+- :func:`instantiate_all` — build from a *list* of alternative binding sets;
+  ``all`` sub-constructs expand per distinct projection onto their free
+  variables, and aggregations fold over the alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ConstructError, UnboundVariableError
+from repro.terms.ast import (
+    Agg,
+    All,
+    Bindings,
+    Child,
+    Construct,
+    CTerm,
+    Data,
+    Fn,
+    Scalar,
+    Var,
+    canonical_str,
+    free_vars,
+    is_scalar,
+    values_equal,
+)
+
+# ---------------------------------------------------------------------------
+# Scalar function registry
+# ---------------------------------------------------------------------------
+
+FunctionImpl = Callable[..., Scalar]
+
+_FUNCTIONS: dict[str, FunctionImpl] = {}
+
+
+def register_function(name: str, impl: FunctionImpl) -> None:
+    """Register a scalar function usable as ``Fn(name, args)`` in constructs."""
+    if name in _FUNCTIONS:
+        raise ConstructError(f"function {name!r} already registered")
+    _FUNCTIONS[name] = impl
+
+
+def _num(value: Child, fn: str) -> float | int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConstructError(f"{fn}: expected a number, got {value!r}")
+    return value
+
+
+def _builtin_add(*args: Child) -> Scalar:
+    return sum(_num(a, "add") for a in args)
+
+
+def _builtin_sub(a: Child, b: Child) -> Scalar:
+    return _num(a, "sub") - _num(b, "sub")
+
+
+def _builtin_mul(*args: Child) -> Scalar:
+    out: float | int = 1
+    for a in args:
+        out *= _num(a, "mul")
+    return out
+
+
+def _builtin_div(a: Child, b: Child) -> Scalar:
+    denominator = _num(b, "div")
+    if denominator == 0:
+        raise ConstructError("div: division by zero")
+    return _num(a, "div") / denominator
+
+
+def _builtin_mod(a: Child, b: Child) -> Scalar:
+    denominator = _num(b, "mod")
+    if denominator == 0:
+        raise ConstructError("mod: division by zero")
+    return _num(a, "mod") % denominator
+
+
+def _builtin_concat(*args: Child) -> Scalar:
+    parts = []
+    for a in args:
+        if isinstance(a, Data):
+            raise ConstructError(f"concat: expected a scalar, got term {a.label!r}")
+        parts.append(str(a))
+    return "".join(parts)
+
+
+def _builtin_lower(a: Child) -> Scalar:
+    if not isinstance(a, str):
+        raise ConstructError(f"lower: expected a string, got {a!r}")
+    return a.lower()
+
+
+def _builtin_upper(a: Child) -> Scalar:
+    if not isinstance(a, str):
+        raise ConstructError(f"upper: expected a string, got {a!r}")
+    return a.upper()
+
+
+def _builtin_str(a: Child) -> Scalar:
+    if isinstance(a, Data):
+        return canonical_str(a)
+    return str(a)
+
+
+def _builtin_num(a: Child) -> Scalar:
+    if isinstance(a, (int, float)) and not isinstance(a, bool):
+        return a
+    if isinstance(a, str):
+        try:
+            return int(a)
+        except ValueError:
+            try:
+                return float(a)
+            except ValueError as exc:
+                raise ConstructError(f"num: cannot parse {a!r}") from exc
+    raise ConstructError(f"num: cannot convert {a!r}")
+
+
+for _name, _impl in [
+    ("add", _builtin_add),
+    ("sub", _builtin_sub),
+    ("mul", _builtin_mul),
+    ("div", _builtin_div),
+    ("mod", _builtin_mod),
+    ("concat", _builtin_concat),
+    ("lower", _builtin_lower),
+    ("upper", _builtin_upper),
+    ("str", _builtin_str),
+    ("num", _builtin_num),
+]:
+    _FUNCTIONS[_name] = _impl
+
+
+# ---------------------------------------------------------------------------
+# Instantiation
+# ---------------------------------------------------------------------------
+
+
+def instantiate(construct: Construct, bindings: Bindings) -> Child:
+    """Build a data term (or scalar) from *construct* under one binding set.
+
+    Raises :class:`UnboundVariableError` for unbound variables and
+    :class:`ConstructError` if the construct needs a grouping context
+    (``all`` or an aggregation) — use :func:`instantiate_all` for those.
+    """
+    return _build(construct, bindings, None)
+
+
+def instantiate_all(construct: Construct, alternatives: Sequence[Bindings]) -> Child:
+    """Build from *alternatives*, expanding ``all`` and aggregations.
+
+    Variables outside ``all``/aggregations take the value on which *all*
+    alternatives agree (variables with disagreeing values are treated as
+    unbound outside a grouping context — group them with ``all`` instead).
+    An empty alternative list yields empty groups and zero-counts.
+    """
+    return _build(construct, _common_bindings(alternatives), list(alternatives))
+
+
+def _common_bindings(alternatives: Sequence[Bindings]) -> Bindings:
+    """The bindings shared (with equal values) by every alternative."""
+    if not alternatives:
+        return Bindings()
+    common = alternatives[0]
+    for alt in alternatives[1:]:
+        agreed = [
+            (name, value)
+            for name, value in common.items
+            if name in alt and values_equal(alt[name], value)
+        ]
+        common = Bindings(tuple(agreed))
+        if not common.items:
+            break
+    return common
+
+
+def _build(
+    construct: Construct, b: Bindings, alternatives: list[Bindings] | None
+) -> Child:
+    if is_scalar(construct):
+        return construct  # type: ignore[return-value]
+    if isinstance(construct, Data):
+        return construct
+    if isinstance(construct, Var):
+        value = b.get(construct.name, _MISSING)
+        if value is _MISSING:
+            raise UnboundVariableError(construct.name)
+        return value  # type: ignore[return-value]
+    if isinstance(construct, Fn):
+        return _apply_fn(construct, b, alternatives)
+    if isinstance(construct, Agg):
+        return _aggregate(construct, b, alternatives)
+    if isinstance(construct, All):
+        raise ConstructError(
+            "'all' can only appear inside a structured construct term "
+            "instantiated with instantiate_all"
+        )
+    if isinstance(construct, CTerm):
+        return _build_cterm(construct, b, alternatives)
+    raise ConstructError(f"not a construct term: {construct!r}")
+
+
+def _build_cterm(
+    construct: CTerm, b: Bindings, alternatives: list[Bindings] | None
+) -> Data:
+    label = construct.label
+    if isinstance(label, Var):
+        value = b.get(label.name, _MISSING)
+        if value is _MISSING:
+            raise UnboundVariableError(label.name)
+        if not isinstance(value, str):
+            raise ConstructError(f"label variable {label.name!r} bound to non-string {value!r}")
+        label = value
+    attrs = []
+    for key, want in construct.attrs:
+        if isinstance(want, (Var, Fn)):
+            value = _build(want, b, alternatives)
+            if isinstance(value, Data):
+                raise ConstructError(f"attribute {key!r} bound to a structured term")
+            attrs.append((key, str(value)))
+        else:
+            attrs.append((key, want))
+    children: list[Child] = []
+    for child in construct.children:
+        if isinstance(child, All):
+            children.extend(_expand_all(child, b, alternatives))
+        else:
+            children.append(_build(child, b, alternatives))
+    return Data(label, tuple(children), construct.ordered, tuple(attrs))
+
+
+def _grouping_vars(construct: Construct) -> frozenset[str]:
+    """Variables of *construct* outside any nested ``all``/aggregation scope.
+
+    These determine the group key of an ``all``: variables that only occur
+    under a nested ``all`` or aggregation are grouped at that deeper level
+    and must not split the outer groups.
+    """
+    out: set[str] = set()
+    _collect_grouping(construct, out)
+    return frozenset(out)
+
+
+def _collect_grouping(term: Construct, out: set[str]) -> None:
+    if isinstance(term, Var):
+        out.add(term.name)
+    elif isinstance(term, CTerm):
+        if isinstance(term.label, Var):
+            out.add(term.label.name)
+        for _, value in term.attrs:
+            if isinstance(value, Var):
+                out.add(value.name)
+            elif isinstance(value, Fn):
+                _collect_grouping(value, out)
+        for child in term.children:
+            _collect_grouping(child, out)
+    elif isinstance(term, Fn):
+        for arg in term.args:
+            _collect_grouping(arg, out)
+    # All and Agg introduce a deeper grouping scope; Data/scalars bind nothing.
+
+
+def _expand_all(
+    group: All, b: Bindings, alternatives: list[Bindings] | None
+) -> list[Child]:
+    if alternatives is None:
+        raise ConstructError("'all' needs a grouping context (instantiate_all)")
+    group_vars = _grouping_vars(group.inner) | set(group.order_by)
+    compatible = [alt for alt in alternatives if b.merge(alt) is not None]
+    # One output child per distinct projection of the alternatives onto the
+    # free variables of the grouped construct (Xcerpt grouping semantics).
+    buckets: dict[Bindings, list[Bindings]] = {}
+    order: list[Bindings] = []
+    for alt in compatible:
+        key = alt.project(group_vars)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(alt)
+    if group.order_by:
+        def sort_key(key: Bindings) -> tuple[object, ...]:
+            return tuple(_orderable(key.get(name)) for name in group.order_by)
+
+        order = sorted(order, key=sort_key)
+    out: list[Child] = []
+    for key in order:
+        merged = b.merge(key)
+        if merged is None:
+            continue
+        out.append(_build(group.inner, merged, buckets[key]))
+    return out
+
+
+def _orderable(value: Child | None) -> tuple[int, object]:
+    """A total order over heterogeneous term values for ``order_by``."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    return (4, canonical_str(value))
+
+
+def _aggregate(agg: Agg, b: Bindings, alternatives: list[Bindings] | None) -> Scalar:
+    if alternatives is None:
+        raise ConstructError(f"{agg.fn}(var {agg.var}) needs a grouping context")
+    compatible = [alt for alt in alternatives if b.merge(alt) is not None]
+    values = [alt[agg.var] for alt in compatible if agg.var in alt]
+    if agg.fn == "count":
+        return len(values)
+    if not values:
+        raise ConstructError(f"{agg.fn}: no values for variable {agg.var!r}")
+    if agg.fn == "first":
+        return _scalar_only(values[0], agg.fn)
+    if agg.fn == "last":
+        return _scalar_only(values[-1], agg.fn)
+    numbers = [_num(v, agg.fn) for v in values]
+    if agg.fn == "sum":
+        return sum(numbers)
+    if agg.fn == "avg":
+        return sum(numbers) / len(numbers)
+    if agg.fn == "min":
+        return min(numbers)
+    return max(numbers)
+
+
+def _scalar_only(value: Child, fn: str) -> Scalar:
+    if isinstance(value, Data):
+        raise ConstructError(f"{fn}: expected a scalar, got term {value.label!r}")
+    return value
+
+
+def _apply_fn(fn: Fn, b: Bindings, alternatives: list[Bindings] | None) -> Scalar:
+    impl = _FUNCTIONS.get(fn.name)
+    if impl is None:
+        raise ConstructError(f"unknown function {fn.name!r}")
+    args = [_build(arg, b, alternatives) for arg in fn.args]
+    try:
+        return impl(*args)
+    except ConstructError:
+        raise
+    except TypeError as exc:
+        raise ConstructError(f"{fn.name}: bad arguments {args!r}: {exc}") from exc
+
+
+_MISSING = object()

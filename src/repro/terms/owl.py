@@ -1,0 +1,135 @@
+"""OWL-style inference on top of the RDF graph (Semantic Web substrate).
+
+The paper's motivation section names "HTML, XML, RDF, Topic Maps, and OWL
+data, as well as inference from RDF triples" as the data reactive rules
+must handle; the e-learning scenario "might refer to inference rules
+expressed in terms of RDF triples, RDF Schema, and OWL".  This module adds
+the OWL property characteristics most used in such lightweight ontologies
+(a pragmatic OWL-Lite subset):
+
+- ``owl:sameAs`` — symmetric + transitive identity, with statement copying
+  between aliases;
+- ``owl:inverseOf`` — inverse property completion;
+- ``owl:SymmetricProperty`` and ``owl:TransitiveProperty``;
+- ``owl:FunctionalProperty`` consistency *checking* (two distinct values
+  for a functional property of one subject are reported, not merged —
+  reported inconsistencies are a useful trigger for reactive rules).
+
+All computed by forward closure to a fixpoint, like
+:meth:`~repro.terms.rdf.Graph.rdfs_closure`, and composable with it.
+"""
+
+from __future__ import annotations
+
+from repro.terms.ast import Child
+from repro.terms.rdf import Graph, RDF_TYPE, Triple
+
+OWL_SAME_AS = "owl:sameAs"
+OWL_INVERSE_OF = "owl:inverseOf"
+OWL_SYMMETRIC = "owl:SymmetricProperty"
+OWL_TRANSITIVE = "owl:TransitiveProperty"
+OWL_FUNCTIONAL = "owl:FunctionalProperty"
+
+_SCHEMA_PREDICATES = (OWL_SAME_AS, OWL_INVERSE_OF)
+
+
+def owl_closure(graph: Graph) -> Graph:
+    """Return a new graph extended with the OWL forward closure."""
+    closed = graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        changed |= _close_same_as(closed)
+        changed |= _close_inverses(closed)
+        changed |= _close_characteristics(closed)
+    return closed
+
+
+def _close_same_as(graph: Graph) -> bool:
+    changed = False
+    # Symmetry and transitivity of sameAs.
+    for triple in list(graph.triples(None, OWL_SAME_AS)):
+        if isinstance(triple.object, str):
+            changed |= graph.assert_(triple.object, OWL_SAME_AS, triple.subject)
+            for onward in list(graph.triples(triple.object, OWL_SAME_AS)):
+                if isinstance(onward.object, str) and onward.object != triple.subject:
+                    changed |= graph.assert_(triple.subject, OWL_SAME_AS, onward.object)
+    # Statement copying between aliases (both subject and object position).
+    for same in list(graph.triples(None, OWL_SAME_AS)):
+        if not isinstance(same.object, str):
+            continue
+        left, right = same.subject, same.object
+        for statement in list(graph.triples(left)):
+            if statement.predicate != OWL_SAME_AS:
+                changed |= graph.assert_(right, statement.predicate, statement.object)
+        for statement in list(graph):
+            if statement.predicate in _SCHEMA_PREDICATES:
+                continue
+            if isinstance(statement.object, str) and statement.object == left:
+                changed |= graph.assert_(statement.subject, statement.predicate, right)
+    return changed
+
+
+def _close_inverses(graph: Graph) -> bool:
+    changed = False
+    for schema in list(graph.triples(None, OWL_INVERSE_OF)):
+        if not isinstance(schema.object, str):
+            continue
+        forward, backward = schema.subject, schema.object
+        for pair in ((forward, backward), (backward, forward)):
+            for statement in list(graph.triples(None, pair[0])):
+                if isinstance(statement.object, str):
+                    changed |= graph.assert_(statement.object, pair[1],
+                                             statement.subject)
+    return changed
+
+
+def _close_characteristics(graph: Graph) -> bool:
+    changed = False
+    for typed in list(graph.triples(None, RDF_TYPE, OWL_SYMMETRIC)):
+        prop = typed.subject
+        for statement in list(graph.triples(None, prop)):
+            if isinstance(statement.object, str):
+                changed |= graph.assert_(statement.object, prop, statement.subject)
+    for typed in list(graph.triples(None, RDF_TYPE, OWL_TRANSITIVE)):
+        prop = typed.subject
+        for first in list(graph.triples(None, prop)):
+            if not isinstance(first.object, str):
+                continue
+            for second in list(graph.triples(first.object, prop)):
+                changed |= graph.assert_(first.subject, prop, second.object)
+    return changed
+
+
+def functional_conflicts(graph: Graph) -> list[tuple[str, str, Child, Child]]:
+    """Report violations of functional properties.
+
+    Returns ``(subject, property, value1, value2)`` tuples for every
+    subject holding two semantically different values of a property typed
+    ``owl:FunctionalProperty`` — the kind of inconsistency a reactive rule
+    would subscribe to.
+    """
+    from repro.terms.ast import values_equal
+
+    conflicts = []
+    for typed in graph.triples(None, RDF_TYPE, OWL_FUNCTIONAL):
+        prop = typed.subject
+        by_subject: dict[str, list[Child]] = {}
+        for statement in graph.triples(None, prop):
+            by_subject.setdefault(statement.subject, []).append(statement.object)
+        for subject, values in by_subject.items():
+            for i, left in enumerate(values):
+                for right in values[i + 1:]:
+                    if not values_equal(left, right):
+                        conflicts.append((subject, prop, left, right))
+    return conflicts
+
+
+def semantic_closure(graph: Graph) -> Graph:
+    """RDFS + OWL closure to a joint fixpoint."""
+    current = graph
+    while True:
+        step = owl_closure(current.rdfs_closure())
+        if len(step) == len(current):
+            return step
+        current = step

@@ -1,0 +1,607 @@
+"""Textual syntax for data, query, and construct terms.
+
+The syntax follows Xcerpt's look and feel:
+
+- ``f[a, b]`` — ordered data term; ``f{a, b}`` — unordered data term.
+- Query children braces select the matching mode: ``f[x]`` ordered total,
+  ``f[[x]]`` ordered partial, ``f{x}`` unordered total, ``f{{x}}`` unordered
+  partial.  A bare label in a query (``f``) matches a term labelled ``f``
+  with *any* children (shorthand for ``f{{}}``); in a data term it denotes a
+  leaf element (no children).
+- ``var X``, ``var X -> q``, ``desc q``, ``without q``,
+  ``optional q default v``, comparisons ``> 5`` / ``== var X``, and regular
+  expressions ``re "pat"`` form the remaining query constructs.
+- Construct terms use ``var X``, grouping ``all c`` (optionally
+  ``all c order [X, Y]``), aggregations ``count(var X)`` etc., and scalar
+  functions ``add(var X, 1)``.
+- Attributes attach after the label: ``book @{lang="en"} {...}``.
+- Labels that collide with keywords (or contain exotic characters) are
+  written back-quoted: ``` `var`{...} ```.
+
+:func:`to_text` serialises any term such that parsing the output yields an
+equal term (round-trip property, tested with hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.terms.ast import (
+    Agg,
+    All,
+    Child,
+    Compare,
+    Construct,
+    CTerm,
+    Data,
+    Desc,
+    Fn,
+    LabelVar,
+    Optional_,
+    QTerm,
+    Query,
+    RegexMatch,
+    Var,
+    Without,
+    is_scalar,
+)
+
+_KEYWORDS = frozenset(
+    [
+        "var", "desc", "without", "optional", "default", "all", "order",
+        "by", "true", "false", "re",
+    ]
+)
+
+_AGG_FNS = frozenset(["count", "sum", "avg", "min", "max", "first", "last"])
+
+_PUNCT = frozenset("{}[](),@^*:;")
+
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # ident, string, number, punct, cmp, arrow, eq, end
+    value: str
+    position: int
+    line: int
+
+
+class _Tokenizer:
+    """Hand-written tokenizer shared by all three term parsers."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+
+    def tokens(self) -> list[_Token]:
+        out = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.kind == "end":
+                return out
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._pos, self._line)
+
+    def _next(self) -> _Token:
+        text = self._text
+        while self._pos < len(text):
+            ch = text[self._pos]
+            if ch == "\n":
+                self._line += 1
+                self._pos += 1
+            elif ch.isspace():
+                self._pos += 1
+            elif ch == "#":  # comment to end of line
+                while self._pos < len(text) and text[self._pos] != "\n":
+                    self._pos += 1
+            else:
+                break
+        if self._pos >= len(text):
+            return _Token("end", "", self._pos, self._line)
+        start, line = self._pos, self._line
+        ch = text[start]
+        two = text[start : start + 2]
+        if two == "->":
+            self._pos += 2
+            return _Token("arrow", "->", start, line)
+        if two in ("==", "!=", "<=", ">="):
+            self._pos += 2
+            return _Token("cmp", two, start, line)
+        if ch in "<>":
+            self._pos += 1
+            return _Token("cmp", ch, start, line)
+        if ch == "=":
+            self._pos += 1
+            return _Token("eq", "=", start, line)
+        if ch in _PUNCT:
+            self._pos += 1
+            return _Token("punct", ch, start, line)
+        if ch == '"':
+            return self._string(start, line)
+        if ch == "`":
+            return self._quoted_ident(start, line)
+        if ch.isdigit() or (ch == "-" and start + 1 < len(text) and text[start + 1].isdigit()):
+            return self._number(start, line)
+        if ch.isalpha() or ch == "_":
+            return self._ident(start, line)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _string(self, start: int, line: int) -> _Token:
+        text = self._text
+        pos = start + 1
+        parts: list[str] = []
+        while pos < len(text):
+            ch = text[pos]
+            if ch == '"':
+                self._pos = pos + 1
+                return _Token("string", "".join(parts), start, line)
+            if ch == "\\":
+                if pos + 1 >= len(text):
+                    break
+                escape = text[pos + 1]
+                mapped = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}.get(escape)
+                if mapped is None:
+                    raise ParseError(f"bad escape \\{escape}", pos, line)
+                parts.append(mapped)
+                pos += 2
+            else:
+                if ch == "\n":
+                    self._line += 1
+                parts.append(ch)
+                pos += 1
+        raise ParseError("unterminated string literal", start, line)
+
+    def _quoted_ident(self, start: int, line: int) -> _Token:
+        text = self._text
+        pos = start + 1
+        while pos < len(text) and text[pos] != "`":
+            pos += 1
+        if pos >= len(text):
+            raise ParseError("unterminated back-quoted label", start, line)
+        self._pos = pos + 1
+        return _Token("qident", text[start + 1 : pos], start, line)
+
+    def _number(self, start: int, line: int) -> _Token:
+        text = self._text
+        pos = start + 1 if text[start] == "-" else start
+        while pos < len(text) and text[pos].isdigit():
+            pos += 1
+        if pos < len(text) and text[pos] == ".":
+            pos += 1
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+        if pos < len(text) and text[pos] in "eE":
+            probe = pos + 1
+            if probe < len(text) and text[probe] in "+-":
+                probe += 1
+            if probe < len(text) and text[probe].isdigit():
+                pos = probe
+                while pos < len(text) and text[pos].isdigit():
+                    pos += 1
+        self._pos = pos
+        return _Token("number", text[start:pos], start, line)
+
+    def _ident(self, start: int, line: int) -> _Token:
+        text = self._text
+        pos = start
+        while pos < len(text) and (text[pos].isalnum() or text[pos] in "_-.:"):
+            pos += 1
+        # Do not swallow a trailing '.', '-', or ':' (keeps "a.b." and
+        # "X :" round-trippable; namespace colons mid-ident are preserved).
+        while pos > start and text[pos - 1] in ".-:":
+            pos -= 1
+        self._pos = pos
+        return _Token("ident", text[start:pos], start, line)
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = _Tokenizer(text).tokens()
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> _Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, found {token.value or token.kind!r}",
+                             token.position, token.line)
+        return self._advance()
+
+    def _expect_label(self) -> str:
+        token = self._peek()
+        if token.kind not in ("ident", "qident"):
+            raise ParseError(f"expected a label, found {token.value or token.kind!r}",
+                             token.position, token.line)
+        return self._advance().value
+
+    def _at_punct(self, value: str) -> bool:
+        token = self._peek()
+        return token.kind == "punct" and token.value == value
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "ident" and token.value == word
+
+    def _eat_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def expect_end(self) -> None:
+        token = self._peek()
+        if token.kind != "end":
+            raise ParseError(f"trailing input: {token.value!r}", token.position, token.line)
+
+    # -- literals ------------------------------------------------------------
+
+    def _literal(self) -> Child:
+        token = self._peek()
+        if token.kind == "string":
+            self._advance()
+            return token.value
+        if token.kind == "number":
+            self._advance()
+            if any(ch in token.value for ch in ".eE"):
+                return float(token.value)
+            return int(token.value)
+        if token.kind == "ident" and token.value in ("true", "false"):
+            self._advance()
+            return token.value == "true"
+        raise ParseError(f"expected a literal, found {token.value or token.kind!r}",
+                         token.position, token.line)
+
+    def _at_literal(self) -> bool:
+        token = self._peek()
+        return token.kind in ("string", "number") or (
+            token.kind == "ident" and token.value in ("true", "false")
+        )
+
+    def _attrs(self, allow_vars: bool) -> tuple[tuple[str, "str | Var"], ...]:
+        """Parse ``@{k="v", k2=var X}`` (the ``@`` is already consumed)."""
+        self._expect("punct", "{")
+        pairs: list[tuple[str, "str | Var"]] = []
+        while not self._at_punct("}"):
+            key = self._expect_label()
+            self._expect("eq")
+            if allow_vars and self._at_keyword("var"):
+                self._advance()
+                pairs.append((key, Var(self._expect("ident").value)))
+            else:
+                pairs.append((key, self._expect("string").value))
+            if not self._eat_punct(","):
+                break
+        self._expect("punct", "}")
+        return tuple(sorted(pairs, key=lambda kv: kv[0]))
+
+    # -- data terms ----------------------------------------------------------
+
+    def parse_data(self) -> Child:
+        if self._at_literal():
+            return self._literal()
+        label = self._expect_label()
+        attrs: tuple[tuple[str, str], ...] = ()
+        if self._eat_punct("@"):
+            attrs = self._attrs(allow_vars=False)  # type: ignore[assignment]
+        if self._eat_punct("{"):
+            children = self._data_children("}")
+            return Data(label, children, False, attrs)
+        if self._eat_punct("["):
+            children = self._data_children("]")
+            return Data(label, children, True, attrs)
+        return Data(label, (), True, attrs)
+
+    def _data_children(self, closing: str) -> tuple[Child, ...]:
+        children: list[Child] = []
+        while not self._at_punct(closing):
+            children.append(self.parse_data())
+            if not self._eat_punct(","):
+                break
+        self._expect("punct", closing)
+        return tuple(children)
+
+    # -- query terms ----------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        token = self._peek()
+        if token.kind == "cmp":
+            self._advance()
+            if self._at_keyword("var"):
+                self._advance()
+                return Compare(token.value, Var(self._expect("ident").value))
+            literal = self._literal()
+            return Compare(token.value, literal)  # type: ignore[arg-type]
+        if self._at_keyword("var"):
+            self._advance()
+            name = self._expect("ident").value
+            if self._peek().kind == "arrow":
+                self._advance()
+                return Var(name, self.parse_query())
+            return Var(name)
+        if self._at_keyword("desc"):
+            self._advance()
+            return Desc(self.parse_query())
+        if self._at_keyword("without"):
+            self._advance()
+            return Without(self.parse_query())
+        if self._at_keyword("optional"):
+            self._advance()
+            inner = self.parse_query()
+            default: Child | None = None
+            if self._at_keyword("default"):
+                self._advance()
+                default = self.parse_data()
+            return Optional_(inner, default)
+        if self._at_keyword("re"):
+            self._advance()
+            return RegexMatch(self._expect("string").value)
+        if self._at_literal():
+            return self._literal()
+        return self._qterm()
+
+    def _qterm(self) -> QTerm:
+        label: "str | LabelVar"
+        if self._eat_punct("^"):
+            label = LabelVar(self._expect("ident").value)
+        elif self._eat_punct("*"):
+            label = "*"
+        else:
+            label = self._expect_label()
+        attrs: tuple[tuple[str, "str | Var"], ...] = ()
+        if self._eat_punct("@"):
+            attrs = self._attrs(allow_vars=True)
+        if self._eat_punct("{"):
+            if self._eat_punct("{"):
+                children = self._query_children("}")
+                self._expect("punct", "}")
+                return QTerm(label, children, False, False, attrs)
+            children = self._query_children("}")
+            return QTerm(label, children, False, True, attrs)
+        if self._eat_punct("["):
+            if self._eat_punct("["):
+                children = self._query_children("]")
+                self._expect("punct", "]")
+                return QTerm(label, children, True, False, attrs)
+            children = self._query_children("]")
+            return QTerm(label, children, True, True, attrs)
+        # Bare label: match any children (unordered partial, no patterns).
+        return QTerm(label, (), False, False, attrs)
+
+    def _query_children(self, closing: str) -> tuple[Query, ...]:
+        children: list[Query] = []
+        while not self._at_punct(closing):
+            children.append(self.parse_query())
+            if not self._eat_punct(","):
+                break
+        self._expect("punct", closing)
+        return tuple(children)
+
+    # -- construct terms -------------------------------------------------------
+
+    def parse_construct(self) -> Construct:
+        if self._at_keyword("var"):
+            self._advance()
+            return Var(self._expect("ident").value)
+        if self._at_keyword("all"):
+            self._advance()
+            inner = self.parse_construct()
+            order_by: tuple[str, ...] = ()
+            if self._at_keyword("order"):
+                self._advance()
+                self._expect("ident", "by")
+                self._expect("punct", "[")
+                names = []
+                while not self._at_punct("]"):
+                    names.append(self._expect("ident").value)
+                    if not self._eat_punct(","):
+                        break
+                self._expect("punct", "]")
+                order_by = tuple(names)
+            return All(inner, order_by)
+        if self._at_literal():
+            return self._literal()
+        # Label: plain, variable (^X), or function/aggregation call.
+        token = self._peek()
+        if token.kind == "ident" and self._peek(1).kind == "punct" and self._peek(1).value == "(":
+            return self._call()
+        label: "str | Var"
+        if self._eat_punct("^"):
+            label = Var(self._expect("ident").value)
+        else:
+            label = self._expect_label()
+        attrs: tuple[tuple[str, "str | Var"], ...] = ()
+        if self._eat_punct("@"):
+            attrs = self._attrs(allow_vars=True)
+        if self._eat_punct("{"):
+            children = self._construct_children("}")
+            return CTerm(label, children, False, attrs)
+        if self._eat_punct("["):
+            children = self._construct_children("]")
+            return CTerm(label, children, True, attrs)
+        return CTerm(label, (), True, attrs)
+
+    def _call(self) -> Construct:
+        name = self._expect("ident").value
+        self._expect("punct", "(")
+        if name in _AGG_FNS and self._at_keyword("var"):
+            self._advance()
+            var_name = self._expect("ident").value
+            self._expect("punct", ")")
+            return Agg(name, var_name)
+        args: list[Construct] = []
+        while not self._at_punct(")"):
+            args.append(self.parse_construct())
+            if not self._eat_punct(","):
+                break
+        self._expect("punct", ")")
+        return Fn(name, tuple(args))
+
+    def _construct_children(self, closing: str) -> tuple[Construct, ...]:
+        children: list[Construct] = []
+        while not self._at_punct(closing):
+            children.append(self.parse_construct())
+            if not self._eat_punct(","):
+                break
+        self._expect("punct", closing)
+        return tuple(children)
+
+
+# ---------------------------------------------------------------------------
+# Public parse functions
+# ---------------------------------------------------------------------------
+
+
+def parse_data(text: str) -> Child:
+    """Parse a data term (or scalar literal) from text."""
+    parser = _Parser(text)
+    term = parser.parse_data()
+    parser.expect_end()
+    return term
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query term from text."""
+    parser = _Parser(text)
+    term = parser.parse_query()
+    parser.expect_end()
+    return term
+
+
+def parse_construct(text: str) -> Construct:
+    """Parse a construct term from text."""
+    parser = _Parser(text)
+    term = parser.parse_construct()
+    parser.expect_end()
+    return term
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+
+def _escape_string(value: str) -> str:
+    out = value.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+    return f'"{out}"'
+
+
+def _is_plain_ident(label: str) -> bool:
+    if not label or label in _KEYWORDS:
+        return False
+    if not (label[0].isalpha() or label[0] == "_"):
+        return False
+    if label[-1] in ".-":
+        return False
+    return all(ch.isalnum() or ch in "_-.:" for ch in label)
+
+
+def _label_text(label: str) -> str:
+    return label if _is_plain_ident(label) else f"`{label}`"
+
+
+def _scalar_text(value: Child) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return _escape_string(value)
+    return repr(value)
+
+
+def _attrs_text(attrs: tuple[tuple[str, object], ...]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key, value in attrs:
+        key_text = _label_text(key)
+        if isinstance(value, Var):
+            parts.append(f"{key_text}=var {value.name}")
+        elif isinstance(value, Fn):
+            parts.append(f"{key_text}={to_text(value)}")
+        else:
+            parts.append(f"{key_text}={_escape_string(str(value))}")
+    return " @{" + ", ".join(parts) + "}"
+
+
+def to_text(term: "Query | Construct | Child") -> str:
+    """Serialise any term to parseable text (round-trip safe)."""
+    if is_scalar(term):
+        return _scalar_text(term)  # type: ignore[arg-type]
+    if isinstance(term, Data):
+        label = _label_text(term.label) + _attrs_text(term.attrs)
+        if not term.children and term.ordered:
+            return label
+        inner = ", ".join(to_text(child) for child in term.children)
+        return f"{label}[{inner}]" if term.ordered else f"{label}{{{inner}}}"
+    if isinstance(term, Var):
+        if term.inner is not None:
+            return f"var {term.name} -> {to_text(term.inner)}"
+        return f"var {term.name}"
+    if isinstance(term, Desc):
+        return f"desc {to_text(term.inner)}"
+    if isinstance(term, Without):
+        return f"without {to_text(term.inner)}"
+    if isinstance(term, Optional_):
+        text = f"optional {to_text(term.inner)}"
+        if term.default is not None:
+            text += f" default {to_text(term.default)}"
+        return text
+    if isinstance(term, Compare):
+        rhs = f"var {term.rhs.name}" if isinstance(term.rhs, Var) else _scalar_text(term.rhs)
+        return f"{term.op} {rhs}"
+    if isinstance(term, RegexMatch):
+        return f"re {_escape_string(term.pattern)}"
+    if isinstance(term, QTerm):
+        if isinstance(term.label, LabelVar):
+            label = f"^{term.label.name}"
+        elif term.label == "*":
+            label = "*"
+        else:
+            label = _label_text(term.label)
+        label += _attrs_text(term.attrs)
+        if not term.children and not term.ordered and not term.total:
+            return label
+        inner = ", ".join(to_text(child) for child in term.children)
+        if term.ordered:
+            return f"{label}[{inner}]" if term.total else f"{label}[[{inner}]]"
+        return f"{label}{{{inner}}}" if term.total else f"{label}{{{{{inner}}}}}"
+    if isinstance(term, CTerm):
+        if isinstance(term.label, Var):
+            label = f"^{term.label.name}"
+        else:
+            label = _label_text(term.label)
+        label += _attrs_text(term.attrs)
+        if not term.children and term.ordered:
+            return label
+        inner = ", ".join(to_text(child) for child in term.children)
+        return f"{label}[{inner}]" if term.ordered else f"{label}{{{inner}}}"
+    if isinstance(term, All):
+        text = f"all {to_text(term.inner)}"
+        if term.order_by:
+            text += " order by [" + ", ".join(term.order_by) + "]"
+        return text
+    if isinstance(term, Agg):
+        return f"{term.fn}(var {term.var})"
+    if isinstance(term, Fn):
+        return f"{term.name}(" + ", ".join(to_text(arg) for arg in term.args) + ")"
+    raise ParseError(f"cannot serialise {term!r}")

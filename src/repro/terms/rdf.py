@@ -1,0 +1,277 @@
+"""RDF data model: triples, pattern queries, and RDFS inference.
+
+The paper (Theses 2 and 7) requires reactive rules to query Semantic Web
+data — RDF triples with RDFS-style inference — alongside XML-ish data terms.
+This module provides:
+
+- :class:`Triple` and :class:`Graph`, an indexed in-memory triple store;
+- pattern queries with variables shared with the term language
+  (:class:`~repro.terms.ast.Var`), returning :class:`Bindings`;
+- forward-chained RDFS closure (subclass, subproperty, domain, range);
+- a bridge mapping graphs to data terms (``rdf{triple[s, p, o], ...}``) so
+  the *same* query language can match RDF data (language coherency).
+
+Objects of triples are term children (IRIs as strings, or literal scalars);
+subjects and predicates are IRI strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TermError
+from repro.terms.ast import Bindings, Child, Data, Var, is_scalar, values_equal
+
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASS = "rdfs:subClassOf"
+RDFS_SUBPROPERTY = "rdfs:subPropertyOf"
+RDFS_DOMAIN = "rdfs:domain"
+RDFS_RANGE = "rdfs:range"
+
+
+@dataclass(frozen=True)
+class Triple:
+    """An RDF triple. Subject and predicate are IRIs; object is IRI or literal."""
+
+    subject: str
+    predicate: str
+    object: Child
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, str) or not self.subject:
+            raise TermError(f"triple subject must be an IRI string: {self.subject!r}")
+        if not isinstance(self.predicate, str) or not self.predicate:
+            raise TermError(f"triple predicate must be an IRI string: {self.predicate!r}")
+        if not is_scalar(self.object) and not isinstance(self.object, Data):
+            raise TermError(f"triple object must be a scalar or data term: {self.object!r}")
+
+    def to_term(self) -> Data:
+        """Encode as an ordered data term ``triple[s, p, o]``."""
+        return Data("triple", (self.subject, self.predicate, self.object), True)
+
+    @staticmethod
+    def from_term(term: Data) -> "Triple":
+        """Decode a ``triple[s, p, o]`` data term."""
+        if term.label != "triple" or len(term.children) != 3:
+            raise TermError(f"not a triple term: {term!r}")
+        subject, predicate, obj = term.children
+        if not isinstance(subject, str) or not isinstance(predicate, str):
+            raise TermError(f"triple subject/predicate must be strings: {term!r}")
+        return Triple(subject, predicate, obj)
+
+
+#: A pattern position: a concrete value, a variable, or None (wildcard).
+Pattern = "str | Child | Var | None"
+
+
+class Graph:
+    """An indexed, mutable set of triples with pattern queries and inference.
+
+    Indexes by subject and by predicate keep pattern queries cheap; the
+    store is deterministic (insertion ordered).
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: dict[Triple, None] = {}
+        self._by_subject: dict[str, list[Triple]] = {}
+        self._by_predicate: dict[str, list[Triple]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        if triple in self._triples:
+            return False
+        self._triples[triple] = None
+        self._by_subject.setdefault(triple.subject, []).append(triple)
+        self._by_predicate.setdefault(triple.predicate, []).append(triple)
+        return True
+
+    def assert_(self, subject: str, predicate: str, obj: Child) -> bool:
+        """Convenience: add a triple from its three components."""
+        return self.add(Triple(subject, predicate, obj))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; returns False if it was absent."""
+        if triple not in self._triples:
+            return False
+        del self._triples[triple]
+        self._by_subject[triple.subject].remove(triple)
+        self._by_predicate[triple.predicate].remove(triple)
+        return True
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        return Graph(self)
+
+    # -- pattern queries -----------------------------------------------------
+
+    def triples(
+        self,
+        subject: "str | Var | None" = None,
+        predicate: "str | Var | None" = None,
+        obj: "Child | Var | None" = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the concrete parts of the pattern.
+
+        Variables and ``None`` are wildcards here; use :meth:`query` to get
+        bindings for the variables.
+        """
+        candidates: Iterable[Triple]
+        if isinstance(subject, str):
+            candidates = self._by_subject.get(subject, ())
+        elif isinstance(predicate, str):
+            candidates = self._by_predicate.get(predicate, ())
+        else:
+            candidates = self._triples
+        for triple in candidates:
+            if isinstance(subject, str) and triple.subject != subject:
+                continue
+            if isinstance(predicate, str) and triple.predicate != predicate:
+                continue
+            if obj is not None and not isinstance(obj, Var) and not values_equal(triple.object, obj):
+                continue
+            yield triple
+
+    def query(
+        self,
+        pattern: "tuple[str | Var | None, str | Var | None, Child | Var | None]",
+        bindings: Bindings = Bindings(),
+    ) -> list[Bindings]:
+        """Match one triple pattern, extending *bindings*.
+
+        Variables already bound act as constants; unbound variables bind to
+        the matching triple components.
+        """
+        subject, predicate, obj = (self._resolve(p, bindings) for p in pattern)
+        out: list[Bindings] = []
+        for triple in self.triples(
+            subject if isinstance(subject, str) else None,
+            predicate if isinstance(predicate, str) else None,
+            obj if not isinstance(obj, (Var, type(None))) else None,
+        ):
+            extended: Bindings | None = bindings
+            for part, value in ((subject, triple.subject), (predicate, triple.predicate),
+                                (obj, triple.object)):
+                if isinstance(part, Var):
+                    extended = extended.bind(part.name, value)
+                    if extended is None:
+                        break
+            if extended is not None:
+                out.append(extended)
+        return out
+
+    def query_all(
+        self,
+        patterns: "Iterable[tuple[str | Var | None, str | Var | None, Child | Var | None]]",
+        bindings: Bindings = Bindings(),
+    ) -> list[Bindings]:
+        """Conjunctive query: join a sequence of triple patterns."""
+        frontier = [bindings]
+        for pattern in patterns:
+            next_frontier: list[Bindings] = []
+            for b in frontier:
+                next_frontier.extend(self.query(pattern, b))
+            frontier = next_frontier
+            if not frontier:
+                return []
+        # Deduplicate, preserving derivation order.
+        seen: set[Bindings] = set()
+        out = []
+        for b in frontier:
+            if b not in seen:
+                seen.add(b)
+                out.append(b)
+        return out
+
+    @staticmethod
+    def _resolve(part: "str | Child | Var | None", bindings: Bindings) -> "str | Child | Var | None":
+        if isinstance(part, Var) and part.name in bindings:
+            return bindings[part.name]
+        return part
+
+    # -- RDFS inference --------------------------------------------------------
+
+    def rdfs_closure(self) -> "Graph":
+        """Return a new graph extended with the RDFS forward closure.
+
+        Implements the four classic RDFS entailment patterns:
+
+        - transitivity of ``rdfs:subClassOf`` and ``rdfs:subPropertyOf``;
+        - type propagation along ``rdfs:subClassOf``;
+        - property propagation along ``rdfs:subPropertyOf``;
+        - ``rdfs:domain`` / ``rdfs:range`` typing of subjects/objects.
+        """
+        closed = self.copy()
+        changed = True
+        while changed:
+            changed = False
+            for triple in list(closed):
+                changed |= _apply_rdfs_rules(closed, triple)
+        return closed
+
+    # -- term bridge ------------------------------------------------------------
+
+    def to_term(self) -> Data:
+        """Encode the whole graph as ``rdf{triple[s,p,o], ...}`` (unordered)."""
+        return Data("rdf", tuple(t.to_term() for t in self), False)
+
+    @staticmethod
+    def from_term(term: Data) -> "Graph":
+        """Decode a graph from its ``rdf{...}`` term encoding."""
+        if term.label != "rdf":
+            raise TermError(f"not an rdf graph term: {term.label!r}")
+        graph = Graph()
+        for child in term.children:
+            if not isinstance(child, Data):
+                raise TermError(f"rdf graph children must be triple terms: {child!r}")
+            graph.add(Triple.from_term(child))
+        return graph
+
+
+def _apply_rdfs_rules(graph: Graph, triple: Triple) -> bool:
+    changed = False
+    s, p, o = triple.subject, triple.predicate, triple.object
+    if p == RDFS_SUBCLASS and isinstance(o, str):
+        # Transitivity: (s sc o), (o sc c) => (s sc c)
+        for upper in list(graph.triples(o, RDFS_SUBCLASS)):
+            changed |= graph.assert_(s, RDFS_SUBCLASS, upper.object)
+        # Type propagation: (x type s) => (x type o)
+        for typed in list(graph.triples(None, RDF_TYPE, s)):
+            changed |= graph.assert_(typed.subject, RDF_TYPE, o)
+    elif p == RDFS_SUBPROPERTY and isinstance(o, str):
+        for upper in list(graph.triples(o, RDFS_SUBPROPERTY)):
+            changed |= graph.assert_(s, RDFS_SUBPROPERTY, upper.object)
+        for used in list(graph.triples(None, s)):
+            changed |= graph.assert_(used.subject, o, used.object)
+    elif p == RDF_TYPE and isinstance(o, str):
+        for upper in list(graph.triples(o, RDFS_SUBCLASS)):
+            changed |= graph.assert_(s, RDF_TYPE, upper.object)
+    elif p == RDFS_DOMAIN and isinstance(o, str):
+        for used in list(graph.triples(None, s)):
+            changed |= graph.assert_(used.subject, RDF_TYPE, o)
+    elif p == RDFS_RANGE and isinstance(o, str):
+        for used in list(graph.triples(None, s)):
+            if isinstance(used.object, str):
+                changed |= graph.assert_(used.object, RDF_TYPE, o)
+    else:
+        # The subject's predicate may itself have schema statements.
+        for schema in list(graph.triples(p, None)):
+            if schema.predicate == RDFS_SUBPROPERTY and isinstance(schema.object, str):
+                changed |= graph.assert_(s, schema.object, o)
+            elif schema.predicate == RDFS_DOMAIN and isinstance(schema.object, str):
+                changed |= graph.assert_(s, RDF_TYPE, schema.object)
+            elif schema.predicate == RDFS_RANGE and isinstance(schema.object, str):
+                if isinstance(o, str):
+                    changed |= graph.assert_(o, RDF_TYPE, schema.object)
+    return changed

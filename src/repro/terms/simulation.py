@@ -1,0 +1,327 @@
+"""Simulation unification: matching query terms against data terms.
+
+This is the query-evaluation core of the library (Thesis 7).  ``match``
+returns *all* ways a query term simulates into a data term, each as a
+:class:`~repro.terms.ast.Bindings`; an empty list means no match, a list
+containing the empty binding set means a match that bound no variables.
+
+Matching modes (set per query term) follow Xcerpt:
+
+====================  =======================================================
+mode                  children semantics
+====================  =======================================================
+ordered, total        query children match data children exactly, in order
+ordered, partial      query children match an order-preserving subsequence
+unordered, total      bijection between query children and data children
+unordered, partial    injection from query children into data children
+====================  =======================================================
+
+``without`` (subterm negation) asserts that *no* child of the matched data
+term matches the negated pattern; it is evaluated after the positive
+children, under the bindings they produced.  ``optional`` prefers presence:
+the absent branch (with its declared defaults) is taken only when no overall
+match consumes a child for it.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.terms.ast import (
+    Bindings,
+    Child,
+    Compare,
+    Data,
+    Desc,
+    EMPTY_BINDINGS,
+    LabelVar,
+    Optional_,
+    QTerm,
+    Query,
+    RegexMatch,
+    Var,
+    Without,
+    is_scalar,
+    values_equal,
+)
+
+
+def match(query: Query, data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
+    """Return every binding set under which *query* matches *data*.
+
+    The result is deduplicated and order-stable (first-derivation order).
+    """
+    seen: set[Bindings] = set()
+    result: list[Bindings] = []
+    for b in _match(query, data, bindings):
+        if b not in seen:
+            seen.add(b)
+            result.append(b)
+    return result
+
+
+def matches(query: Query, data: Child, bindings: Bindings = EMPTY_BINDINGS) -> bool:
+    """Return True if *query* matches *data* at least one way."""
+    for _ in _match(query, data, bindings):
+        return True
+    return False
+
+
+@lru_cache(maxsize=512)
+def _compiled(pattern: str) -> "re.Pattern[str]":
+    return re.compile(pattern)
+
+
+def _match(query: Query, data: Child, b: Bindings) -> Iterator[Bindings]:
+    """Yield binding extensions (possibly with duplicates)."""
+    if is_scalar(query):
+        if is_scalar(data) and values_equal(query, data):  # type: ignore[arg-type]
+            yield b
+        return
+
+    if isinstance(query, Data):
+        if values_equal(query, data):
+            yield b
+        return
+
+    if isinstance(query, Var):
+        yield from _match_var(query, data, b)
+        return
+
+    if isinstance(query, Desc):
+        yield from _match_desc(query, data, b)
+        return
+
+    if isinstance(query, Compare):
+        if _compare_holds(query, data, b):
+            yield b
+        return
+
+    if isinstance(query, RegexMatch):
+        if isinstance(data, str) and _compiled(query.pattern).fullmatch(data):
+            yield b
+        return
+
+    if isinstance(query, Without):
+        if not matches(query.inner, data, b):
+            yield b
+        return
+
+    if isinstance(query, Optional_):
+        matched = False
+        for b2 in _match(query.inner, data, b):
+            matched = True
+            yield b2
+        if not matched:
+            yield _bind_optional_default(query, b)
+        return
+
+    if isinstance(query, QTerm):
+        yield from _match_qterm(query, data, b)
+        return
+
+    raise QueryError(f"not a query term: {query!r}")
+
+
+def _match_var(query: Var, data: Child, b: Bindings) -> Iterator[Bindings]:
+    bound = query.name in b
+    if bound:
+        if not values_equal(b[query.name], data):
+            return
+        if query.inner is None:
+            yield b
+        else:
+            yield from _match(query.inner, data, b)
+        return
+    if query.inner is None:
+        extended = b.bind(query.name, data)
+        if extended is not None:
+            yield extended
+        return
+    for b2 in _match(query.inner, data, b):
+        extended = b2.bind(query.name, data)
+        if extended is not None:
+            yield extended
+
+
+def _match_desc(query: Desc, data: Child, b: Bindings) -> Iterator[Bindings]:
+    yield from _match(query.inner, data, b)
+    if isinstance(data, Data):
+        for child in data.children:
+            yield from _match_desc(query, child, b)
+
+
+def _compare_holds(query: Compare, data: Child, b: Bindings) -> bool:
+    if not is_scalar(data):
+        return False
+    rhs = query.rhs
+    if isinstance(rhs, Var):
+        if rhs.name not in b:
+            raise QueryError(
+                f"comparison references unbound variable {rhs.name!r}; "
+                "comparisons are evaluated after positive patterns"
+            )
+        rhs = b[rhs.name]  # type: ignore[assignment]
+        if not is_scalar(rhs):
+            return False
+    if query.op == "==":
+        return values_equal(data, rhs)  # type: ignore[arg-type]
+    if query.op == "!=":
+        return not values_equal(data, rhs)  # type: ignore[arg-type]
+    # Ordering comparisons: numbers with numbers (bool excluded), str with str.
+    left_num = isinstance(data, (int, float)) and not isinstance(data, bool)
+    right_num = isinstance(rhs, (int, float)) and not isinstance(rhs, bool)
+    if left_num and right_num:
+        pass
+    elif isinstance(data, str) and isinstance(rhs, str):
+        pass
+    else:
+        return False
+    if query.op == "<":
+        return data < rhs  # type: ignore[operator]
+    if query.op == "<=":
+        return data <= rhs  # type: ignore[operator]
+    if query.op == ">":
+        return data > rhs  # type: ignore[operator]
+    return data >= rhs  # type: ignore[operator]
+
+
+def _bind_optional_default(query: Optional_, b: Bindings) -> Bindings:
+    """Bind the optional's variable to its default when the child is absent."""
+    inner = query.inner
+    if query.default is not None and isinstance(inner, Var) and inner.name not in b:
+        extended = b.bind(inner.name, query.default)
+        if extended is not None:
+            return extended
+    return b
+
+
+def _match_qterm(query: QTerm, data: Child, b: Bindings) -> Iterator[Bindings]:
+    if not isinstance(data, Data):
+        return
+    # Label.
+    if isinstance(query.label, LabelVar):
+        extended = b.bind(query.label.name, data.label)
+        if extended is None:
+            return
+        b = extended
+    elif query.label != "*" and query.label != data.label:
+        return
+    # Attributes (always partial).
+    for key, want in query.attrs:
+        have = data.attr(key)
+        if have is None:
+            return
+        if isinstance(want, Var):
+            extended = b.bind(want.name, have)
+            if extended is None:
+                return
+            b = extended
+        elif want != have:
+            return
+    # Children.
+    positives = [c for c in query.children if not isinstance(c, Without)]
+    withouts = [c for c in query.children if isinstance(c, Without)]
+    if query.ordered:
+        if query.total:
+            candidate_iter = _seq_total(positives, data.children, 0, 0, b)
+        else:
+            candidate_iter = _seq_partial(positives, data.children, 0, 0, b)
+    else:
+        candidate_iter = _unordered(positives, data.children, 0, frozenset(), b, query.total)
+    for b2 in candidate_iter:
+        if _withouts_hold(withouts, data.children, b2):
+            yield b2
+
+
+def _seq_total(
+    qs: list[Query], ds: tuple[Child, ...], qi: int, di: int, b: Bindings
+) -> Iterator[Bindings]:
+    """Ordered total: consume every data child, in order."""
+    if qi == len(qs):
+        if di == len(ds):
+            yield b
+        return
+    head = qs[qi]
+    if isinstance(head, Optional_):
+        produced = False
+        if di < len(ds):
+            for b2 in _match(head.inner, ds[di], b):
+                for out in _seq_total(qs, ds, qi + 1, di + 1, b2):
+                    produced = True
+                    yield out
+        if not produced:
+            yield from _seq_total(qs, ds, qi + 1, di, _bind_optional_default(head, b))
+        return
+    if di >= len(ds):
+        return
+    for b2 in _match(head, ds[di], b):
+        yield from _seq_total(qs, ds, qi + 1, di + 1, b2)
+
+
+def _seq_partial(
+    qs: list[Query], ds: tuple[Child, ...], qi: int, di: int, b: Bindings
+) -> Iterator[Bindings]:
+    """Ordered partial: match an order-preserving subsequence."""
+    if qi == len(qs):
+        yield b
+        return
+    head = qs[qi]
+    if isinstance(head, Optional_):
+        produced = False
+        for j in range(di, len(ds)):
+            for b2 in _match(head.inner, ds[j], b):
+                for out in _seq_partial(qs, ds, qi + 1, j + 1, b2):
+                    produced = True
+                    yield out
+        if not produced:
+            yield from _seq_partial(qs, ds, qi + 1, di, _bind_optional_default(head, b))
+        return
+    for j in range(di, len(ds)):
+        for b2 in _match(head, ds[j], b):
+            yield from _seq_partial(qs, ds, qi + 1, j + 1, b2)
+
+
+def _unordered(
+    qs: list[Query],
+    ds: tuple[Child, ...],
+    qi: int,
+    used: frozenset[int],
+    b: Bindings,
+    total: bool,
+) -> Iterator[Bindings]:
+    """Unordered: injective (partial) or bijective (total) assignment."""
+    if qi == len(qs):
+        if not total or len(used) == len(ds):
+            yield b
+        return
+    head = qs[qi]
+    if isinstance(head, Optional_):
+        produced = False
+        for j, child in enumerate(ds):
+            if j in used:
+                continue
+            for b2 in _match(head.inner, child, b):
+                for out in _unordered(qs, ds, qi + 1, used | {j}, b2, total):
+                    produced = True
+                    yield out
+        if not produced:
+            yield from _unordered(qs, ds, qi + 1, used, _bind_optional_default(head, b), total)
+        return
+    for j, child in enumerate(ds):
+        if j in used:
+            continue
+        for b2 in _match(head, child, b):
+            yield from _unordered(qs, ds, qi + 1, used | {j}, b2, total)
+
+
+def _withouts_hold(withouts: list[Without], ds: tuple[Child, ...], b: Bindings) -> bool:
+    """Negated siblings: no data child may match any negated pattern."""
+    for negated in withouts:
+        for child in ds:
+            if matches(negated.inner, child, b):
+                return False
+    return True

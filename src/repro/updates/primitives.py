@@ -1,0 +1,163 @@
+"""Primitive updates on data terms and RDF graphs.
+
+Terms are immutable, so every update rebuilds the spine of the tree and
+returns a new root together with the number of affected positions.  Targets
+are selected with ordinary query terms (language coherency, Thesis 7):
+variables bound by the rule's event and condition parts parameterise both
+the target query and the replacement construct.
+
+The three shapes from the paper:
+
+- :func:`insert_child` — add constructed children to every matching parent;
+- :func:`delete_terms` — remove every matching subterm;
+- :func:`replace_terms` — swap every matching subterm for a constructed one
+  (the construct sees the match's own bindings, so replacements can reuse
+  parts of what they replace).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import UpdateError
+from repro.terms.ast import Bindings, Child, Construct, Data, Query
+from repro.terms.construct import instantiate
+from repro.terms.rdf import Graph, Triple
+from repro.terms.simulation import match, matches
+
+
+def _rebuild(node: Data, transform: "Callable[[Data], Data | None]") -> "Data | None":
+    """Bottom-up rebuild: *transform* maps each data term to its
+    replacement (or None to delete it)."""
+    new_children: list[Child] = []
+    changed = False
+    for child in node.children:
+        if isinstance(child, Data):
+            rebuilt = _rebuild(child, transform)
+            if rebuilt is not child:
+                changed = True
+            if rebuilt is not None:
+                new_children.append(rebuilt)
+        else:
+            new_children.append(child)
+    rebuilt_node = node.with_children(tuple(new_children)) if changed else node
+    return transform(rebuilt_node)
+
+
+def insert_child(
+    root: Data,
+    parent_query: Query,
+    construct: Construct,
+    bindings: Bindings = Bindings(),
+    position: str = "end",
+) -> tuple[Data, int]:
+    """Insert the constructed term as a child of every matching parent.
+
+    ``position`` is ``"end"`` or ``"start"``.  Returns (new root, number of
+    parents extended).  The construct is instantiated once per matching
+    parent, with the parent's match bindings merged in.
+    """
+    if position not in ("end", "start"):
+        raise UpdateError(f"unknown insert position {position!r}")
+    count = 0
+
+    def transform(node: Data) -> Data:
+        nonlocal count
+        found = match(parent_query, node, bindings)
+        if not found:
+            return node
+        count += 1
+        new_child = instantiate(construct, found[0])
+        if position == "end":
+            return node.append(new_child)
+        return node.with_children((new_child,) + node.children)
+
+    new_root = _rebuild(root, transform)
+    assert new_root is not None  # insert never deletes
+    return new_root, count
+
+
+def delete_terms(
+    root: Data, target_query: Query, bindings: Bindings = Bindings()
+) -> tuple[Data, int]:
+    """Delete every subterm matching the query; the root is protected."""
+    count = 0
+
+    def transform(node: Data) -> "Data | None":
+        nonlocal count
+        if matches(target_query, node, bindings):
+            count += 1
+            return None
+        return node
+
+    new_root = _rebuild(root, transform)
+    if new_root is None:
+        raise UpdateError(
+            "refusing to delete the resource root; delete the resource itself instead"
+        )
+    return new_root, count
+
+
+def replace_terms(
+    root: Data,
+    target_query: Query,
+    construct: Construct,
+    bindings: Bindings = Bindings(),
+) -> tuple[Data, int]:
+    """Replace every *outermost* matching subterm with the constructed term.
+
+    Matches nested inside a replaced term are not replaced separately (the
+    replacement swallows them) — top-down, outermost-wins semantics.  The
+    construct is instantiated under the incoming bindings merged with the
+    bindings of each individual match, so a replacement can be written in
+    terms of the replaced content, e.g. incrementing a counter::
+
+        replace_terms(root, parse_query("qty[ var Q ]"),
+                      parse_construct("qty[ add(var Q, 1) ]"))
+    """
+    count = 0
+
+    def walk(node: Data) -> Data:
+        nonlocal count
+        found = match(target_query, node, bindings)
+        if found:
+            count += 1
+            replacement = instantiate(construct, found[0])
+            if not isinstance(replacement, Data):
+                raise UpdateError(
+                    f"replacement must be a data term, got scalar {replacement!r}"
+                )
+            return replacement
+        new_children: list[Child] = []
+        changed = False
+        for child in node.children:
+            if isinstance(child, Data):
+                rebuilt = walk(child)
+                changed = changed or rebuilt is not child
+                new_children.append(rebuilt)
+            else:
+                new_children.append(child)
+        return node.with_children(tuple(new_children)) if changed else node
+
+    return walk(root), count
+
+
+# ---------------------------------------------------------------------------
+# RDF updates
+# ---------------------------------------------------------------------------
+
+
+def rdf_insert(graph: Graph, triples: "list[Triple] | Triple") -> int:
+    """Insert triples into a graph; returns how many were new."""
+    if isinstance(triples, Triple):
+        triples = [triples]
+    return sum(1 for triple in triples if graph.add(triple))
+
+
+def rdf_delete(graph: Graph, pattern: tuple) -> int:
+    """Delete all triples matching a (subject, predicate, object) pattern
+    (None or variables act as wildcards); returns how many were removed."""
+    victims = list(graph.triples(*pattern))
+    for triple in victims:
+        graph.remove(triple)
+    return len(victims)

@@ -1,0 +1,75 @@
+"""Atomic execution of compound updates (Thesis 8).
+
+The most common compound action is a *sequence*; if one step fails the
+earlier steps must not remain half-applied.  A :class:`Transaction`
+snapshots one or more resource stores (cheap: documents are immutable) and
+rolls them back on failure.  Used by the action executor for ``Sequence``
+actions and available directly::
+
+    with Transaction(store) as tx:
+        store.put(uri, new_root)
+        ...                      # any exception rolls everything back
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TypeVar
+
+from repro.errors import TransactionError
+from repro.web.resources import ResourceStore
+
+T = TypeVar("T")
+
+
+class Transaction:
+    """Snapshot-rollback transaction over one or more resource stores."""
+
+    def __init__(self, *stores: ResourceStore) -> None:
+        if not stores:
+            raise TransactionError("a transaction needs at least one store")
+        self._stores = stores
+        self._snapshots = [store.snapshot() for store in stores]
+        self._finished = False
+        self.committed = False
+
+    def commit(self) -> None:
+        """Make the changes permanent."""
+        self._check_open()
+        self._finished = True
+        self.committed = True
+
+    def rollback(self) -> None:
+        """Restore every store to its snapshot."""
+        self._check_open()
+        for store, snapshot in zip(self._stores, self._snapshots):
+            store.restore(snapshot)
+        self._finished = True
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise TransactionError("transaction already finished")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._finished:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False  # propagate exceptions after rollback
+
+
+def atomically(stores: "ResourceStore | Iterable[ResourceStore]",
+               action: Callable[[], T]) -> T:
+    """Run *action* atomically over the given store(s).
+
+    Returns the action's result; on any exception the stores are rolled
+    back and the exception re-raised.
+    """
+    if isinstance(stores, ResourceStore):
+        stores = [stores]
+    with Transaction(*stores):
+        return action()

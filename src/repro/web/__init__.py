@@ -1,0 +1,44 @@
+"""Simulated Web substrate (Theses 2-3).
+
+The paper's claims about reactivity *on the Web* — push vs. poll, local
+rule processing vs. central coordination, event messages between sites —
+are claims about message counts, bytes, and latency.  This package provides
+a deterministic discrete-event simulation of the Web that makes those
+quantities measurable:
+
+- :class:`~repro.web.scheduler.Scheduler` — the simulation clock and event
+  loop (all time in the library flows from here);
+- :class:`~repro.web.network.Network` — point-to-point message delivery
+  with a latency model and full traffic accounting; an optional broker
+  topology models the centralised alternative Thesis 2 argues against;
+- :mod:`repro.web.http` / :mod:`repro.web.soap` — the transport the paper
+  builds on: GET/POST request-response and SOAP-style envelopes;
+- :class:`~repro.web.node.WebNode` — a web site: persistent resources plus
+  a locally processed rule base;
+- :class:`~repro.web.resources.ResourceStore` — versioned, URI-addressed
+  persistent documents with change notification;
+- :class:`~repro.web.polling.PollingWatcher` — the pull-based baseline for
+  experiment E3.
+"""
+
+from repro.web.http import Request, Response
+from repro.web.network import Message, Network
+from repro.web.node import Simulation, WebNode
+from repro.web.polling import PollingWatcher
+from repro.web.resources import Document, ResourceStore
+from repro.web.scheduler import Scheduler
+from repro.web.soap import Envelope
+
+__all__ = [
+    "Document",
+    "Envelope",
+    "Message",
+    "Network",
+    "PollingWatcher",
+    "Request",
+    "Response",
+    "ResourceStore",
+    "Scheduler",
+    "Simulation",
+    "WebNode",
+]

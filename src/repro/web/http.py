@@ -1,0 +1,64 @@
+"""Simulated HTTP: the GET/POST request-response layer.
+
+The paper's infrastructure section singles out two HTTP methods: GET
+(retrieve the resource identified by a URI) and POST (send data to a
+resource).  We model exactly those, as term-typed request/response values
+over the simulated network.  Higher layers never craft messages manually —
+they go through :meth:`WebNode.get` and :meth:`WebNode.post` — which is the
+point of Thesis 1: HTTP is the substrate, not the programming model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WebError
+from repro.terms.ast import Data
+
+
+@dataclass(frozen=True)
+class Request:
+    """An HTTP request: method, target URI, optional term body."""
+
+    method: str
+    uri: str
+    body: Data | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "POST", "PUT", "DELETE"):
+            raise WebError(f"unsupported HTTP method {self.method!r}")
+        if self.method == "GET" and self.body is not None:
+            # Footnote 1 of the paper: sending data with GET is "against the
+            # original philosophy of HTTP" — we enforce the philosophy.
+            raise WebError("GET requests must not carry a body")
+
+    def to_term(self) -> Data:
+        children: tuple = (Data("uri", (self.uri,)),)
+        if self.body is not None:
+            children += (Data("body", (self.body,)),)
+        return Data("http-request", children, True, (("method", self.method),))
+
+
+@dataclass(frozen=True)
+class Response:
+    """An HTTP response: status code plus optional term body."""
+
+    status: int
+    body: Data | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def to_term(self) -> Data:
+        children: tuple = (self.body,) if self.body is not None else ()
+        return Data("http-response", children, True, (("status", str(self.status)),))
+
+
+OK = 200
+CREATED = 201
+NO_CONTENT = 204
+BAD_REQUEST = 400
+UNAUTHORIZED = 401
+FORBIDDEN = 403
+NOT_FOUND = 404

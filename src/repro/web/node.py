@@ -1,0 +1,149 @@
+"""Web nodes: sites that hold resources and process rules locally.
+
+Thesis 2: reactive rules are processed *locally* at each Web site — each
+node owns its rule base and decides which rules fire; global behaviour
+emerges from event messages between nodes (choreography), never from a
+central coordinator.  A :class:`WebNode` therefore bundles:
+
+- a :class:`~repro.web.resources.ResourceStore` of persistent documents,
+- an inbox for event messages (SOAP envelopes), dispatched to locally
+  registered handlers (the rule engine attaches here),
+- helpers to query local and remote resources (GET) and to push events to
+  other nodes (the reactive counterpart of POST).
+
+The ECA rule engine lives in :mod:`repro.core.engine` and attaches to a
+node via :meth:`WebNode.on_event`; this module has no dependency on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WebError
+from repro.events.model import Event, make_event
+from repro.terms.ast import Data
+from repro.web.network import Message, Network, authority
+from repro.web.resources import ResourceStore
+from repro.web.scheduler import Scheduler
+from repro.web.soap import Envelope
+
+
+class WebNode:
+    """One Web site in the simulation."""
+
+    def __init__(self, uri: str, network: Network) -> None:
+        self.uri = authority(uri)
+        self.network = network
+        self.resources = ResourceStore()
+        self._event_handlers: list[Callable[[Event], None]] = []
+        self._get_guard: Callable[[str, str], None] | None = None
+        self.events_received = 0
+        self.events_sent = 0
+        network.register(self)
+
+    @property
+    def clock(self) -> Scheduler:
+        return self.network.scheduler
+
+    @property
+    def now(self) -> float:
+        return self.network.scheduler.now
+
+    # -- handlers ---------------------------------------------------------------
+
+    def on_event(self, handler: Callable[[Event], None]) -> None:
+        """Register an inbox handler (the rule engine's entry point)."""
+        self._event_handlers.append(handler)
+
+    def guard_gets(self, guard: Callable[[str, str], None]) -> None:
+        """Install an access guard for GETs: ``guard(uri, requester)``
+        raises to deny (used by the AAA layer, Thesis 12)."""
+        self._get_guard = guard
+
+    # -- messaging ----------------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Network delivery callback: unwrap the envelope, build the event."""
+        if message.kind != "event":
+            raise WebError(f"unexpected message kind {message.kind!r} in inbox")
+        envelope = Envelope.from_term(message.payload)
+        self.events_received += 1
+        event = make_event(
+            envelope.body,
+            self.now,
+            source=envelope.sender or message.src,
+            occurrence=min(envelope.sent_at, self.now) if envelope.sent_at else self.now,
+        )
+        for handler in list(self._event_handlers):
+            handler(event)
+
+    def raise_event(self, to: str, term: Data) -> None:
+        """Push an event message to another node (or to this node itself)."""
+        envelope = Envelope(term, sender=self.uri, sent_at=self.now)
+        self.events_sent += 1
+        self.network.send(self.uri, to, envelope.to_term(), "event")
+
+    def raise_local(self, term: Data) -> None:
+        """Dispatch an event to local handlers without network traffic.
+
+        Used for events that originate at this node (resource changes,
+        internal service-request events for accounting)."""
+        event = make_event(term, self.now, source=self.uri)
+        self.events_received += 1
+        for handler in list(self._event_handlers):
+            handler(event)
+
+    # -- resource access ---------------------------------------------------------
+
+    def serve_get(self, uri: str, requester: str) -> Data:
+        """Serve a GET from another node (access-guarded)."""
+        if self._get_guard is not None:
+            self._get_guard(uri, requester)
+        return self.resources.get(uri)
+
+    def get(self, uri: str) -> Data:
+        """Read a resource: local directly, remote over the network."""
+        if authority(uri) == self.uri:
+            return self.resources.get(uri)
+        return self.network.fetch(self.uri, uri)
+
+    def put(self, uri: str, root: Data) -> None:
+        """Write a local resource (remote writes go through events)."""
+        if authority(uri) != self.uri:
+            raise WebError(
+                f"{self.uri} cannot write {uri} directly; "
+                "remote updates are requested via events (Thesis 2)"
+            )
+        self.resources.put(uri, root)
+
+
+class Simulation:
+    """Facade bundling a scheduler and a network; entry point of the library.
+
+    >>> sim = Simulation()
+    >>> shop = sim.node("http://shop.example")
+    >>> customer = sim.node("http://customer.example")
+    >>> customer_uri = customer.uri
+    """
+
+    def __init__(self, latency: float = 0.05, broker: str | None = None) -> None:
+        self.scheduler = Scheduler()
+        self.network = Network(self.scheduler, latency=latency, broker=broker)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def node(self, uri: str) -> WebNode:
+        """Create and register a node for the given URI authority."""
+        return WebNode(uri, self.network)
+
+    def run_until(self, end: float) -> None:
+        self.scheduler.run_until(end)
+
+    def run(self, max_callbacks: int = 1_000_000) -> None:
+        self.scheduler.run(max_callbacks)
+
+    @property
+    def stats(self):
+        return self.network.stats

@@ -1,0 +1,84 @@
+"""Polling: the pull-based change-detection baseline (Thesis 3).
+
+    "Periodical polling, where interested Web sites retrieve remote Web
+    resources periodically to check if an event has happened, is less
+    favorable, since it causes more network traffic, increases reaction
+    time, and requires more local resources."
+
+A :class:`PollingWatcher` periodically GETs a remote resource, compares its
+content with the last seen version, and synthesises a change event locally
+when they differ.  Experiment E3 sweeps event rates against poll intervals
+and reports exactly the three costs the thesis names: traffic (messages and
+bytes, accounted by the network), reaction time (change-to-detection
+delay), and local resource use (poll invocations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ResourceNotFound
+from repro.terms.ast import Data, canonical_str
+from repro.web.node import WebNode
+
+
+class PollingWatcher:
+    """Detects remote resource changes by periodic comparison."""
+
+    def __init__(
+        self,
+        node: WebNode,
+        target_uri: str,
+        interval: float,
+        on_change: "Callable[[str, Data, float], None] | None" = None,
+        until: float | None = None,
+    ) -> None:
+        self.node = node
+        self.target_uri = target_uri
+        self.interval = interval
+        self.on_change = on_change
+        self.polls = 0
+        self.changes_detected = 0
+        self.detection_delays: list[float] = []
+        self._last_seen: str | None = None
+        self._change_times: list[float] = []
+        node.clock.every(interval, self.poll, until=until)
+
+    def record_change(self, time: float) -> None:
+        """Tell the watcher when a real change happened (ground truth for
+        the reaction-time metric; the workload driver calls this)."""
+        self._change_times.append(time)
+
+    def poll(self) -> None:
+        """One poll: GET, compare, synthesise a change event if different."""
+        self.polls += 1
+        try:
+            current = self.node.get(self.target_uri)
+        except ResourceNotFound:
+            return
+        fingerprint = canonical_str(current)
+        changed = self._last_seen is not None and fingerprint != self._last_seen
+        self._last_seen = fingerprint
+        if not changed:
+            return
+        self.changes_detected += 1
+        now = self.node.now
+        while self._change_times and self._change_times[0] <= now:
+            self.detection_delays.append(now - self._change_times.pop(0))
+        if self.on_change is not None:
+            self.on_change(self.target_uri, current, now)
+        else:
+            self.node.raise_local(
+                Data(
+                    "resource-changed",
+                    (Data("uri", (self.target_uri,)), Data("at", (now,))),
+                    False,
+                )
+            )
+
+    @property
+    def mean_detection_delay(self) -> float:
+        """Average change-to-detection delay observed so far."""
+        if not self.detection_delays:
+            return 0.0
+        return sum(self.detection_delays) / len(self.detection_delays)

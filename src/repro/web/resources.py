@@ -1,0 +1,115 @@
+"""Versioned, URI-addressed persistent resources (Thesis 4's other half).
+
+Persistent Web data is "like written text": retrievable on request,
+modifiable in place, permanent until changed.  A :class:`ResourceStore`
+holds a node's documents; every update bumps the document version and
+notifies registered watchers — the hook both the polling baseline (version
+comparison) and the identity monitor (Thesis 10 change events) build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import ResourceNotFound, WebError
+from repro.terms.ast import Data
+
+#: Watcher signature: (uri, old_root_or_None, new_root_or_None, version).
+Watcher = Callable[[str, "Data | None", "Data | None", int], None]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One version of one resource."""
+
+    uri: str
+    root: Data
+    version: int
+
+
+class ResourceStore:
+    """The persistent documents of one Web node."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, Document] = {}
+        self._watchers: list[Watcher] = []
+        self.reads = 0
+        self.writes = 0
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._documents
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def uris(self) -> list[str]:
+        return list(self._documents)
+
+    def watch(self, watcher: Watcher) -> None:
+        """Register a change callback (fired on put/update/delete)."""
+        self._watchers.append(watcher)
+
+    def _notify(self, uri: str, old: "Data | None", new: "Data | None", version: int) -> None:
+        for watcher in self._watchers:
+            watcher(uri, old, new, version)
+
+    # -- access -----------------------------------------------------------------
+
+    def get(self, uri: str) -> Data:
+        """The current root of the resource; raises if absent."""
+        document = self._documents.get(uri)
+        if document is None:
+            raise ResourceNotFound(uri)
+        self.reads += 1
+        return document.root
+
+    def version(self, uri: str) -> int:
+        """Current version number (0 = never written)."""
+        document = self._documents.get(uri)
+        return document.version if document is not None else 0
+
+    def document(self, uri: str) -> Document:
+        document = self._documents.get(uri)
+        if document is None:
+            raise ResourceNotFound(uri)
+        return document
+
+    # -- modification --------------------------------------------------------------
+
+    def put(self, uri: str, root: Data) -> Document:
+        """Create or replace the resource content."""
+        if not isinstance(root, Data):
+            raise WebError(f"resource content must be a data term: {root!r}")
+        old = self._documents.get(uri)
+        version = (old.version if old else 0) + 1
+        document = Document(uri, root, version)
+        self._documents[uri] = document
+        self.writes += 1
+        self._notify(uri, old.root if old else None, root, version)
+        return document
+
+    def update(self, uri: str, transform: Callable[[Data], Data]) -> Document:
+        """Apply a pure transformation to the resource root."""
+        current = self.get(uri)
+        self.reads -= 1  # internal read, not client traffic
+        return self.put(uri, transform(current))
+
+    def delete(self, uri: str) -> None:
+        """Remove the resource; raises if absent."""
+        old = self._documents.pop(uri, None)
+        if old is None:
+            raise ResourceNotFound(uri)
+        self.writes += 1
+        self._notify(uri, old.root, None, old.version + 1)
+
+    # -- snapshots (transactions) ---------------------------------------------------
+
+    def snapshot(self) -> dict[str, Document]:
+        """A cheap copy of the current state (documents are immutable)."""
+        return dict(self._documents)
+
+    def restore(self, snapshot: dict[str, Document]) -> None:
+        """Roll back to a snapshot (no watcher notifications: the
+        transaction never happened)."""
+        self._documents = dict(snapshot)

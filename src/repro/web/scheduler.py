@@ -1,0 +1,77 @@
+"""Discrete-event simulation scheduler.
+
+Every clock in the library reads from a :class:`Scheduler`: event
+timestamps, message latencies, polling intervals, and absence deadlines.
+Callbacks scheduled for the same instant run in scheduling order, which
+makes whole-system runs fully deterministic and reproducible — a
+prerequisite for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import WebError
+
+
+class Scheduler:
+    """A priority-queue event loop over simulated time."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.executed = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* at absolute simulated time *time*."""
+        if time < self.now:
+            raise WebError(f"cannot schedule in the past: {time} < {self.now}")
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* after *delay* simulated seconds."""
+        if delay < 0:
+            raise WebError(f"negative delay: {delay}")
+        self.at(self.now + delay, callback)
+
+    def every(self, interval: float, callback: Callable[[], None],
+              until: float | None = None) -> None:
+        """Schedule *callback* periodically (first call after one interval)."""
+        if interval <= 0:
+            raise WebError(f"interval must be positive: {interval}")
+
+        def tick() -> None:
+            if until is not None and self.now > until:
+                return
+            callback()
+            self.after(interval, tick)
+
+        self.after(interval, tick)
+
+    def pending(self) -> int:
+        """Number of callbacks still queued."""
+        return len(self._queue)
+
+    def run_until(self, end: float) -> None:
+        """Run all callbacks scheduled up to and including time *end*."""
+        while self._queue and self._queue[0][0] <= end:
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            self.executed += 1
+            callback()
+        self.now = max(self.now, end)
+
+    def run(self, max_callbacks: int = 1_000_000) -> None:
+        """Run until the queue drains (bounded against runaway loops)."""
+        remaining = max_callbacks
+        while self._queue:
+            if remaining <= 0:
+                raise WebError(f"simulation exceeded {max_callbacks} callbacks")
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            self.executed += 1
+            remaining -= 1
+            callback()

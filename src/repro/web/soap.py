@@ -1,0 +1,63 @@
+"""SOAP-style envelopes: the message format for event exchange.
+
+Following the paper's description of SOAP, an envelope has a *header*
+(metadata about the message: when it was sent, by whom, a message id) and a
+*body* (the application payload).  Envelopes are themselves data terms, so
+they can be queried with the ordinary query language — which is how event
+queries extract both payload data and message metadata.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import WebError
+from repro.terms.ast import Data
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A SOAP-style message envelope around a term payload."""
+
+    body: Data
+    sender: str = ""
+    sent_at: float = 0.0
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def to_term(self) -> Data:
+        """Encode as ``envelope{header{...}, body{...}}``."""
+        header = Data(
+            "header",
+            (
+                Data("sender", (self.sender,)),
+                Data("sent-at", (self.sent_at,)),
+                Data("message-id", (self.message_id,)),
+            ),
+            False,
+        )
+        return Data("envelope", (header, Data("body", (self.body,), True)), True)
+
+    @staticmethod
+    def from_term(term: Data) -> "Envelope":
+        """Decode an envelope term; raises :class:`WebError` if malformed."""
+        if term.label != "envelope":
+            raise WebError(f"not an envelope: {term.label!r}")
+        header = term.first("header")
+        body = term.first("body")
+        if header is None or body is None or not body.children:
+            raise WebError("envelope must contain header and non-empty body")
+        payload = body.children[0]
+        if not isinstance(payload, Data):
+            raise WebError("envelope body must be a data term")
+        sender = header.first("sender")
+        sent_at = header.first("sent-at")
+        message_id = header.first("message-id")
+        return Envelope(
+            payload,
+            str(sender.value) if sender is not None and sender.value is not None else "",
+            float(sent_at.value) if sent_at is not None and sent_at.value is not None else 0.0,
+            int(message_id.value) if message_id is not None and message_id.value is not None else 0,
+        )

@@ -1,0 +1,160 @@
+"""Tests for static rule-base analysis (Thesis 1's machine analysability)."""
+
+from repro.core import PyAction, Raise, Sequence, eca
+from repro.core.analysis import (
+    analysis_report,
+    consumed_labels,
+    dead_rules,
+    find_trigger_cycles,
+    raised_labels,
+    trigger_graph,
+)
+from repro.events.queries import EAnd, EAtom, ECount, ENot, EOr, ESeq, EWithin
+from repro.terms import CTerm, Var, parse_construct, parse_query, q
+
+
+def rule(name, on, *raises):
+    action = Sequence(*(Raise("http://x.example", parse_construct(f"{label}{{}}"))
+                        for label in raises)) if len(raises) != 1 else \
+        Raise("http://x.example", parse_construct(f"{raises[0]}{{}}"))
+    return eca(name, on, action)
+
+
+class TestLabelInterfaces:
+    def test_consumed_atom(self):
+        r = rule("r", EAtom(q("order")), "x")
+        assert consumed_labels(r) == {"order"}
+
+    def test_consumed_composite(self):
+        on = EWithin(ESeq(EAtom(q("a")), ENot(q("n")), EAtom(q("b"))), 5.0)
+        r = rule("r", on, "x")
+        assert consumed_labels(r) == {"a", "b"}  # negated labels not triggers
+
+    def test_consumed_accumulation(self):
+        r = rule("r", ECount(q("outage"), 3, 60.0), "x")
+        assert consumed_labels(r) == {"outage"}
+
+    def test_consumed_wildcard(self):
+        r = rule("r", EAtom(q("*")), "x")
+        assert consumed_labels(r) == {"*"}
+
+    def test_raised_simple(self):
+        r = rule("r", EAtom(q("a")), "ship", "bill")
+        assert raised_labels(r) == {"ship", "bill"}
+
+    def test_raised_through_branches_and_else(self):
+        from repro.core import ecaa
+        from repro.core.conditions import TrueCond
+
+        r = ecaa("r", EAtom(q("a")), TrueCond(),
+                 Raise("http://x.example", parse_construct("yes{}")),
+                 Raise("http://x.example", parse_construct("no{}")))
+        assert raised_labels(r) == {"yes", "no"}
+
+    def test_dynamic_label_is_star(self):
+        r = eca("r", EAtom(q("a")),
+                Raise("http://x.example", CTerm(Var("L"), ())))
+        assert raised_labels(r) == {"*"}
+
+    def test_pyaction_is_opaque(self):
+        r = eca("r", EAtom(q("a")), PyAction(lambda n, b: None))
+        assert raised_labels(r) == {"*"}
+
+    def test_non_raising_rule(self):
+        from repro.core.actions import Persist
+
+        r = eca("r", EAtom(q("a")),
+                Persist("http://x.example/log", parse_construct("e{}")))
+        assert raised_labels(r) == frozenset()
+
+
+class TestTriggerGraph:
+    def test_chain_detected(self):
+        rules = [
+            rule("first", EAtom(q("order")), "ship"),
+            rule("second", EAtom(q("ship")), "notify"),
+            rule("third", EAtom(q("notify")), "done"),
+        ]
+        graph = trigger_graph(rules)
+        assert graph.has_edge("first", "second")
+        assert graph.has_edge("second", "third")
+        assert not graph.has_edge("third", "first")
+
+    def test_cycle_detected(self):
+        rules = [
+            rule("ping", EAtom(q("pong-ev")), "ping-ev"),
+            rule("pong", EAtom(q("ping-ev")), "pong-ev"),
+        ]
+        cycles = find_trigger_cycles(rules)
+        assert cycles == [["ping", "pong"]]
+
+    def test_self_loop_detected(self):
+        looper = rule("echo", EAtom(q("echo-ev")), "echo-ev")
+        assert find_trigger_cycles([looper]) == [["echo"]]
+
+    def test_acyclic_base_reports_no_loops(self):
+        rules = [
+            rule("first", EAtom(q("order")), "ship"),
+            rule("second", EAtom(q("ship")), "notify"),
+        ]
+        assert find_trigger_cycles(rules) == []
+
+    def test_wildcard_consumer_triggered_by_all(self):
+        rules = [
+            rule("producer", EAtom(q("order")), "anything"),
+            rule("logger", EAtom(q("*")), "log-entry"),
+        ]
+        graph = trigger_graph(rules)
+        assert graph.has_edge("producer", "logger")
+
+
+class TestDeadRules:
+    def test_untriggerable_rule_found(self):
+        rules = [
+            rule("live", EAtom(q("order")), "ship"),
+            rule("dead", EAtom(q("never-raised")), "x"),
+        ]
+        assert dead_rules(rules, external_labels=["order"]) == ["dead"]
+
+    def test_external_labels_keep_rules_alive(self):
+        rules = [rule("entry", EAtom(q("order")), "ship")]
+        assert dead_rules(rules, external_labels=["order"]) == []
+        assert dead_rules(rules) == ["entry"]
+
+    def test_internally_triggered_not_dead(self):
+        rules = [
+            rule("first", EAtom(q("order")), "ship"),
+            rule("second", EAtom(q("ship")), "notify"),
+        ]
+        assert "second" not in dead_rules(rules, external_labels=["order"])
+
+
+class TestReport:
+    def test_clean_report(self):
+        rules = [
+            rule("first", EAtom(q("order")), "ship"),
+            rule("second", EAtom(q("ship")), "notify"),
+        ]
+        report = analysis_report(rules, external_labels=["order"])
+        assert report["clean"] is True
+        assert report["rules"] == 2
+
+    def test_dirty_report(self):
+        rules = [
+            rule("echo", EAtom(q("echo-ev")), "echo-ev"),
+            rule("dead", EAtom(q("nothing")), "x"),
+        ]
+        report = analysis_report(rules)
+        assert report["clean"] is False
+        assert ["echo"] in report["potential_loops"]
+        assert "dead" in report["dead_rules"]
+
+    def test_marketplace_example_is_loop_free(self):
+        # The shop rules from the integration scenario: no event loops.
+        from repro.lang import parse_program
+
+        items = parse_program('''
+            RULE a ON order{{ item[var I] }} DO RAISE TO "http://w.example" ship{ item[var I] }
+            RULE b ON ship{{ item[var I] }} DO RAISE TO "http://s.example" shipped{ item[var I] }
+        ''')
+        assert find_trigger_cycles(items) == []

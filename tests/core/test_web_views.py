@@ -1,0 +1,104 @@
+"""Tests for deductive Web views attached to resources (Thesis 9)."""
+
+import pytest
+
+from repro.core import PyAction, QueryCond, ReactiveEngine, eca
+from repro.deductive import DeductiveRule, Match, Program
+from repro.events.queries import EAtom
+from repro.terms import Var, c, parse_data, parse_query, q
+from repro.web import Simulation
+
+URI = "http://org.example/staff"
+
+# reports-to is extensional; chain-of-command is its transitive closure.
+CHAIN_RULES = Program([
+    DeductiveRule(
+        c("chain", c("junior", Var("A")), c("senior", Var("B"))),
+        (Match(parse_query("reports-to{{ junior[var A], senior[var B] }}")),),
+    ),
+    DeductiveRule(
+        c("chain", c("junior", Var("A")), c("senior", Var("C"))),
+        (
+            Match(parse_query("reports-to{{ junior[var A], senior[var B] }}")),
+            Match(parse_query("chain{{ junior[var B], senior[var C] }}")),
+        ),
+    ),
+])
+
+
+def org_world():
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://org.example")
+    node.put(URI, parse_data(
+        "staff{ reports-to{ junior[\"ann\"], senior[\"bo\"] },"
+        " reports-to{ junior[\"bo\"], senior[\"cy\"] } }"
+    ))
+    engine = ReactiveEngine(node)
+    engine.define_web_views(URI, CHAIN_RULES)
+    return sim, node, engine
+
+
+class TestWebViews:
+    def test_condition_sees_derived_facts(self):
+        sim, node, engine = org_world()
+        approvals = []
+        engine.install(eca(
+            "needs-approval",
+            EAtom(parse_query("expense{{ by[var A] }}")),
+            PyAction(lambda n, b: approvals.append((b["A"], b["S"]))),
+            if_=QueryCond(URI, parse_query("chain{{ junior[var A], senior[var S] }}")),
+        ))
+        node.raise_local(parse_data('expense{ by["ann"] }'))
+        sim.run()
+        # ann's chain of command includes bo directly and cy transitively.
+        assert set(approvals) == {("ann", "bo"), ("ann", "cy")}
+
+    def test_extensional_facts_still_visible(self):
+        sim, node, engine = org_world()
+        from repro.core import conditions as cond
+        from repro.terms import Bindings
+
+        result = cond.evaluate(
+            QueryCond(URI, parse_query("reports-to{{ junior[var A] }}")),
+            node, Bindings(), views=engine._web_views,
+        )
+        assert {b["A"] for b in result} == {"ann", "bo"}
+
+    def test_view_invalidated_on_update(self):
+        sim, node, engine = org_world()
+        from repro.core import conditions as cond
+        from repro.terms import Bindings
+
+        query = QueryCond(URI, parse_query('chain{{ junior["cy"], senior[var S] }}'))
+        assert cond.evaluate(query, node, Bindings(), views=engine._web_views) == []
+        # cy gets a new boss: the derived chain must reflect it.
+        node.put(URI, parse_data(
+            "staff{ reports-to{ junior[\"ann\"], senior[\"bo\"] },"
+            " reports-to{ junior[\"bo\"], senior[\"cy\"] },"
+            " reports-to{ junior[\"cy\"], senior[\"di\"] } }"
+        ))
+        result = cond.evaluate(query, node, Bindings(), views=engine._web_views)
+        assert {b["S"] for b in result} == {"di"}
+        # and ann's chain now reaches di transitively.
+        long_chain = QueryCond(URI, parse_query(
+            'chain{{ junior["ann"], senior["di"] }}'))
+        assert cond.evaluate(long_chain, node, Bindings(), views=engine._web_views)
+
+    def test_materialisation_is_lazy_and_cached(self):
+        sim, node, engine = org_world()
+        state = engine._web_views[URI]
+        assert state.evaluator is None  # nothing materialised yet
+        from repro.core import conditions as cond
+        from repro.terms import Bindings
+
+        cond.evaluate(QueryCond(URI, parse_query("chain")), node, Bindings(),
+                      views=engine._web_views)
+        first = state.evaluator
+        assert first is not None
+        cond.evaluate(QueryCond(URI, parse_query("chain")), node, Bindings(),
+                      views=engine._web_views)
+        assert state.evaluator is first  # cached between queries
+
+    def test_recursive_views_allowed_for_web_data(self):
+        # Unlike event views, persistent-data views may recurse.
+        assert CHAIN_RULES.is_recursive()

@@ -1,0 +1,279 @@
+"""Unit tests for deductive rules: analysis, forward and backward chaining."""
+
+import pytest
+
+from repro.deductive import (
+    BackwardEvaluator,
+    DeductiveRule,
+    Filter,
+    Match,
+    Negation,
+    Program,
+    TermBase,
+    forward_chain,
+)
+from repro.errors import DeductiveError, RecursionRejected
+from repro.terms import Bindings, Var, c, d, parse_construct, parse_data, parse_query, q, u
+
+
+def edge(a, b):
+    return d("edge", d("src", a), d("dst", b))
+
+
+def edge_base():
+    return TermBase([edge("a", "b"), edge("b", "c"), edge("c", "d")])
+
+
+PATH_RULES = [
+    DeductiveRule(
+        c("path", c("src", Var("X")), c("dst", Var("Y"))),
+        (Match(parse_query("edge{{ src[var X], dst[var Y] }}")),),
+        name="base",
+    ),
+    DeductiveRule(
+        c("path", c("src", Var("X")), c("dst", Var("Z"))),
+        (
+            Match(parse_query("edge{{ src[var X], dst[var Y] }}")),
+            Match(parse_query("path{{ src[var Y], dst[var Z] }}")),
+        ),
+        name="step",
+    ),
+]
+
+
+class TestTermBase:
+    def test_add_and_contains(self):
+        base = edge_base()
+        assert edge("a", "b") in base
+        assert len(base) == 3
+
+    def test_semantic_deduplication(self):
+        base = TermBase()
+        assert base.add(u("f", 1, 2)) is True
+        assert base.add(u("f", 2, 1)) is False  # unordered: same fact
+
+    def test_remove(self):
+        base = edge_base()
+        assert base.remove(edge("a", "b")) is True
+        assert base.remove(edge("a", "b")) is False
+        assert len(base) == 2
+
+    def test_with_label(self):
+        base = edge_base()
+        base.add(d("node", "a"))
+        assert len(base.with_label("edge")) == 3
+        assert len(base.with_label("node")) == 1
+        assert len(base.with_label("*")) == 4
+
+    def test_solve_uses_label_index(self):
+        base = edge_base()
+        result = base.solve(parse_query("edge{{ src[var X] }}"))
+        assert {b["X"] for b in result} == {"a", "b", "c"}
+
+    def test_from_document(self):
+        doc = parse_data("root{ item{1}, item{2}, 5 }")
+        base = TermBase.from_document(doc)
+        assert len(base) == 2  # the scalar child is not a fact
+
+    def test_copy_independent(self):
+        base = edge_base()
+        other = base.copy()
+        other.add(edge("x", "y"))
+        assert len(base) == 3 and len(other) == 4
+
+
+class TestRuleValidation:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(DeductiveError):
+            DeductiveRule(c("out", Var("X")), (Match(q("a", Var("Y"))),))
+
+    def test_unsafe_filter_rejected(self):
+        with pytest.raises(DeductiveError):
+            DeductiveRule(
+                c("out", Var("X")),
+                (Match(q("a", Var("X"))), Filter("Z", ">", 1)),
+            )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DeductiveError):
+            DeductiveRule(c("out"), ())
+
+    def test_non_cterm_head_rejected(self):
+        with pytest.raises(DeductiveError):
+            DeductiveRule(Var("X"), (Match(q("a", Var("X"))),))
+
+    def test_negated_vars_do_not_bind(self):
+        # Head var bound only in negation -> unsafe.
+        with pytest.raises(DeductiveError):
+            DeductiveRule(c("out", Var("X")), (Negation(q("a", Var("X"))),))
+
+
+class TestProgramAnalysis:
+    def test_nonrecursive_program(self):
+        program = Program([PATH_RULES[0]])
+        assert program.is_recursive() is False
+
+    def test_recursive_program_detected(self):
+        program = Program(PATH_RULES)
+        assert program.is_recursive() is True
+
+    def test_recursion_rejected_for_event_profile(self):
+        with pytest.raises(RecursionRejected):
+            Program(PATH_RULES, allow_recursion=False)
+
+    def test_negation_in_cycle_rejected(self):
+        looped = [
+            DeductiveRule(
+                c("a", Var("X")),
+                (Match(q("seed", Var("X"))), Negation(q("b", Var("X")))),
+            ),
+            DeductiveRule(c("b", Var("X")), (Match(q("a", Var("X"))),)),
+        ]
+        with pytest.raises(DeductiveError):
+            Program(looped)
+
+    def test_stratified_negation_accepted(self):
+        rules = [
+            DeductiveRule(c("b", Var("X")), (Match(q("seed", Var("X"))),)),
+            DeductiveRule(
+                c("a", Var("X")),
+                (Match(q("seed", Var("X"))), Negation(q("b", Var("X")))),
+            ),
+        ]
+        program = Program(rules)
+        assert len(program.strata()) >= 1
+
+    def test_strata_order_dependencies_first(self):
+        rules = [
+            DeductiveRule(c("top", Var("X")), (Match(q("mid", Var("X"))),), name="t"),
+            DeductiveRule(c("mid", Var("X")), (Match(q("bot", Var("X"))),), name="m"),
+        ]
+        strata = Program(rules).strata()
+        names = [[r.name for r in s] for s in strata]
+        assert names.index(["m"]) < names.index(["t"])
+
+    def test_rules_for(self):
+        program = Program(PATH_RULES)
+        assert len(program.rules_for("path")) == 2
+        assert program.rules_for("edge") == []
+
+
+class TestForwardChaining:
+    def test_transitive_closure(self):
+        result = forward_chain(Program(PATH_RULES), edge_base())
+        paths = result.with_label("path")
+        pairs = {(p.first("src").value, p.first("dst").value) for p in paths}
+        assert pairs == {
+            ("a", "b"), ("b", "c"), ("c", "d"),
+            ("a", "c"), ("b", "d"), ("a", "d"),
+        }
+
+    def test_input_base_not_mutated(self):
+        base = edge_base()
+        forward_chain(Program(PATH_RULES), base)
+        assert len(base) == 3
+
+    def test_cyclic_data_terminates(self):
+        base = TermBase([edge("a", "b"), edge("b", "a")])
+        result = forward_chain(Program(PATH_RULES), base)
+        pairs = {
+            (p.first("src").value, p.first("dst").value)
+            for p in result.with_label("path")
+        }
+        assert pairs == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_filter_goal(self):
+        rule = DeductiveRule(
+            c("big", Var("X")),
+            (Match(q("n", Var("X"))), Filter("X", ">", 10)),
+        )
+        base = TermBase([u("n", 5), u("n", 15), u("n", 25)])
+        result = forward_chain(Program([rule]), base)
+        assert {t.value for t in result.with_label("big")} == {15, 25}
+
+    def test_negation_goal(self):
+        rules = [
+            DeductiveRule(
+                c("assigned", Var("X")),
+                (Match(parse_query("task{{ id[var X], done }}")),),
+            ),
+            DeductiveRule(
+                c("open", Var("X")),
+                (
+                    Match(parse_query("task{{ id[var X] }}")),
+                    Negation(parse_query("assigned{{ var X }}")),
+                ),
+            ),
+        ]
+        base = TermBase(
+            [u("task", d("id", "t1"), d("done")), u("task", d("id", "t2"))]
+        )
+        result = forward_chain(Program(rules), base)
+        assert {t.value for t in result.with_label("open")} == {"t2"}
+
+    def test_derived_facts_deduplicated(self):
+        # Two rules deriving the same fact produce it once.
+        rules = [
+            DeductiveRule(c("out", Var("X")), (Match(q("a", Var("X"))),)),
+            DeductiveRule(c("out", Var("X")), (Match(q("b", Var("X"))),)),
+        ]
+        base = TermBase([u("a", 1), u("b", 1)])
+        result = forward_chain(Program(rules), base)
+        assert len(result.with_label("out")) == 1
+
+    def test_multi_join_rule(self):
+        rule = DeductiveRule(
+            c("grandparent", c("gp", Var("X")), c("gc", Var("Z"))),
+            (
+                Match(parse_query("parent{{ p[var X], c[var Y] }}")),
+                Match(parse_query("parent{{ p[var Y], c[var Z] }}")),
+            ),
+        )
+        base = TermBase([
+            u("parent", d("p", "ann"), d("c", "bob")),
+            u("parent", d("p", "bob"), d("c", "cid")),
+        ])
+        result = forward_chain(Program([rule]), base)
+        gp = result.with_label("grandparent")
+        assert len(gp) == 1
+        assert gp[0].first("gp").value == "ann"
+
+
+class TestBackwardChaining:
+    def test_agrees_with_forward(self):
+        program = Program(PATH_RULES)
+        base = edge_base()
+        forward = forward_chain(program, base)
+        backward = BackwardEvaluator(program, base)
+        fwd = {b for b in forward.solve(parse_query("path{{ src[var X], dst[var Y] }}"))}
+        bwd = {b for b in backward.solve(parse_query("path{{ src[var X], dst[var Y] }}"))}
+        assert fwd == bwd
+
+    def test_memoisation_caches(self):
+        program = Program(PATH_RULES)
+        evaluator = BackwardEvaluator(program, edge_base())
+        evaluator.solve(parse_query("path{{ src[var X] }}"))
+        assert evaluator._cache
+        evaluator.invalidate()
+        assert not evaluator._cache
+
+    def test_extensional_query_untouched_by_rules(self):
+        program = Program(PATH_RULES)
+        evaluator = BackwardEvaluator(program, edge_base())
+        result = evaluator.solve(parse_query("edge{{ src[var X] }}"))
+        assert {b["X"] for b in result} == {"a", "b", "c"}
+
+    def test_facts_accessor(self):
+        program = Program(PATH_RULES)
+        evaluator = BackwardEvaluator(program, edge_base())
+        assert len(evaluator.facts("path")) == 6
+
+    def test_only_reachable_rules_materialised(self):
+        unrelated = DeductiveRule(
+            c("noise", Var("X")), (Match(q("whatever", Var("X"))),)
+        )
+        program = Program(PATH_RULES + [unrelated])
+        evaluator = BackwardEvaluator(program, edge_base())
+        evaluator.solve(parse_query("path{{ src[var X] }}"))
+        (labels,) = evaluator._cache.keys()
+        assert "noise" not in labels

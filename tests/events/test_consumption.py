@@ -1,0 +1,88 @@
+"""Tests for event instance selection and consumption policies (Thesis 5)."""
+
+import pytest
+
+from repro.errors import EventQueryError
+from repro.events import (
+    ConsumingEvaluator,
+    ConsumptionPolicy,
+    EAnd,
+    EAtom,
+    IncrementalEvaluator,
+)
+from repro.events.model import make_event
+from repro.terms import Var, d, parse_data, q
+
+
+def pair_evaluator(policy):
+    query = EAnd(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y"))))
+    return ConsumingEvaluator(IncrementalEvaluator(query), policy)
+
+
+def feed(evaluator, *specs):
+    out = []
+    for time, text in specs:
+        out.extend(evaluator.on_event(make_event(parse_data(text), time)))
+    return out
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(EventQueryError):
+            ConsumptionPolicy("sometimes")
+
+    def test_unrestricted_keeps_all(self):
+        evaluator = pair_evaluator("unrestricted")
+        out = feed(evaluator, (1.0, "a{1}"), (2.0, "a{2}"), (3.0, "b{9}"))
+        assert len(out) == 2  # both a's combine with the b
+
+    def test_chronicle_consumes_oldest_first(self):
+        evaluator = pair_evaluator("chronicle")
+        out = feed(evaluator, (1.0, "a{1}"), (2.0, "a{2}"), (3.0, "b{9}"))
+        # Both answers arrive simultaneously; chronicle accepts the one with
+        # the older a and consumes the b, blocking the second pairing.
+        assert len(out) == 1
+        assert out[0].bindings["X"] == 1
+
+    def test_chronicle_blocks_reuse_across_batches(self):
+        evaluator = pair_evaluator("chronicle")
+        feed(evaluator, (1.0, "a{1}"), (2.0, "b{9}"))  # consumed pair
+        out = feed(evaluator, (3.0, "b{8}"))
+        # a{1} was consumed at t=2; the new b has no partner left.
+        assert out == []
+        out = feed(evaluator, (4.0, "a{2}"))
+        # fresh a pairs with... b{8} (unconsumed) and b{9}? b9 consumed.
+        assert len(out) == 1
+        assert out[0].bindings["Y"] == 8
+
+    def test_recent_selects_latest(self):
+        evaluator = pair_evaluator("recent")
+        out = feed(evaluator, (1.0, "a{1}"), (2.0, "a{2}"), (3.0, "b{9}"))
+        assert len(out) == 1
+        assert out[0].bindings["X"] == 2  # the more recent a wins
+
+    def test_cumulative_resets_state(self):
+        evaluator = pair_evaluator("cumulative")
+        out = feed(evaluator, (1.0, "a{1}"), (2.0, "b{9}"))
+        assert len(out) == 1
+        assert evaluator.state_size() == 0  # everything consumed
+        out = feed(evaluator, (3.0, "b{8}"))
+        assert out == []  # a{1} is gone with the reset
+
+    def test_policy_object_reuse(self):
+        policy = ConsumptionPolicy("chronicle")
+        evaluator = pair_evaluator(policy)
+        feed(evaluator, (1.0, "a{1}"), (2.0, "b{9}"))
+        assert policy._consumed  # events recorded as consumed
+        evaluator.reset()
+        assert not policy._consumed
+
+    def test_advance_time_passes_through(self):
+        from repro.events import ENot, ESeq, EWithin
+
+        query = EWithin(ESeq(EAtom(q("a")), ENot(q("n"))), 2.0)
+        evaluator = ConsumingEvaluator(IncrementalEvaluator(query), "chronicle")
+        evaluator.on_event(make_event(d("a"), 1.0))
+        assert evaluator.next_deadline() == 3.0
+        out = evaluator.advance_time(3.0)
+        assert len(out) == 1

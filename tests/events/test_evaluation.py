@@ -1,0 +1,423 @@
+"""Unit tests for event-query evaluation, run against BOTH evaluators.
+
+Every scenario is parametrised over the incremental operator network and the
+naive full-history baseline; both must produce the same answers (Thesis 6:
+same semantics, different cost).
+"""
+
+import pytest
+
+from repro.events import (
+    EAggregate,
+    EAnd,
+    EAtom,
+    ECount,
+    ENot,
+    EOr,
+    ESeq,
+    EWithin,
+    IncrementalEvaluator,
+    NaiveEvaluator,
+)
+from repro.events.model import make_event
+from repro.terms import Bindings, Var, d, parse_data, parse_query, q, u
+
+EVALUATORS = [IncrementalEvaluator, NaiveEvaluator]
+
+
+def feed(evaluator, *specs):
+    """Feed (time, term_text) specs; returns all emitted answers."""
+    out = []
+    for time, text in specs:
+        if text is None:
+            out.extend(evaluator.advance_time(time))
+        else:
+            out.extend(evaluator.on_event(make_event(parse_data(text), time)))
+    return out
+
+
+@pytest.fixture(params=EVALUATORS, ids=["incremental", "naive"])
+def make_evaluator(request):
+    return request.param
+
+
+class TestAtom:
+    def test_matching_event_answers(self, make_evaluator):
+        ev = make_evaluator(EAtom(parse_query("order{{ item[var I] }}")))
+        out = feed(ev, (1.0, 'order{ item["ball"] }'))
+        assert len(out) == 1
+        assert out[0].bindings["I"] == "ball"
+        assert out[0].start == out[0].end == 1.0
+
+    def test_non_matching_ignored(self, make_evaluator):
+        ev = make_evaluator(EAtom(parse_query("order{{}}")))
+        assert feed(ev, (1.0, "payment{}")) == []
+
+    def test_multiple_bindings_multiple_answers(self, make_evaluator):
+        ev = make_evaluator(EAtom(parse_query("cart{{ item[var I] }}")))
+        out = feed(ev, (1.0, 'cart{ item["a"], item["b"] }'))
+        assert {a.bindings["I"] for a in out} == {"a", "b"}
+
+    def test_alias_binds_payload(self, make_evaluator):
+        ev = make_evaluator(EAtom(parse_query("ping{{}}"), alias="E"))
+        out = feed(ev, (2.0, "ping{}"))
+        assert out[0].bindings["E"] == u("ping")
+
+
+class TestConjunction:
+    def test_and_any_order(self, make_evaluator):
+        query = EAnd(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y"))))
+        ev = make_evaluator(query)
+        assert feed(ev, (1.0, "b{2}")) == []
+        out = feed(ev, (2.0, "a{1}"))
+        assert len(out) == 1
+        assert out[0].bindings.as_dict() == {"X": 1, "Y": 2}
+        assert out[0].start == 1.0 and out[0].end == 2.0
+
+    def test_and_joins_on_shared_vars(self, make_evaluator):
+        query = EAnd(
+            EAtom(parse_query("order{{ id[var K] }}")),
+            EAtom(parse_query("payment{{ id[var K] }}")),
+        )
+        ev = make_evaluator(query)
+        out = feed(
+            ev,
+            (1.0, "order{ id[7] }"),
+            (2.0, "payment{ id[9] }"),  # different id: no join
+            (3.0, "payment{ id[7] }"),
+        )
+        assert len(out) == 1
+        assert out[0].bindings["K"] == 7
+
+    def test_and_multiple_partners(self, make_evaluator):
+        query = EAnd(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y"))))
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "a{1}"), (2.0, "a{2}"), (3.0, "b{9}"))
+        assert {(a.bindings["X"], a.bindings["Y"]) for a in out} == {(1, 9), (2, 9)}
+
+    def test_same_event_can_serve_both_sides(self, make_evaluator):
+        query = EAnd(EAtom(q("x", Var("A"))), EAtom(q("*", 5)))
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "x{5}"))
+        assert len(out) == 1
+        assert out[0].events == (out[0].events[0],)  # single event, both roles
+
+    def test_or_either_branch(self, make_evaluator):
+        query = EOr(EAtom(q("a")), EAtom(q("b")))
+        ev = make_evaluator(query)
+        assert len(feed(ev, (1.0, "a{}"))) == 1
+        assert len(feed(ev, (2.0, "b{}"))) == 1
+        assert feed(ev, (3.0, "c{}")) == []
+
+
+class TestSequence:
+    def test_order_enforced(self, make_evaluator):
+        query = ESeq(EAtom(q("a")), EAtom(q("b")))
+        forward = make_evaluator(query)
+        assert len(feed(forward, (1.0, "a{}"), (2.0, "b{}"))) == 1
+        backward = make_evaluator(query)
+        assert feed(backward, (1.0, "b{}"), (2.0, "a{}")) == []
+
+    def test_simultaneous_not_ordered(self, make_evaluator):
+        query = ESeq(EAtom(q("a")), EAtom(q("b")))
+        ev = make_evaluator(query)
+        assert feed(ev, (1.0, "a{}"), (1.0, "b{}")) == []
+
+    def test_three_step_sequence(self, make_evaluator):
+        query = ESeq(EAtom(q("a")), EAtom(q("b")), EAtom(q("c")))
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "a{}"), (2.0, "b{}"), (3.0, "c{}"))
+        assert len(out) == 1
+        assert out[0].start == 1.0 and out[0].end == 3.0
+
+    def test_sequence_joins_bindings(self, make_evaluator):
+        query = ESeq(
+            EAtom(parse_query("req{{ id[var K] }}")),
+            EAtom(parse_query("resp{{ id[var K] }}")),
+        )
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "req{ id[1] }"), (2.0, "resp{ id[2] }"), (3.0, "resp{ id[1] }"))
+        assert len(out) == 1
+        assert out[0].end == 3.0
+
+    def test_every_pair_counted(self, make_evaluator):
+        query = ESeq(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y"))))
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "a{1}"), (2.0, "a{2}"), (3.0, "b{7}"))
+        assert len(out) == 2  # both a's pair with the b
+
+
+class TestNegation:
+    def flight_query(self):
+        # The paper's example: cancellation, then NO rebooking within 2 hours.
+        return EWithin(
+            ESeq(
+                EAtom(parse_query("cancellation{{ flight[var F] }}")),
+                ENot(parse_query("rebooking{{ flight[var F] }}")),
+            ),
+            2.0,
+        )
+
+    def test_absence_confirmed_at_deadline(self, make_evaluator):
+        ev = make_evaluator(self.flight_query())
+        out = feed(ev, (1.0, 'cancellation{ flight["LH1"] }'))
+        assert out == []  # not yet confirmed
+        out = feed(ev, (3.0, None))  # advance past deadline 1.0 + 2.0
+        assert len(out) == 1
+        assert out[0].bindings["F"] == "LH1"
+        assert out[0].end == 3.0  # confirmed at the deadline
+
+    def test_rebooking_blocks(self, make_evaluator):
+        ev = make_evaluator(self.flight_query())
+        out = feed(
+            ev,
+            (1.0, 'cancellation{ flight["LH1"] }'),
+            (2.0, 'rebooking{ flight["LH1"] }'),
+            (4.0, None),
+        )
+        assert out == []
+
+    def test_unrelated_rebooking_does_not_block(self, make_evaluator):
+        ev = make_evaluator(self.flight_query())
+        out = feed(
+            ev,
+            (1.0, 'cancellation{ flight["LH1"] }'),
+            (2.0, 'rebooking{ flight["XX9"] }'),  # different flight
+            (4.0, None),
+        )
+        assert len(out) == 1
+
+    def test_blocker_exactly_at_deadline_blocks(self, make_evaluator):
+        ev = make_evaluator(self.flight_query())
+        out = feed(
+            ev,
+            (1.0, 'cancellation{ flight["LH1"] }'),
+            (3.0, 'rebooking{ flight["LH1"] }'),  # exactly at deadline
+            (5.0, None),
+        )
+        assert out == []
+
+    def test_mid_sequence_negation(self, make_evaluator):
+        query = EWithin(
+            ESeq(EAtom(q("a")), ENot(q("n")), EAtom(q("b"))),
+            10.0,
+        )
+        clean = make_evaluator(query)
+        assert len(feed(clean, (1.0, "a{}"), (3.0, "b{}"))) == 1
+        blocked = make_evaluator(query)
+        assert feed(blocked, (1.0, "a{}"), (2.0, "n{}"), (3.0, "b{}")) == []
+
+    def test_mid_negation_outside_gap_ignored(self, make_evaluator):
+        query = EWithin(ESeq(EAtom(q("a")), ENot(q("n")), EAtom(q("b"))), 10.0)
+        ev = make_evaluator(query)
+        out = feed(ev, (0.5, "n{}"), (1.0, "a{}"), (3.0, "b{}"), (4.0, "n{}"))
+        assert len(out) == 1
+
+    def test_event_arrival_fires_due_deadline(self, make_evaluator):
+        # No explicit advance_time: the next event catches the deadline up.
+        ev = make_evaluator(self.flight_query())
+        feed(ev, (1.0, 'cancellation{ flight["LH1"] }'))
+        out = feed(ev, (9.0, "noise{}"))
+        assert len(out) == 1
+        assert out[0].end == 3.0
+
+
+class TestWithin:
+    def test_window_filters_spans(self, make_evaluator):
+        query = EWithin(EAnd(EAtom(q("a")), EAtom(q("b"))), 2.0)
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "a{}"), (5.0, "b{}"))  # span 4 > 2
+        assert out == []
+        out = feed(ev, (6.0, "a{}"))  # pairs with b at 5: span 1
+        assert len(out) == 1
+
+    def test_exact_window_boundary_included(self, make_evaluator):
+        query = EWithin(EAnd(EAtom(q("a")), EAtom(q("b"))), 2.0)
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "a{}"), (3.0, "b{}"))
+        assert len(out) == 1
+
+
+class TestAccumulation:
+    def test_count_threshold(self, make_evaluator):
+        # The paper's SLA example: 3 outages within 1 hour.
+        query = ECount(parse_query("outage{{}}"), 3, 60.0)
+        ev = make_evaluator(query)
+        out = feed(ev, (0.0, "outage{}"), (10.0, "outage{}"))
+        assert out == []
+        out = feed(ev, (20.0, "outage{}"))
+        assert len(out) == 1
+        assert len(out[0].events) == 3
+
+    def test_count_window_slides(self, make_evaluator):
+        query = ECount(parse_query("outage{{}}"), 3, 60.0)
+        ev = make_evaluator(query)
+        out = feed(
+            ev,
+            (0.0, "outage{}"),
+            (30.0, "outage{}"),
+            (70.0, "outage{}"),  # first one expired: only 2 in window
+        )
+        assert out == []
+        out = feed(ev, (80.0, "outage{}"))  # 30 expired too... 70, 80 + 30? no
+        # window (20, 80]: events at 30, 70, 80 -> 3 events
+        assert len(out) == 1
+
+    def test_count_grouped(self, make_evaluator):
+        query = ECount(parse_query("outage{{ server[var S] }}"), 2, 60.0, group_by=("S",))
+        ev = make_evaluator(query)
+        out = feed(
+            ev,
+            (0.0, 'outage{ server["a"] }'),
+            (1.0, 'outage{ server["b"] }'),
+            (2.0, 'outage{ server["a"] }'),
+        )
+        assert len(out) == 1
+        assert out[0].bindings["S"] == "a"
+
+    def test_every_completion_emits(self, make_evaluator):
+        query = ECount(parse_query("outage{{}}"), 2, 60.0)
+        ev = make_evaluator(query)
+        out = feed(ev, (0.0, "outage{}"), (1.0, "outage{}"), (2.0, "outage{}"))
+        assert len(out) == 2  # at events 2 and 3
+
+    def test_aggregate_avg_size(self, make_evaluator):
+        query = EAggregate(parse_query("price{{ value[var P] }}"), "P", "avg", "A", size=3)
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "price{ value[10] }"), (2.0, "price{ value[20] }"))
+        assert out == []  # not enough values yet
+        out = feed(ev, (3.0, "price{ value[30] }"))
+        assert len(out) == 1
+        assert out[0].bindings["A"] == pytest.approx(20.0)
+
+    def test_aggregate_rise_predicate(self, make_evaluator):
+        # The paper's stock example: average of last 5 rises by 5%.
+        query = EAggregate(
+            parse_query("stock{{ price[var P] }}"),
+            "P", "avg", "A", size=5, predicate=("rise%", 5.0),
+        )
+        ev = make_evaluator(query)
+        prices = [100, 100, 100, 100, 100]  # avg 100, no previous -> no emit
+        out = []
+        for i, p in enumerate(prices):
+            out += feed(ev, (float(i), f"stock{{ price[{p}] }}"))
+        assert out == []
+        out = feed(ev, (5.0, "stock{ price[101] }"))  # avg 100.2: +0.2%
+        assert out == []
+        out = feed(ev, (6.0, "stock{ price[150] }"))  # avg(100,100,100,101,150)=110.2
+        assert len(out) == 1
+        assert out[0].bindings["A"] == pytest.approx(110.2)
+
+    def test_aggregate_window_mode(self, make_evaluator):
+        query = EAggregate(parse_query("m{{ v[var V] }}"), "V", "sum", "S", window=10.0)
+        ev = make_evaluator(query)
+        out = feed(ev, (0.0, "m{ v[1] }"), (5.0, "m{ v[2] }"), (20.0, "m{ v[4] }"))
+        sums = [a.bindings["S"] for a in out]
+        assert sums == [1.0, 3.0, 4.0]
+
+    def test_aggregate_grouped(self, make_evaluator):
+        query = EAggregate(
+            parse_query("m{{ s[var S], v[var V] }}"),
+            "V", "max", "M", size=2, group_by=("S",),
+        )
+        ev = make_evaluator(query)
+        out = feed(
+            ev,
+            (0.0, 'm{ s["x"], v[1] }'),
+            (1.0, 'm{ s["y"], v[9] }'),
+            (2.0, 'm{ s["x"], v[5] }'),
+        )
+        assert len(out) == 1
+        assert out[0].bindings["S"] == "x"
+        assert out[0].bindings["M"] == 5.0
+
+
+class TestNestedComposition:
+    def test_or_inside_seq(self, make_evaluator):
+        query = ESeq(EOr(EAtom(q("a")), EAtom(q("b"))), EAtom(q("c")))
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "b{}"), (2.0, "c{}"))
+        assert len(out) == 1
+
+    def test_and_inside_within_inside_seq(self, make_evaluator):
+        query = ESeq(EWithin(EAnd(EAtom(q("a")), EAtom(q("b"))), 2.0), EAtom(q("c")))
+        ev = make_evaluator(query)
+        out = feed(ev, (1.0, "a{}"), (2.0, "b{}"), (5.0, "c{}"))
+        assert len(out) == 1
+        assert out[0].start == 1.0 and out[0].end == 5.0
+
+    def test_seq_of_seqs(self, make_evaluator):
+        query = ESeq(ESeq(EAtom(q("a")), EAtom(q("b"))), EAtom(q("c")))
+        ev = make_evaluator(query)
+        assert len(feed(ev, (1.0, "a{}"), (2.0, "b{}"), (3.0, "c{}"))) == 1
+        # c arriving between a and b does not satisfy the outer sequence
+        ev2 = make_evaluator(query)
+        assert feed(ev2, (1.0, "a{}"), (2.0, "c{}"), (3.0, "b{}")) == []
+
+
+class TestTimeDiscipline:
+    def test_out_of_order_event_rejected(self, make_evaluator):
+        ev = make_evaluator(EAtom(q("a")))
+        feed(ev, (5.0, "a{}"))
+        from repro.errors import EventError
+
+        with pytest.raises(EventError):
+            feed(ev, (4.0, "a{}"))
+
+    def test_time_regression_rejected(self, make_evaluator):
+        ev = make_evaluator(EAtom(q("a")))
+        ev.advance_time(5.0)
+        from repro.errors import EventError
+
+        with pytest.raises(EventError):
+            ev.advance_time(4.0)
+
+    def test_same_time_events_allowed(self, make_evaluator):
+        ev = make_evaluator(EAtom(q("a")))
+        out = feed(ev, (1.0, "a{}"), (1.0, "a{}"))
+        assert len(out) == 2
+
+
+class TestVolatility:
+    """Thesis 4: windowed state stays bounded; naive history does not."""
+
+    def test_incremental_state_bounded_by_window(self):
+        query = EWithin(EAnd(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y")))), 10.0)
+        ev = IncrementalEvaluator(query)
+        sizes = []
+        for i in range(200):
+            ev.on_event(make_event(parse_data(f"a{{{i}}}"), float(i)))
+            sizes.append(ev.state_size())
+        # State is pruned to the window: far smaller than the history.
+        assert max(sizes[50:]) <= 30
+
+    def test_naive_state_grows_linearly(self):
+        query = EWithin(EAnd(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y")))), 10.0)
+        ev = NaiveEvaluator(query)
+        for i in range(100):
+            ev.on_event(make_event(parse_data(f"a{{{i}}}"), float(i)))
+        assert ev.state_size() == 100
+
+    def test_count_state_bounded(self):
+        query = ECount(parse_query("outage{{}}"), 3, 10.0)
+        ev = IncrementalEvaluator(query)
+        for i in range(500):
+            ev.on_event(make_event(parse_data("outage{}"), float(i)))
+        assert ev.state_size() <= 11
+
+    def test_next_deadline_reported(self):
+        query = EWithin(ESeq(EAtom(q("a")), ENot(q("n"))), 5.0)
+        ev = IncrementalEvaluator(query)
+        assert ev.next_deadline() is None
+        ev.on_event(make_event(parse_data("a{}"), 1.0))
+        assert ev.next_deadline() == 6.0
+        ev.advance_time(6.0)
+        assert ev.next_deadline() is None
+
+    def test_reset_clears_state(self):
+        query = EWithin(EAnd(EAtom(q("a")), EAtom(q("b"))), 100.0)
+        ev = IncrementalEvaluator(query)
+        ev.on_event(make_event(parse_data("a{}"), 1.0))
+        assert ev.state_size() > 0
+        ev.reset()
+        assert ev.state_size() == 0

@@ -1,0 +1,68 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events import Event, EventAnswer
+from repro.events.model import make_event
+from repro.terms import Bindings, d, u
+
+
+class TestEvent:
+    def test_basic_fields(self):
+        event = Event(1, d("ping"), 1.0, 2.0, "http://a")
+        assert event.time == 2.0
+        assert event.label == "ping"
+        assert event.source == "http://a"
+
+    def test_payload_must_be_term(self):
+        with pytest.raises(EventError):
+            Event(1, "not a term", 0.0, 0.0)  # type: ignore[arg-type]
+
+    def test_reception_before_occurrence_rejected(self):
+        with pytest.raises(EventError):
+            Event(1, d("ping"), 5.0, 4.0)
+
+    def test_make_event_unique_ids(self):
+        a = make_event(d("x"), 1.0)
+        b = make_event(d("x"), 1.0)
+        assert a.id != b.id
+
+    def test_make_event_defaults(self):
+        event = make_event(d("x"), 3.0)
+        assert event.occurrence == 3.0
+        assert event.reception == 3.0
+
+    def test_events_are_immutable(self):
+        event = make_event(d("x"), 1.0)
+        with pytest.raises(AttributeError):
+            event.reception = 2.0  # type: ignore[misc]
+
+
+class TestEventAnswer:
+    def test_span(self):
+        answer = EventAnswer(Bindings(), (1, 2), 1.0, 4.0)
+        assert answer.span == 3.0
+
+    def test_merge_compatible(self):
+        left = EventAnswer(Bindings.of(X=1), (1,), 1.0, 2.0)
+        right = EventAnswer(Bindings.of(Y=2), (2,), 3.0, 4.0)
+        merged = left.merge_with(right)
+        assert merged.bindings.as_dict() == {"X": 1, "Y": 2}
+        assert merged.events == (1, 2)
+        assert merged.start == 1.0 and merged.end == 4.0
+
+    def test_merge_conflicting_bindings(self):
+        left = EventAnswer(Bindings.of(X=1), (1,), 1.0, 1.0)
+        right = EventAnswer(Bindings.of(X=2), (2,), 2.0, 2.0)
+        assert left.merge_with(right) is None
+
+    def test_merge_deduplicates_events(self):
+        left = EventAnswer(Bindings(), (1, 2), 1.0, 2.0)
+        right = EventAnswer(Bindings(), (2, 3), 2.0, 3.0)
+        assert left.merge_with(right).events == (1, 2, 3)
+
+    def test_hashable(self):
+        a = EventAnswer(Bindings.of(X=1), (1,), 1.0, 1.0)
+        b = EventAnswer(Bindings.of(X=1), (1,), 1.0, 1.0)
+        assert len({a, b}) == 1

@@ -1,0 +1,227 @@
+"""Integration tests: whole-system scenarios from the paper's prose."""
+
+from repro.core import ReactiveEngine, eca
+from repro.core.aaa import Accountant, Authenticator, Certificate
+from repro.core.actions import InstallRule, PyAction, Raise
+from repro.core.meta import rule_to_term
+from repro.events.queries import EAtom
+from repro.lang import parse_program, parse_rule
+from repro.terms import Var, d, parse_construct, parse_data, parse_query, to_text
+from repro.web import Simulation
+
+
+class TestMarketplaceFlow:
+    """The running e-shop example: order -> stock check -> ship or reject."""
+
+    def setup_method(self):
+        self.sim = Simulation(latency=0.01)
+        self.shop = self.sim.node("http://shop.example")
+        self.warehouse = self.sim.node("http://warehouse.example")
+        self.customer = self.sim.node("http://franz.example")
+        self.shop_engine = ReactiveEngine(self.shop)
+        self.wh_engine = ReactiveEngine(self.warehouse)
+        self.customer_inbox = []
+        ReactiveEngine(self.customer).install(eca(
+            "inbox", EAtom(parse_query("*"), alias="E"),
+            PyAction(lambda n, b: self.customer_inbox.append(b["E"])),
+        ))
+        self.shop.put("http://shop.example/stock", parse_data(
+            'stock{ item{ id["ball"], qty[2] }, item{ id["sock"], qty[0] } }'
+        ))
+        for item in parse_program('''
+            RULE handle-order
+            ON order{{ item[var I], customer[var C] }}
+            IF IN "http://shop.example/stock" : stock{{ item{{ id[var I], qty[var Q] }} }}
+               AND var Q > 0
+            DO SEQUENCE
+                 REPLACE item{ id[var I], qty[var Q] }
+                   IN "http://shop.example/stock"
+                   BY item{ id[var I], qty[sub(var Q, 1)] }
+                 ALSO RAISE TO "http://warehouse.example" ship{ item[var I], to[var C] }
+               END
+            ELSE RAISE TO var C rejected{ item[var I] }
+        '''):
+            self.shop_engine.install(item)
+        self.wh_engine.install(parse_rule('''
+            RULE confirm
+            ON ship{{ item[var I], to[var C] }}
+            DO SEQUENCE
+                 PERSIST shipment{ item[var I], to[var C] }
+                   INTO "http://warehouse.example/log"
+                 ALSO RAISE TO var C shipped{ item[var I] }
+               END
+        '''))
+
+    def order(self, item):
+        self.customer.raise_event(
+            "http://shop.example",
+            parse_data(f'order{{ item["{item}"], customer["http://franz.example"] }}'),
+        )
+        self.sim.run()
+
+    def test_successful_order_ships_and_decrements(self):
+        self.order("ball")
+        stock = self.shop.get("http://shop.example/stock")
+        ball = [i for i in stock.all("item") if i.first("id").value == "ball"][0]
+        assert ball.first("qty").value == 1
+        assert [t.label for t in self.customer_inbox] == ["shipped"]
+        log = self.warehouse.get("http://warehouse.example/log")
+        assert len(log.all("shipment")) == 1
+
+    def test_out_of_stock_rejected(self):
+        self.order("sock")
+        assert [t.label for t in self.customer_inbox] == ["rejected"]
+
+    def test_stock_drains(self):
+        self.order("ball")
+        self.order("ball")
+        self.order("ball")
+        labels = [t.label for t in self.customer_inbox]
+        assert labels == ["shipped", "shipped", "rejected"]
+
+
+class TestTrustNegotiation:
+    """Thesis 11's scenario: reactive, meta-circular policy exchange."""
+
+    def test_negotiation_reaches_deal(self):
+        sim = Simulation(latency=0.01)
+        shop = sim.node("http://fussbaelle.biz")
+        franz = sim.node("http://franz.example")
+        shop_engine = ReactiveEngine(shop)
+        franz_engine = ReactiveEngine(franz)
+        transcript = []
+
+        # Step 2: on a purchase request, the shop sends its payment policy —
+        # a RULE, as data — instead of demanding the card up front.
+        shop_policy = eca(
+            "payment-policy",
+            EAtom(parse_query("payment-offer{{ method[\"credit-card\"] }}")),
+            Raise("http://fussbaelle.biz", parse_construct(
+                "payment-accepted{ method[\"credit-card\"] }")),
+        )
+        shop_engine.install(eca(
+            "on-purchase-request",
+            EAtom(parse_query("purchase-request{{ customer[var C] }}")),
+            Raise(Var("C"), rule_to_term(shop_policy)),
+        ))
+
+        # Step 3: Franz installs received policies (meta-circularity), then
+        # answers with his own condition: he pays by card only against a
+        # certificate from the Better Business Bureau.
+        franz_engine.install(eca(
+            "install-received-policy",
+            EAtom(parse_query("eca-rule"), alias="R"),
+            InstallRule(Var("R")),
+        ))
+        franz_engine.install(eca(
+            "ask-for-certificate",
+            EAtom(parse_query("eca-rule")),
+            Raise("http://fussbaelle.biz", parse_construct(
+                'certificate-request{ customer["http://franz.example"] }')),
+        ))
+
+        # Step 4: the shop answers certificate requests with its membership
+        # certificate.
+        certificate = Certificate("fussbaelle.biz", "http://bbb.example").to_term()
+        shop_engine.install(eca(
+            "send-certificate",
+            EAtom(parse_query("certificate-request{{ customer[var C] }}")),
+            Raise(Var("C"), certificate),
+        ))
+
+        # Step 5: Franz verifies the certificate and then offers payment —
+        # to HIS OWN node: the shop's policy rule, received as data and
+        # installed locally (meta-circularity), evaluates the offer on
+        # Franz's side and answers the shop with the acceptance.
+        authenticator = Authenticator()
+        authenticator.trust_authority("http://bbb.example")
+
+        def verify_and_pay(node, bindings):
+            subject = authenticator.authenticate_certificate(
+                Certificate.from_term(bindings["CERT"])
+            )
+            transcript.append(("verified", subject))
+            node.raise_event(node.uri,
+                             parse_data('payment-offer{ method["credit-card"] }'))
+
+        franz_engine.install(eca(
+            "verify-certificate",
+            EAtom(parse_query("certificate"), alias="CERT"),
+            PyAction(verify_and_pay),
+        ))
+        shop_engine.install(eca(
+            "close-deal",
+            EAtom(parse_query("payment-accepted{{}}")),
+            PyAction(lambda n, b: transcript.append(("deal", n.now))),
+        ))
+
+        franz.raise_event("http://fussbaelle.biz", parse_data(
+            'purchase-request{ customer["http://franz.example"], item["soccer-ball"], qty[10] }'
+        ))
+        sim.run()
+
+        assert ("verified", "fussbaelle.biz") in transcript
+        assert any(step[0] == "deal" for step in transcript)
+        # The policy rule travelled as data and was installed on Franz's node.
+        assert "payment-policy" in franz_engine.rules()
+
+
+class TestAccountedService:
+    """Thesis 12: an accounted, authenticated service end to end."""
+
+    def test_metered_requests_produce_bill(self):
+        sim = Simulation(latency=0.0)
+        server = sim.node("http://api.example")
+        engine = ReactiveEngine(server)
+        accountant = Accountant(engine)
+        accountant.attach()
+        engine.install(parse_rule('''
+            RULE serve
+            ON request{{ principal[var P], size[var S] }}
+            DO PERSIST served{ var P } INTO "http://api.example/responses"
+        '''))
+        engine.install(eca(
+            "meter",
+            EAtom(parse_query("request{{ principal[var P], size[var S] }}")),
+            PyAction(lambda n, b: accountant.meter(b["P"], "request", float(b["S"]))),
+        ))
+        for principal, size in [("franz", 2), ("ida", 1), ("franz", 3)]:
+            server.raise_event(server.uri, parse_data(
+                f'request{{ principal["{principal}"], size[{size}] }}'
+            ))
+        sim.run()
+        assert accountant.bill() == {"franz": 5.0, "ida": 1.0}
+        # Accounting never interfered with the service itself.
+        responses = server.get("http://api.example/responses")
+        assert len(responses.all("served")) == 3
+
+
+class TestFlightMonitor:
+    """Thesis 5's motivating example, end to end over the network."""
+
+    def test_unrebooked_cancellation_alerts(self):
+        sim = Simulation(latency=0.0)
+        airline = sim.node("http://airline.example")
+        agent = sim.node("http://agent.example")
+        engine = ReactiveEngine(agent)
+        alerts = []
+        engine.install(parse_rule('''
+            RULE stranded
+            ON WITHIN 2.0 ( cancellation{{ flight[var F] }}
+                            THEN NOT rebooking{{ flight[var F] }} )
+            DO PERSIST alert{ var F } INTO "http://agent.example/alerts"
+        '''))
+        engine.install(eca(
+            "observe", EAtom(parse_query("alert")),
+            PyAction(lambda n, b: alerts.append(n.now)),
+        ))
+        airline.raise_event("http://agent.example",
+                            parse_data('cancellation{ flight["LH07"] }'))
+        sim.scheduler.at(0.5, lambda: airline.raise_event(
+            "http://agent.example", parse_data('cancellation{ flight["LH99"] }')))
+        sim.scheduler.at(1.0, lambda: airline.raise_event(
+            "http://agent.example", parse_data('rebooking{ flight["LH07"] }')))
+        sim.run()
+        stored = agent.get("http://agent.example/alerts")
+        flights = [a.children[0] for a in stored.all("alert")]
+        assert flights == ["LH99"]  # LH07 was rebooked in time

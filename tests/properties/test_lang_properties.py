@@ -1,0 +1,150 @@
+"""Property-based round-trip tests for the surface rule language.
+
+hypothesis generates random (valid) rules over the full AST — event
+algebra, conditions, actions — and requires
+``parse_rule(rule_to_text(rule)) == rule`` and the meta-encoding
+equivalent ``term_to_rule(rule_to_term(rule)) == rule``.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import actions as act
+from repro.core import conditions as cond
+from repro.core.meta import rule_to_term, term_to_rule
+from repro.core.rules import ECARule
+from repro.events.queries import (
+    EAggregate,
+    EAnd,
+    EAtom,
+    ECount,
+    ENot,
+    EOr,
+    ESeq,
+    EWithin,
+)
+from repro.lang import parse_rule, rule_to_text
+from repro.terms import CTerm, QTerm, Var
+from repro.terms.parser import to_text
+
+LABELS = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=6)
+VARS = st.sampled_from(["X", "Y", "Z", "W"])
+URIS = st.sampled_from(["http://a.example/d", "http://b.example/log"])
+WINDOWS = st.sampled_from([1.0, 5.0, 60.0])
+
+
+def patterns():
+    leaf = st.one_of(
+        LABELS.map(lambda l: QTerm(l, (), False, False)),
+        st.tuples(LABELS, VARS).map(
+            lambda t: QTerm(t[0], (Var(t[1]),), False, False)),
+    )
+    return st.one_of(
+        leaf,
+        st.tuples(LABELS, st.lists(leaf, min_size=1, max_size=2)).map(
+            lambda t: QTerm(t[0], tuple(t[1]), False, False)),
+    )
+
+
+def atoms():
+    return st.one_of(
+        patterns().map(EAtom),
+        st.tuples(patterns(), VARS).map(lambda t: EAtom(t[0], alias=t[1])),
+    )
+
+
+def event_queries():
+    simple = atoms()
+    members = st.lists(simple, min_size=2, max_size=3)
+    composite = st.one_of(
+        members.map(lambda ms: EAnd(*ms)),
+        members.map(lambda ms: EOr(*ms)),
+        members.map(lambda ms: ESeq(*ms)),
+        st.tuples(simple, WINDOWS).map(lambda t: EWithin(t[0], t[1])),
+        st.tuples(members, patterns(), WINDOWS).map(
+            lambda t: EWithin(ESeq(t[0][0], ENot(t[1]), *t[0][1:]), t[2])),
+        st.tuples(patterns(), st.integers(2, 5), WINDOWS).map(
+            lambda t: ECount(t[0], t[1], t[2])),
+        st.tuples(patterns(), VARS, st.sampled_from(["avg", "sum", "max"]),
+                  st.integers(2, 6)).map(
+            lambda t: EAggregate(t[0], t[1], t[2], "OUT", size=t[3])),
+    )
+    return st.one_of(simple, composite,
+                     st.tuples(composite, WINDOWS).map(lambda t: EWithin(t[0], t[1])))
+
+
+def constructs():
+    """Structured construct terms (CTerm roots, as actions require)."""
+    leaf = st.one_of(
+        VARS.map(Var),
+        st.integers(-100, 100),
+        LABELS.map(lambda l: CTerm(l, ())),
+    )
+    return st.one_of(
+        LABELS.map(lambda l: CTerm(l, ())),
+        st.tuples(LABELS, st.lists(leaf, min_size=1, max_size=3)).map(
+            lambda t: CTerm(t[0], tuple(t[1]), False)),
+    )
+
+
+def conditions():
+    query_cond = st.tuples(URIS, patterns()).map(lambda t: cond.QueryCond(*t))
+    compare = st.tuples(VARS.map(Var), st.sampled_from(["<", ">=", "=="]),
+                        st.integers(-10, 10)).map(
+        lambda t: cond.CompareCond(t[0], t[1], t[2]))
+    simple = st.one_of(st.just(cond.TrueCond()), query_cond, compare)
+    return st.one_of(
+        simple,
+        st.lists(simple, min_size=2, max_size=3).map(lambda ms: cond.AndCond(*ms)),
+        st.lists(simple, min_size=2, max_size=2).map(lambda ms: cond.OrCond(*ms)),
+        simple.map(cond.NotCond),
+    )
+
+
+def actions():
+    raise_ = st.tuples(URIS, constructs()).map(lambda t: act.Raise(*t))
+    persist = st.tuples(URIS, constructs()).map(lambda t: act.Persist(t[0], t[1]))
+    put = st.tuples(URIS, constructs()).map(lambda t: act.PutResource(*t))
+    update = st.tuples(URIS, patterns(), constructs()).map(
+        lambda t: act.Update(t[0], "replace", t[1], t[2]))
+    delete = st.tuples(URIS, patterns()).map(
+        lambda t: act.Update(t[0], "delete", t[1]))
+    simple = st.one_of(raise_, persist, put, update, delete)
+    return st.one_of(
+        simple,
+        st.lists(simple, min_size=2, max_size=3).map(lambda ss: act.Sequence(*ss)),
+        st.lists(simple, min_size=2, max_size=2).map(lambda ss: act.Alternative(*ss)),
+        st.tuples(conditions(), simple, simple).map(
+            lambda t: act.Conditional(t[0], t[1], t[2])),
+    )
+
+
+def rules():
+    return st.tuples(
+        st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=8),
+        event_queries(),
+        st.lists(st.tuples(conditions(), actions()), min_size=1, max_size=2),
+        st.one_of(st.none(), actions()),
+        st.sampled_from(["all", "first"]),
+    ).map(lambda t: ECARule(t[0], t[1], tuple(t[2]), t[3], t[4]))
+
+
+@given(rules())
+@settings(max_examples=250, deadline=None)
+def test_surface_language_round_trip(rule):
+    assert parse_rule(rule_to_text(rule)) == rule
+
+
+@given(rules())
+@settings(max_examples=250, deadline=None)
+def test_meta_encoding_round_trip(rule):
+    assert term_to_rule(rule_to_term(rule)) == rule
+
+
+@given(rules())
+@settings(max_examples=100, deadline=None)
+def test_encodings_compose(rule):
+    # text -> rule -> term -> rule -> text is stable.
+    term = rule_to_term(parse_rule(rule_to_text(rule)))
+    assert rule_to_text(term_to_rule(term)) == rule_to_text(rule)

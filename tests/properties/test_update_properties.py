@@ -1,0 +1,105 @@
+"""Property-based tests for update primitives and the events layer."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.events import EAtom, IncrementalEvaluator, NaiveEvaluator
+from repro.events.model import make_event
+from repro.terms import Bindings, Data, QTerm, d, matches, q, u
+from repro.updates import delete_terms, insert_child, replace_terms
+
+LABELS = st.sampled_from(["a", "b", "c", "leaf"])
+
+
+def documents(max_depth=3):
+    return st.recursive(
+        LABELS.map(lambda l: Data(l, ())),
+        lambda children: st.builds(
+            lambda lab, kids, ordered: Data("root" if False else lab, tuple(kids), ordered),
+            LABELS,
+            st.lists(st.one_of(st.integers(-5, 5), children), max_size=3),
+            st.booleans(),
+        ),
+        max_leaves=8,
+    ).map(lambda t: Data("doc", (t,), False))
+
+
+TARGETS = LABELS.map(lambda l: QTerm(l, (), False, False))
+
+
+class TestUpdateProperties:
+    @given(documents(), TARGETS)
+    @settings(max_examples=150)
+    def test_delete_removes_all_matches(self, doc, target):
+        new_root, count = delete_terms(doc, target)
+        # After deletion no subterm below the root matches the target.
+        survivors = [
+            sub for sub in new_root.subterms()
+            if sub is not new_root and matches(target, sub)
+        ]
+        assert survivors == []
+        removed = [
+            sub for sub in doc.subterms()
+            if sub is not doc and matches(target, sub)
+        ]
+        # Count never exceeds the original matches (nested matches may be
+        # removed together with their ancestors).
+        assert 0 <= count <= len(removed)
+        assert (count == 0) == (len(removed) == 0)
+
+    @given(documents(), TARGETS)
+    @settings(max_examples=150)
+    def test_insert_grows_every_match(self, doc, target):
+        marker = d("inserted-marker")
+        new_root, count = insert_child(doc, target, marker)
+        markers = sum(
+            1 for sub in new_root.subterms() if sub.label == "inserted-marker"
+        )
+        assert markers == count
+
+    @given(documents(), TARGETS)
+    @settings(max_examples=150)
+    def test_replace_preserves_match_count(self, doc, target):
+        replacement = d("replaced-marker")
+        new_root, count = replace_terms(doc, target, replacement)
+        markers = sum(
+            1 for sub in new_root.subterms() if sub.label == "replaced-marker"
+        )
+        # Outermost matches are replaced; nested matches disappear inside
+        # them, so the marker count equals the reported count.
+        assert markers == count
+
+    @given(documents(), TARGETS)
+    @settings(max_examples=100)
+    def test_no_match_is_identity(self, doc, target):
+        new_root, count = insert_child(doc, target, d("x"))
+        if count == 0:
+            assert new_root == doc
+
+
+class TestEvaluatorInterfaceProperties:
+    @given(st.lists(st.tuples(st.floats(0, 2), LABELS), max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_state_size_nonnegative_and_resettable(self, stream):
+        evaluator = IncrementalEvaluator(EAtom(q("a")))
+        clock = 0.0
+        for delta, label in stream:
+            clock += delta
+            evaluator.on_event(make_event(d(label), clock))
+            assert evaluator.state_size() >= 0
+        evaluator.reset()
+        assert evaluator.state_size() == 0
+
+    @given(st.lists(st.tuples(st.floats(0, 2), LABELS), max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_atom_answers_match_event_count(self, stream):
+        incremental = IncrementalEvaluator(EAtom(q("a")))
+        clock = 0.0
+        answers = 0
+        matching = 0
+        for delta, label in stream:
+            clock += delta
+            answers += len(incremental.on_event(make_event(d(label), clock)))
+            matching += label == "a"
+        assert answers == matching

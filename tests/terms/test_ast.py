@@ -1,0 +1,244 @@
+"""Unit tests for the term AST: data terms, bindings, variable analysis."""
+
+import pytest
+
+from repro.errors import QueryError, TermError
+from repro.terms import (
+    Agg,
+    All,
+    Bindings,
+    Compare,
+    CTerm,
+    Data,
+    Desc,
+    Fn,
+    LabelVar,
+    Optional_,
+    QTerm,
+    Var,
+    Without,
+    all_vars,
+    canonical_str,
+    d,
+    free_vars,
+    q,
+    u,
+    values_equal,
+)
+
+
+class TestDataTerm:
+    def test_factory_builds_ordered_term(self):
+        term = d("book", d("title", "TAPL"), d("year", 2002))
+        assert term.label == "book"
+        assert term.ordered is True
+        assert len(term.children) == 2
+
+    def test_unordered_factory(self):
+        term = u("set", 1, 2, 3)
+        assert term.ordered is False
+
+    def test_attrs_are_sorted(self):
+        term = d("a", lang="en", id="x1")
+        assert term.attrs == (("id", "x1"), ("lang", "en"))
+
+    def test_attr_lookup(self):
+        term = d("a", lang="en")
+        assert term.attr("lang") == "en"
+        assert term.attr("missing") is None
+        assert term.attr("missing", "dflt") == "dflt"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(TermError):
+            Data("")
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(TermError):
+            Data(42)  # type: ignore[arg-type]
+
+    def test_invalid_child_rejected(self):
+        with pytest.raises(TermError):
+            Data("a", (object(),))  # type: ignore[arg-type]
+
+    def test_value_property_single_scalar(self):
+        assert d("year", 2002).value == 2002
+        assert d("pair", 1, 2).value is None
+        assert d("nested", d("x")).value is None
+
+    def test_first_and_all(self):
+        term = d("r", d("x", 1), d("y", 2), d("x", 3))
+        assert term.first("x").value == 1
+        assert term.first("z") is None
+        assert [t.value for t in term.all("x")] == [1, 3]
+
+    def test_subterms_preorder(self):
+        term = d("a", d("b", d("c")), d("e"))
+        labels = [t.label for t in term.subterms()]
+        assert labels == ["a", "b", "c", "e"]
+
+    def test_size_counts_scalars(self):
+        assert d("a", 1, d("b", 2)).size() == 4
+
+    def test_depth(self):
+        assert d("a").depth() == 1
+        assert d("a", d("b", d("c"))).depth() == 3
+
+    def test_with_children_replaces(self):
+        term = d("a", 1)
+        new = term.with_children((2, 3))
+        assert new.children == (2, 3)
+        assert term.children == (1,)  # original untouched
+
+    def test_with_attr_overrides(self):
+        term = d("a", x="1")
+        assert term.with_attr("x", "2").attr("x") == "2"
+
+    def test_append(self):
+        assert d("a", 1).append(2, 3).children == (1, 2, 3)
+
+    def test_terms_are_hashable(self):
+        assert len({d("a", 1), d("a", 1), d("a", 2)}) == 2
+
+
+class TestCanonicalEquality:
+    def test_unordered_children_equal_regardless_of_order(self):
+        assert values_equal(u("s", 1, 2), u("s", 2, 1))
+
+    def test_ordered_children_order_matters(self):
+        assert not values_equal(d("s", 1, 2), d("s", 2, 1))
+
+    def test_orderedness_itself_matters(self):
+        assert not values_equal(d("s", 1), u("s", 1))
+
+    def test_nested_unordered(self):
+        left = d("a", u("s", d("x"), d("y")))
+        right = d("a", u("s", d("y"), d("x")))
+        assert values_equal(left, right)
+
+    def test_scalar_type_distinction(self):
+        assert not values_equal(1, True)
+        assert not values_equal("1", 1)
+        assert values_equal(1, 1.0)
+
+    def test_canonical_str_distinguishes_types(self):
+        assert canonical_str(1) != canonical_str("1")
+        assert canonical_str(True) != canonical_str(1)
+
+    def test_data_never_equals_scalar(self):
+        assert not values_equal(d("a"), "a")
+
+
+class TestBindings:
+    def test_of_and_get(self):
+        b = Bindings.of(X=1, Y="a")
+        assert b["X"] == 1
+        assert b.get("Y") == "a"
+        assert b.get("Z") is None
+
+    def test_items_sorted_by_name(self):
+        b = Bindings((("Z", 1), ("A", 2)))
+        assert [k for k, _ in b.items] == ["A", "Z"]
+
+    def test_contains_and_len(self):
+        b = Bindings.of(X=1)
+        assert "X" in b
+        assert "Y" not in b
+        assert len(b) == 1
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Bindings()["X"]
+
+    def test_empty_bindings_is_truthy(self):
+        assert bool(Bindings()) is True
+
+    def test_bind_new(self):
+        b = Bindings().bind("X", 1)
+        assert b["X"] == 1
+
+    def test_bind_same_value_is_noop(self):
+        b = Bindings.of(X=1)
+        assert b.bind("X", 1) is b
+
+    def test_bind_conflict_returns_none(self):
+        assert Bindings.of(X=1).bind("X", 2) is None
+
+    def test_bind_respects_semantic_equality(self):
+        b = Bindings.of(X=u("s", 1, 2))
+        assert b.bind("X", u("s", 2, 1)) is not None
+
+    def test_merge_disjoint(self):
+        merged = Bindings.of(X=1).merge(Bindings.of(Y=2))
+        assert merged.as_dict() == {"X": 1, "Y": 2}
+
+    def test_merge_conflict(self):
+        assert Bindings.of(X=1).merge(Bindings.of(X=2)) is None
+
+    def test_project(self):
+        b = Bindings.of(X=1, Y=2, Z=3)
+        assert b.project({"X", "Z"}).as_dict() == {"X": 1, "Z": 3}
+
+    def test_names(self):
+        assert Bindings.of(X=1, Y=2).names == frozenset({"X", "Y"})
+
+    def test_hashable_and_equal(self):
+        assert Bindings.of(X=1, Y=2) == Bindings.of(Y=2, X=1)
+        assert len({Bindings.of(X=1), Bindings.of(X=1)}) == 1
+
+
+class TestQueryValidation:
+    def test_without_rejected_in_ordered_total(self):
+        with pytest.raises(QueryError):
+            QTerm("a", (Without(QTerm("b")),), ordered=True, total=True)
+
+    def test_without_allowed_in_partial(self):
+        term = QTerm("a", (Without(QTerm("b")),), ordered=False, total=False)
+        assert term.total is False
+
+    def test_bad_comparison_op_rejected(self):
+        with pytest.raises(QueryError):
+            Compare("~=", 1)
+
+    def test_bad_agg_fn_rejected(self):
+        with pytest.raises(TermError):
+            Agg("median", "X")
+
+    def test_q_factory_defaults_partial_unordered(self):
+        term = q("a")
+        assert term.ordered is False and term.total is False
+
+
+class TestVariableAnalysis:
+    def test_free_vars_of_var(self):
+        assert free_vars(Var("X")) == {"X"}
+
+    def test_free_vars_restricted_var(self):
+        assert free_vars(Var("X", q("a", Var("Y")))) == {"X", "Y"}
+
+    def test_free_vars_skip_negated(self):
+        query = q("a", Var("X"), Without(q("b", Var("N"))))
+        assert free_vars(query) == {"X"}
+        assert all_vars(query) == {"X", "N"}
+
+    def test_label_var_is_free(self):
+        assert free_vars(QTerm(LabelVar("L"))) == {"L"}
+
+    def test_attr_var_is_free(self):
+        term = QTerm("a", (), attrs=(("k", Var("V")),))
+        assert free_vars(term) == {"V"}
+
+    def test_compare_var_is_free(self):
+        assert free_vars(Compare(">", Var("X"))) == {"X"}
+
+    def test_desc_and_optional_traversed(self):
+        assert free_vars(Desc(Var("X"))) == {"X"}
+        assert free_vars(Optional_(Var("X"))) == {"X"}
+
+    def test_construct_vars(self):
+        construct = CTerm("out", (All(CTerm("i", (Var("X"),)), order_by=("Y",)),
+                                  Agg("count", "Z"), Fn("add", (Var("W"), 1))))
+        assert free_vars(construct) == {"X", "Y", "Z", "W"}
+
+    def test_ground_terms_have_no_vars(self):
+        assert free_vars(d("a", 1)) == frozenset()
+        assert free_vars("lit") == frozenset()

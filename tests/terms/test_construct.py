@@ -1,0 +1,210 @@
+"""Unit tests for construct-term instantiation."""
+
+import pytest
+
+from repro.errors import ConstructError, UnboundVariableError
+from repro.terms import (
+    Agg,
+    All,
+    Bindings,
+    CTerm,
+    Data,
+    Fn,
+    Var,
+    c,
+    d,
+    instantiate,
+    instantiate_all,
+    match,
+    parse_construct,
+    parse_data,
+    parse_query,
+    register_function,
+    to_text,
+    u,
+)
+
+
+class TestBasicInstantiation:
+    def test_scalar_constructs_itself(self):
+        assert instantiate(42, Bindings()) == 42
+
+    def test_ground_data_constructs_itself(self):
+        term = d("a", 1)
+        assert instantiate(term, Bindings()) is term
+
+    def test_var_substitution(self):
+        assert instantiate(Var("X"), Bindings.of(X=7)) == 7
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(UnboundVariableError):
+            instantiate(Var("X"), Bindings())
+
+    def test_structured_construction(self):
+        construct = c("out", c("v", Var("X")))
+        built = instantiate(construct, Bindings.of(X=3))
+        assert built == d("out", d("v", 3))
+
+    def test_label_variable(self):
+        construct = CTerm(Var("L"), (1,))
+        assert instantiate(construct, Bindings.of(L="tag")) == d("tag", 1)
+
+    def test_label_variable_non_string_raises(self):
+        with pytest.raises(ConstructError):
+            instantiate(CTerm(Var("L")), Bindings.of(L=7))
+
+    def test_attr_from_var(self):
+        construct = CTerm("a", (), attrs=(("k", Var("V")),))
+        assert instantiate(construct, Bindings.of(V="x")).attr("k") == "x"
+
+    def test_unordered_construct(self):
+        construct = CTerm("s", (1, 2), ordered=False)
+        assert instantiate(construct, Bindings()).ordered is False
+
+    def test_all_outside_group_context_raises(self):
+        with pytest.raises(ConstructError):
+            instantiate(All(Var("X")), Bindings.of(X=1))
+
+    def test_all_must_be_inside_structured_term(self):
+        with pytest.raises(ConstructError):
+            instantiate_all(All(Var("X")), [Bindings.of(X=1)])
+
+
+class TestFunctions:
+    def test_arithmetic(self):
+        assert instantiate(Fn("add", (1, 2, 3)), Bindings()) == 6
+        assert instantiate(Fn("sub", (5, 2)), Bindings()) == 3
+        assert instantiate(Fn("mul", (2, 3, 4)), Bindings()) == 24
+        assert instantiate(Fn("div", (7, 2)), Bindings()) == 3.5
+        assert instantiate(Fn("mod", (7, 2)), Bindings()) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ConstructError):
+            instantiate(Fn("div", (1, 0)), Bindings())
+
+    def test_string_functions(self):
+        assert instantiate(Fn("concat", ("a", 1, "b")), Bindings()) == "a1b"
+        assert instantiate(Fn("lower", ("AbC",)), Bindings()) == "abc"
+        assert instantiate(Fn("upper", ("abc",)), Bindings()) == "ABC"
+
+    def test_conversions(self):
+        assert instantiate(Fn("num", ("42",)), Bindings()) == 42
+        assert instantiate(Fn("num", ("4.5",)), Bindings()) == 4.5
+        assert instantiate(Fn("str", (42,)), Bindings()) == "42"
+
+    def test_num_bad_input(self):
+        with pytest.raises(ConstructError):
+            instantiate(Fn("num", ("not a number",)), Bindings())
+
+    def test_nested_function_args(self):
+        construct = Fn("add", (Var("X"), Fn("mul", (2, 3))))
+        assert instantiate(construct, Bindings.of(X=1)) == 7
+
+    def test_unknown_function(self):
+        with pytest.raises(ConstructError):
+            instantiate(Fn("frobnicate", ()), Bindings())
+
+    def test_type_error_wrapped(self):
+        with pytest.raises(ConstructError):
+            instantiate(Fn("add", (d("x"),)), Bindings())
+
+    def test_register_function(self):
+        register_function("twice_test_only", lambda v: v * 2)
+        assert instantiate(Fn("twice_test_only", (21,)), Bindings()) == 42
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConstructError):
+            register_function("add", lambda v: v)
+
+
+def _alternatives():
+    data = parse_data(
+        'cart{ item{ name["a"], qty[2] }, item{ name["b"], qty[5] },'
+        ' item{ name["a"], qty[1] } }'
+    )
+    return match(parse_query("cart{{ item{{ name[var N], qty[var Q] }} }}"), data)
+
+
+class TestGrouping:
+    def test_all_expands_per_distinct_binding(self):
+        construct = parse_construct("out{ all entry[var N, var Q] order by [N, Q] }")
+        built = instantiate_all(construct, _alternatives())
+        assert to_text(built) == 'out{entry["a", 1], entry["a", 2], entry["b", 5]}'
+
+    def test_all_groups_by_free_vars_only(self):
+        # Grouping on N only: one entry per distinct name.
+        construct = parse_construct("out{ all name[var N] order by [N] }")
+        built = instantiate_all(construct, _alternatives())
+        assert to_text(built) == 'out{name["a"], name["b"]}'
+
+    def test_nested_all_grouping(self):
+        # Per name, list its quantities: nested grouping.
+        construct = parse_construct(
+            "out{ all group{ name[var N], all q[var Q] order by [Q] } order by [N] }"
+        )
+        built = instantiate_all(construct, _alternatives())
+        assert to_text(built) == 'out{group{name["a"], q[1], q[2]}, group{name["b"], q[5]}}'
+
+    def test_empty_alternatives_empty_group(self):
+        construct = parse_construct("out{ all entry[var N] }")
+        assert to_text(instantiate_all(construct, [])) == "out{}"
+
+    def test_first_seen_order_without_order_by(self):
+        construct = parse_construct("out{ all entry[var Q] }")
+        built = instantiate_all(construct, _alternatives())
+        assert to_text(built) == "out{entry[2], entry[5], entry[1]}"
+
+
+class TestAggregation:
+    def test_count(self):
+        built = instantiate_all(parse_construct("s{ count(var Q) }"), _alternatives())
+        assert built == u("s", 3)
+
+    def test_sum_avg_min_max(self):
+        alts = _alternatives()
+        assert instantiate_all(parse_construct("s{ sum(var Q) }"), alts) == u("s", 8)
+        assert instantiate_all(parse_construct("s{ min(var Q) }"), alts) == u("s", 1)
+        assert instantiate_all(parse_construct("s{ max(var Q) }"), alts) == u("s", 5)
+        avg_term = instantiate_all(parse_construct("s{ avg(var Q) }"), alts)
+        assert avg_term.value == pytest.approx(8 / 3)
+
+    def test_first_last(self):
+        alts = _alternatives()
+        assert instantiate_all(parse_construct("s{ first(var Q) }"), alts) == u("s", 2)
+        assert instantiate_all(parse_construct("s{ last(var Q) }"), alts) == u("s", 1)
+
+    def test_count_of_empty_is_zero(self):
+        assert instantiate_all(parse_construct("s{ count(var Q) }"), []) == u("s", 0)
+
+    def test_sum_of_empty_raises(self):
+        with pytest.raises(ConstructError):
+            instantiate_all(parse_construct("s{ sum(var Q) }"), [])
+
+    def test_agg_outside_group_context_raises(self):
+        with pytest.raises(ConstructError):
+            instantiate(Agg("count", "X"), Bindings())
+
+    def test_agg_non_numeric_raises(self):
+        alts = [Bindings.of(X=d("t"))]
+        with pytest.raises(ConstructError):
+            instantiate_all(CTerm("s", (Agg("sum", "X"),)), alts)
+
+    def test_agg_within_all_scopes_to_group(self):
+        # Per name, sum of its quantities.
+        construct = parse_construct(
+            "out{ all line{ name[var N], sum(var Q) } order by [N] }"
+        )
+        built = instantiate_all(construct, _alternatives())
+        assert to_text(built) == 'out{line{name["a"], 3}, line{name["b"], 5}}'
+
+
+class TestCommonBindings:
+    def test_disagreeing_outer_var_treated_unbound(self):
+        alts = [Bindings.of(X=1), Bindings.of(X=2)]
+        with pytest.raises(UnboundVariableError):
+            instantiate_all(CTerm("s", (Var("X"),)), alts)
+
+    def test_agreeing_outer_var_used(self):
+        alts = [Bindings.of(X=1, Y=10), Bindings.of(X=1, Y=20)]
+        built = instantiate_all(parse_construct("s{ var X, sum(var Y) }"), alts)
+        assert built == u("s", 1, 30)

@@ -1,0 +1,110 @@
+"""Unit tests for the OWL-style inference extension."""
+
+from repro.terms.owl import (
+    OWL_FUNCTIONAL,
+    OWL_INVERSE_OF,
+    OWL_SAME_AS,
+    OWL_SYMMETRIC,
+    OWL_TRANSITIVE,
+    functional_conflicts,
+    owl_closure,
+    semantic_closure,
+)
+from repro.terms.rdf import Graph, RDF_TYPE, RDFS_SUBCLASS, Triple
+
+
+class TestSameAs:
+    def test_symmetry(self):
+        g = Graph()
+        g.assert_("a", OWL_SAME_AS, "b")
+        closed = owl_closure(g)
+        assert Triple("b", OWL_SAME_AS, "a") in closed
+
+    def test_transitivity(self):
+        g = Graph()
+        g.assert_("a", OWL_SAME_AS, "b")
+        g.assert_("b", OWL_SAME_AS, "c")
+        closed = owl_closure(g)
+        assert Triple("a", OWL_SAME_AS, "c") in closed
+
+    def test_statement_copying_subject(self):
+        g = Graph()
+        g.assert_("clark", OWL_SAME_AS, "superman")
+        g.assert_("clark", "ex:worksAt", "ex:DailyPlanet")
+        closed = owl_closure(g)
+        assert Triple("superman", "ex:worksAt", "ex:DailyPlanet") in closed
+
+    def test_statement_copying_object(self):
+        g = Graph()
+        g.assert_("clark", OWL_SAME_AS, "superman")
+        g.assert_("lois", "ex:loves", "clark")
+        closed = owl_closure(g)
+        assert Triple("lois", "ex:loves", "superman") in closed
+
+
+class TestInverseAndCharacteristics:
+    def test_inverse_of(self):
+        g = Graph()
+        g.assert_("ex:teaches", OWL_INVERSE_OF, "ex:taughtBy")
+        g.assert_("ex:kim", "ex:teaches", "ex:logic101")
+        closed = owl_closure(g)
+        assert Triple("ex:logic101", "ex:taughtBy", "ex:kim") in closed
+
+    def test_inverse_works_both_directions(self):
+        g = Graph()
+        g.assert_("ex:teaches", OWL_INVERSE_OF, "ex:taughtBy")
+        g.assert_("ex:algebra", "ex:taughtBy", "ex:lee")
+        closed = owl_closure(g)
+        assert Triple("ex:lee", "ex:teaches", "ex:algebra") in closed
+
+    def test_symmetric_property(self):
+        g = Graph()
+        g.assert_("ex:collaboratesWith", RDF_TYPE, OWL_SYMMETRIC)
+        g.assert_("ex:ann", "ex:collaboratesWith", "ex:bo")
+        closed = owl_closure(g)
+        assert Triple("ex:bo", "ex:collaboratesWith", "ex:ann") in closed
+
+    def test_transitive_property(self):
+        g = Graph()
+        g.assert_("ex:partOf", RDF_TYPE, OWL_TRANSITIVE)
+        g.assert_("ex:wheel", "ex:partOf", "ex:car")
+        g.assert_("ex:car", "ex:partOf", "ex:fleet")
+        closed = owl_closure(g)
+        assert Triple("ex:wheel", "ex:partOf", "ex:fleet") in closed
+
+    def test_closure_idempotent(self):
+        g = Graph()
+        g.assert_("ex:partOf", RDF_TYPE, OWL_TRANSITIVE)
+        g.assert_("a", "ex:partOf", "b")
+        g.assert_("b", "ex:partOf", "c")
+        once = owl_closure(g)
+        assert len(owl_closure(once)) == len(once)
+
+
+class TestFunctionalProperties:
+    def test_conflict_detected(self):
+        g = Graph()
+        g.assert_("ex:birthYear", RDF_TYPE, OWL_FUNCTIONAL)
+        g.assert_("ex:kim", "ex:birthYear", 1980)
+        g.assert_("ex:kim", "ex:birthYear", 1985)
+        conflicts = functional_conflicts(g)
+        assert len(conflicts) == 1
+        assert conflicts[0][0] == "ex:kim"
+
+    def test_no_false_positives(self):
+        g = Graph()
+        g.assert_("ex:birthYear", RDF_TYPE, OWL_FUNCTIONAL)
+        g.assert_("ex:kim", "ex:birthYear", 1980)
+        g.assert_("ex:lee", "ex:birthYear", 1985)
+        assert functional_conflicts(g) == []
+
+
+class TestSemanticClosure:
+    def test_rdfs_and_owl_interact(self):
+        # sameAs alias gets a type through RDFS subclassing.
+        g = Graph()
+        g.assert_("ex:fido", RDF_TYPE, "ex:Dog")
+        g.assert_("ex:Dog", RDFS_SUBCLASS, "ex:Animal")
+        g.assert_("ex:fido", OWL_SAME_AS, "ex:rex")
+        closed = semantic_closure(g)
+        assert Triple("ex:rex", RDF_TYPE, "ex:Animal") in closed

@@ -1,0 +1,221 @@
+"""Unit tests for the RDF graph, pattern queries, and RDFS inference."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.terms import Bindings, Var, d, matches, parse_query
+from repro.terms.rdf import (
+    Graph,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    Triple,
+)
+
+
+def small_graph():
+    g = Graph()
+    g.assert_("ex:fido", RDF_TYPE, "ex:Dog")
+    g.assert_("ex:felix", RDF_TYPE, "ex:Cat")
+    g.assert_("ex:fido", "ex:name", "Fido")
+    g.assert_("ex:fido", "ex:age", 4)
+    return g
+
+
+class TestTriple:
+    def test_validation(self):
+        with pytest.raises(TermError):
+            Triple("", "p", "o")
+        with pytest.raises(TermError):
+            Triple("s", "", "o")
+        with pytest.raises(TermError):
+            Triple("s", "p", object())  # type: ignore[arg-type]
+
+    def test_literal_objects_allowed(self):
+        assert Triple("s", "p", 42).object == 42
+        assert Triple("s", "p", d("blank", 1)).object == d("blank", 1)
+
+    def test_term_round_trip(self):
+        triple = Triple("ex:s", "ex:p", 3.5)
+        assert Triple.from_term(triple.to_term()) == triple
+
+    def test_from_term_rejects_non_triples(self):
+        with pytest.raises(TermError):
+            Triple.from_term(d("nottriple", 1, 2, 3))
+        with pytest.raises(TermError):
+            Triple.from_term(d("triple", 1, 2))
+
+
+class TestGraphBasics:
+    def test_add_and_contains(self):
+        g = small_graph()
+        assert Triple("ex:fido", RDF_TYPE, "ex:Dog") in g
+        assert len(g) == 4
+
+    def test_add_duplicate_returns_false(self):
+        g = small_graph()
+        assert g.assert_("ex:fido", RDF_TYPE, "ex:Dog") is False
+        assert len(g) == 4
+
+    def test_remove(self):
+        g = small_graph()
+        assert g.remove(Triple("ex:fido", "ex:age", 4)) is True
+        assert g.remove(Triple("ex:fido", "ex:age", 4)) is False
+        assert len(g) == 3
+
+    def test_copy_is_independent(self):
+        g = small_graph()
+        h = g.copy()
+        h.assert_("ex:new", RDF_TYPE, "ex:Thing")
+        assert len(g) == 4 and len(h) == 5
+
+    def test_iteration_order_deterministic(self):
+        g = small_graph()
+        assert [t.subject for t in g][:2] == ["ex:fido", "ex:felix"]
+
+
+class TestPatternQueries:
+    def test_concrete_lookup(self):
+        g = small_graph()
+        found = list(g.triples("ex:fido", RDF_TYPE))
+        assert [t.object for t in found] == ["ex:Dog"]
+
+    def test_wildcard_predicate(self):
+        g = small_graph()
+        assert len(list(g.triples("ex:fido"))) == 3
+
+    def test_query_binds_variables(self):
+        g = small_graph()
+        result = g.query((Var("S"), RDF_TYPE, Var("C")))
+        assert {(b["S"], b["C"]) for b in result} == {
+            ("ex:fido", "ex:Dog"),
+            ("ex:felix", "ex:Cat"),
+        }
+
+    def test_query_respects_prebound(self):
+        g = small_graph()
+        result = g.query((Var("S"), RDF_TYPE, Var("C")), Bindings.of(C="ex:Dog"))
+        assert [b["S"] for b in result] == ["ex:fido"]
+
+    def test_query_repeated_var_joins(self):
+        g = Graph()
+        g.assert_("a", "p", "a")
+        g.assert_("a", "p", "b")
+        result = g.query((Var("X"), "p", Var("X")))
+        assert [b["X"] for b in result] == ["a"]
+
+    def test_conjunctive_query(self):
+        g = small_graph()
+        result = g.query_all(
+            [(Var("S"), RDF_TYPE, "ex:Dog"), (Var("S"), "ex:name", Var("N"))]
+        )
+        assert result == [Bindings.of(S="ex:fido", N="Fido")]
+
+    def test_conjunctive_query_no_answers(self):
+        g = small_graph()
+        assert g.query_all([(Var("S"), RDF_TYPE, "ex:Fish")]) == []
+
+    def test_literal_object_match(self):
+        g = small_graph()
+        assert len(list(g.triples(None, "ex:age", 4))) == 1
+        assert len(list(g.triples(None, "ex:age", 5))) == 0
+
+
+class TestRdfsInference:
+    def test_subclass_transitivity(self):
+        g = Graph()
+        g.assert_("A", RDFS_SUBCLASS, "B")
+        g.assert_("B", RDFS_SUBCLASS, "C")
+        closed = g.rdfs_closure()
+        assert Triple("A", RDFS_SUBCLASS, "C") in closed
+
+    def test_type_propagation(self):
+        g = Graph()
+        g.assert_("x", RDF_TYPE, "A")
+        g.assert_("A", RDFS_SUBCLASS, "B")
+        g.assert_("B", RDFS_SUBCLASS, "C")
+        closed = g.rdfs_closure()
+        assert Triple("x", RDF_TYPE, "B") in closed
+        assert Triple("x", RDF_TYPE, "C") in closed
+
+    def test_subproperty_propagation(self):
+        g = Graph()
+        g.assert_("p", RDFS_SUBPROPERTY, "q")
+        g.assert_("a", "p", "b")
+        closed = g.rdfs_closure()
+        assert Triple("a", "q", "b") in closed
+
+    def test_subproperty_transitivity(self):
+        g = Graph()
+        g.assert_("p", RDFS_SUBPROPERTY, "q")
+        g.assert_("q", RDFS_SUBPROPERTY, "r")
+        g.assert_("a", "p", "b")
+        closed = g.rdfs_closure()
+        assert Triple("a", "r", "b") in closed
+
+    def test_domain_typing(self):
+        g = Graph()
+        g.assert_("hasTail", RDFS_DOMAIN, "Animal")
+        g.assert_("fido", "hasTail", "tail1")
+        closed = g.rdfs_closure()
+        assert Triple("fido", RDF_TYPE, "Animal") in closed
+
+    def test_range_typing(self):
+        g = Graph()
+        g.assert_("owns", RDFS_RANGE, "Thing")
+        g.assert_("alice", "owns", "ball")
+        closed = g.rdfs_closure()
+        assert Triple("ball", RDF_TYPE, "Thing") in closed
+
+    def test_range_ignores_literal_objects(self):
+        g = Graph()
+        g.assert_("age", RDFS_RANGE, "Number")
+        g.assert_("alice", "age", 30)
+        closed = g.rdfs_closure()
+        # Literals never become subjects; the closure simply skips them.
+        assert all(isinstance(t.subject, str) for t in closed)
+        assert len(closed) == 2
+
+    def test_closure_does_not_mutate_original(self):
+        g = Graph()
+        g.assert_("A", RDFS_SUBCLASS, "B")
+        g.assert_("x", RDF_TYPE, "A")
+        g.rdfs_closure()
+        assert Triple("x", RDF_TYPE, "B") not in g
+
+    def test_closure_idempotent(self):
+        g = Graph()
+        g.assert_("A", RDFS_SUBCLASS, "B")
+        g.assert_("x", RDF_TYPE, "A")
+        once = g.rdfs_closure()
+        twice = once.rdfs_closure()
+        assert len(once) == len(twice)
+
+
+class TestTermBridge:
+    def test_graph_to_term_and_back(self):
+        g = small_graph()
+        term = g.to_term()
+        assert term.label == "rdf" and not term.ordered
+        back = Graph.from_term(term)
+        assert set(back._triples) == set(g._triples)
+
+    def test_term_queryable_with_query_language(self):
+        # Language coherency (Thesis 7): RDF data matched by term queries.
+        term = small_graph().to_term()
+        query = parse_query('rdf{{ triple["ex:fido", "ex:name", var N] }}')
+        from repro.terms import match
+
+        assert [b["N"] for b in match(query, term)] == ["Fido"]
+
+    def test_from_term_rejects_wrong_label(self):
+        with pytest.raises(TermError):
+            Graph.from_term(d("notrdf"))
+
+    def test_from_term_rejects_scalar_children(self):
+        from repro.terms.ast import Data
+
+        with pytest.raises(TermError):
+            Graph.from_term(Data("rdf", (1,), False))

@@ -1,0 +1,287 @@
+"""Unit tests for simulation unification (the matcher)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.terms import (
+    Bindings,
+    Compare,
+    Data,
+    Desc,
+    Optional_,
+    QTerm,
+    RegexMatch,
+    Var,
+    Without,
+    d,
+    match,
+    matches,
+    parse_data,
+    parse_query,
+    q,
+    u,
+)
+
+
+def bindings_set(query, data):
+    return {b for b in match(query, data)}
+
+
+class TestScalarAndGroundMatching:
+    def test_scalar_equal(self):
+        assert matches("abc", "abc")
+        assert matches(5, 5)
+        assert matches(5, 5.0)
+
+    def test_scalar_unequal(self):
+        assert not matches("abc", "abd")
+        assert not matches(5, 6)
+        assert not matches(True, 1)
+
+    def test_ground_data_term_pattern(self):
+        assert matches(d("a", 1), d("a", 1))
+        assert not matches(d("a", 1), d("a", 2))
+
+    def test_ground_unordered_pattern_is_order_blind(self):
+        assert matches(u("s", 1, 2), u("s", 2, 1))
+
+    def test_scalar_query_against_data_term_fails(self):
+        assert not matches("a", d("a"))
+
+
+class TestVariables:
+    def test_var_binds_whole_subterm(self):
+        result = match(q("a", Var("X")), u("a", d("b", 1)))
+        assert result == [Bindings.of(X=d("b", 1))]
+
+    def test_var_binds_scalar(self):
+        result = match(q("a", Var("X")), u("a", 42))
+        assert result == [Bindings.of(X=42)]
+
+    def test_repeated_var_must_agree(self):
+        query = q("pair", q("l", Var("X")), q("r", Var("X")))
+        assert matches(query, u("pair", u("l", 1), u("r", 1)))
+        assert not matches(query, u("pair", u("l", 1), u("r", 2)))
+
+    def test_restricted_var(self):
+        query = q("a", Var("X", q("b", Var("Y"))))
+        result = match(query, u("a", u("b", 7)))
+        assert result == [Bindings(((("X"), u("b", 7)), ("Y", 7)))]
+
+    def test_restricted_var_filters(self):
+        query = q("a", Var("X", QTerm("b", (), False, False)))
+        assert not matches(query, u("a", u("c", 7)))
+
+    def test_prebound_var_acts_as_constant(self):
+        query = q("a", Var("X"))
+        result = match(query, u("a", 1, 2), Bindings.of(X=2))
+        assert result == [Bindings.of(X=2)]
+
+    def test_multiple_answers(self):
+        result = bindings_set(q("a", Var("X")), u("a", 1, 2, 3))
+        assert result == {Bindings.of(X=1), Bindings.of(X=2), Bindings.of(X=3)}
+
+
+class TestMatchingModes:
+    data = d("r", d("a", 1), d("b", 2), d("c", 3))
+
+    def test_ordered_total_exact(self):
+        query = QTerm("r", (q("a", 1), q("b", 2), q("c", 3)), True, True)
+        assert matches(query, self.data)
+
+    def test_ordered_total_wrong_order_fails(self):
+        query = QTerm("r", (q("b", 2), q("a", 1), q("c", 3)), True, True)
+        assert not matches(query, self.data)
+
+    def test_ordered_total_missing_child_fails(self):
+        query = QTerm("r", (q("a", 1), q("b", 2)), True, True)
+        assert not matches(query, self.data)
+
+    def test_ordered_partial_subsequence(self):
+        query = QTerm("r", (q("a", 1), q("c", 3)), True, False)
+        assert matches(query, self.data)
+
+    def test_ordered_partial_wrong_order_fails(self):
+        query = QTerm("r", (q("c", 3), q("a", 1)), True, False)
+        assert not matches(query, self.data)
+
+    def test_unordered_total_bijection(self):
+        query = QTerm("r", (q("c", 3), q("a", 1), q("b", 2)), False, True)
+        assert matches(query, self.data)
+
+    def test_unordered_total_missing_fails(self):
+        query = QTerm("r", (q("c", 3), q("a", 1)), False, True)
+        assert not matches(query, self.data)
+
+    def test_unordered_partial_injection(self):
+        query = QTerm("r", (q("c", 3), q("a", 1)), False, False)
+        assert matches(query, self.data)
+
+    def test_unordered_partial_no_double_consumption(self):
+        # Two query children may not both consume the single data child.
+        query = QTerm("r", (q("a", Var("X")), q("a", Var("Y"))), False, False)
+        assert not matches(query, u("r", u("a", 1)))
+        assert matches(query, u("r", u("a", 1), u("a", 2)))
+
+    def test_subsequence_count(self):
+        data = parse_data("row[1, 2, 3, 4]")
+        result = match(parse_query("row[[ var A, var B ]]"), data)
+        assert len(result) == 6  # C(4, 2) order-preserving pairs
+
+    def test_unordered_pair_count(self):
+        data = parse_data("bag{1, 2, 3}")
+        result = match(parse_query("bag{{ var A, var B }}"), data)
+        assert len(result) == 6  # ordered pairs of distinct positions
+
+
+class TestLabelsAndAttributes:
+    def test_wildcard_label(self):
+        assert matches(q("*", Var("X")), u("anything", 1))
+
+    def test_label_var_binds(self):
+        from repro.terms import LabelVar
+        result = match(QTerm(LabelVar("L"), (), False, False), d("book"))
+        assert result == [Bindings.of(L="book")]
+
+    def test_attr_exact(self):
+        assert matches(QTerm("a", (), False, False, (("k", "v"),)), d("a", k="v"))
+        assert not matches(QTerm("a", (), False, False, (("k", "w"),)), d("a", k="v"))
+
+    def test_attr_missing_fails(self):
+        assert not matches(QTerm("a", (), False, False, (("k", "v"),)), d("a"))
+
+    def test_attr_var_binds(self):
+        result = match(QTerm("a", (), False, False, (("k", Var("V")),)), d("a", k="yes"))
+        assert result == [Bindings.of(V="yes")]
+
+    def test_attrs_partial_by_default(self):
+        assert matches(QTerm("a", (), False, False, (("k", "v"),)), d("a", k="v", other="x"))
+
+
+class TestDescendant:
+    nested = d("a", d("b", d("c", 42)), d("x", d("c", 7)))
+
+    def test_desc_finds_deep(self):
+        result = bindings_set(Desc(q("c", Var("X"))), self.nested)
+        assert result == {Bindings.of(X=42), Bindings.of(X=7)}
+
+    def test_desc_matches_self(self):
+        assert matches(Desc(q("a")), self.nested)
+
+    def test_desc_scalar_leaf(self):
+        assert matches(Desc(42), self.nested)
+        assert not matches(Desc(43), self.nested)
+
+
+class TestNegationAndOptional:
+    def test_without_absent_succeeds(self):
+        assert matches(parse_query("a{{ without bad }}"), u("a", u("ok")))
+
+    def test_without_present_fails(self):
+        assert not matches(parse_query("a{{ without bad }}"), u("a", u("bad")))
+
+    def test_without_checked_against_all_children(self):
+        # Even a child consumed by a positive pattern blocks the negation.
+        query = q("a", Var("X"), Without(q("bad")))
+        assert not matches(query, u("a", u("bad")))
+
+    def test_without_uses_positive_bindings(self):
+        # no sibling "dup" with the same payload as X
+        query = q("a", q("item", Var("X")), Without(q("dup", Var("X"))))
+        assert matches(query, u("a", u("item", 1), u("dup", 2)))
+        assert not matches(query, u("a", u("item", 1), u("dup", 1)))
+
+    def test_standalone_without(self):
+        assert matches(Without(q("b")), d("a"))
+        assert not matches(Without(q("a")), d("a"))
+
+    def test_optional_present_binds(self):
+        query = q("a", Optional_(q("opt", Var("X"))))
+        assert match(query, u("a", u("opt", 5))) == [Bindings.of(X=5)]
+
+    def test_optional_absent_succeeds_unbound(self):
+        query = q("a", Optional_(q("opt", Var("X"))))
+        assert match(query, u("a")) == [Bindings()]
+
+    def test_optional_absent_with_default(self):
+        query = q("a", Optional_(Var("X"), 0))
+        assert match(query, u("a")) == [Bindings.of(X=0)]
+
+    def test_optional_in_ordered_total(self):
+        query = QTerm("r", (q("a"), Optional_(q("b")), q("c")), True, True)
+        assert matches(query, d("r", d("a"), d("b"), d("c")))
+        assert matches(query, d("r", d("a"), d("c")))
+        assert not matches(query, d("r", d("a"), d("x"), d("c")))
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        assert matches(q("a", Compare(">", 5)), u("a", 6))
+        assert not matches(q("a", Compare(">", 5)), u("a", 5))
+        assert matches(q("a", Compare("<=", 5)), u("a", 5))
+        assert matches(q("a", Compare("!=", 5)), u("a", 4))
+
+    def test_string_comparisons(self):
+        assert matches(q("a", Compare(">", "apple")), u("a", "banana"))
+
+    def test_mixed_types_fail_ordering(self):
+        assert not matches(q("a", Compare(">", 5)), u("a", "banana"))
+
+    def test_eq_uses_semantic_equality(self):
+        assert matches(q("a", Compare("==", 5)), u("a", 5.0))
+
+    def test_compare_against_bound_var(self):
+        query = q("r", q("lo", Var("L")), q("hi", Compare(">", Var("L"))))
+        assert matches(query, u("r", u("lo", 1), u("hi", 2)))
+        assert not matches(query, u("r", u("lo", 3), u("hi", 2)))
+
+    def test_compare_unbound_var_raises(self):
+        with pytest.raises(QueryError):
+            match(q("a", Compare(">", Var("Z"))), u("a", 1))
+
+    def test_compare_non_scalar_fails(self):
+        assert not matches(q("a", Compare(">", 5)), u("a", u("nested", 6)))
+
+    def test_regex_full_match(self):
+        assert matches(q("a", RegexMatch("[0-9]+")), u("a", "123"))
+        assert not matches(q("a", RegexMatch("[0-9]+")), u("a", "12a"))
+        assert not matches(q("a", RegexMatch("[0-9]+")), u("a", 123))
+
+
+class TestDeduplication:
+    def test_answers_deduplicated(self):
+        # both 'a' children produce the same (empty) bindings
+        query = q("r", q("a"))
+        assert match(query, u("r", u("a"), u("a"))) == [Bindings()]
+
+    def test_first_derivation_order_stable(self):
+        query = q("r", q("a", Var("X")))
+        values = [b["X"] for b in match(query, d("r", d("a", 1), d("a", 2)))]
+        assert values == [1, 2]
+
+
+class TestPartialityInteraction:
+    """Matching modes compose with nesting (regression suite)."""
+
+    doc = parse_data(
+        'library{ book{ title["A"], year[1999] }, book{ title["B"], year[2005] },'
+        ' journal{ title["J"] } }'
+    )
+
+    def test_nested_partial(self):
+        result = match(parse_query("library{{ book{{ title[var T] }} }}"), self.doc)
+        assert {b["T"] for b in result} == {"A", "B"}
+
+    def test_nested_comparison(self):
+        query = parse_query("library{{ book{{ title[var T], year[var Y -> > 2000] }} }}")
+        result = match(query, self.doc)
+        assert [b["T"] for b in result] == ["B"]
+
+    def test_total_at_inner_level(self):
+        # book{title[...]} total: fails because books also have year
+        query = parse_query("library{{ book{ title[var T] } }}")
+        assert not matches(query, self.doc)
+
+    def test_without_at_outer_level(self):
+        assert matches(parse_query("library{{ without magazine }}"), self.doc)
+        assert not matches(parse_query("library{{ without journal }}"), self.doc)

@@ -1,0 +1,177 @@
+"""Unit tests for update primitives and transactions."""
+
+import pytest
+
+from repro.errors import TransactionError, UpdateError
+from repro.terms import Bindings, Var, d, parse_construct, parse_data, parse_query, to_text, u
+from repro.terms.rdf import Graph, Triple
+from repro.updates import (
+    Transaction,
+    atomically,
+    delete_terms,
+    insert_child,
+    rdf_delete,
+    rdf_insert,
+    replace_terms,
+)
+from repro.web.resources import ResourceStore
+
+
+DOC = parse_data(
+    'shop{ item{ id["a"], qty[2] }, item{ id["b"], qty[0] }, note["hi"] }'
+)
+
+
+class TestInsert:
+    def test_insert_at_end(self):
+        root, count = insert_child(DOC, parse_query("shop"), parse_data("item{}"))
+        assert count == 1
+        assert root.children[-1] == d("item", ordered=False) or root.children[-1].label == "item"
+
+    def test_insert_at_start(self):
+        root, count = insert_child(DOC, parse_query("shop"), parse_data("flag"),
+                                   position="start")
+        assert count == 1
+        assert root.children[0] == d("flag")
+
+    def test_insert_into_every_match(self):
+        root, count = insert_child(DOC, parse_query("item"), parse_data("seen"))
+        assert count == 2
+        for item in root.all("item"):
+            assert item.first("seen") is not None
+
+    def test_insert_construct_uses_bindings(self):
+        root, count = insert_child(
+            DOC,
+            parse_query("shop"),
+            parse_construct("status{ var S }"),
+            Bindings.of(S="open"),
+        )
+        assert count == 1
+        assert root.first("status").children[0] == "open"
+
+    def test_insert_bad_position(self):
+        with pytest.raises(UpdateError):
+            insert_child(DOC, parse_query("shop"), parse_data("x"), position="middle")
+
+    def test_no_match_returns_zero(self):
+        root, count = insert_child(DOC, parse_query("warehouse"), parse_data("x"))
+        assert count == 0
+        assert root == DOC
+
+
+class TestDelete:
+    def test_delete_matching_subterms(self):
+        root, count = delete_terms(DOC, parse_query("note"))
+        assert count == 1
+        assert root.first("note") is None
+
+    def test_delete_with_bindings_filter(self):
+        root, count = delete_terms(
+            DOC, parse_query('item{{ id[var I] }}'), Bindings.of(I="b")
+        )
+        assert count == 1
+        assert len(root.all("item")) == 1
+        assert root.first("item").first("id").value == "a"
+
+    def test_delete_root_protected(self):
+        with pytest.raises(UpdateError):
+            delete_terms(DOC, parse_query("shop"))
+
+    def test_delete_nested(self):
+        root, count = delete_terms(DOC, parse_query("qty[0]"))
+        assert count == 1
+
+
+class TestReplace:
+    def test_replace_rebuilds_value(self):
+        root, count = replace_terms(
+            DOC, parse_query("qty[var Q]"), parse_construct("qty[add(var Q, 10)]")
+        )
+        assert count == 2
+        quantities = sorted(item.first("qty").value for item in root.all("item"))
+        assert quantities == [10, 12]
+
+    def test_replace_scalar_result_rejected(self):
+        with pytest.raises(UpdateError):
+            replace_terms(DOC, parse_query("note"), parse_construct('"just a string"'))
+
+    def test_replace_respects_outer_bindings(self):
+        root, count = replace_terms(
+            DOC,
+            parse_query('item{{ id[var I], qty[var Q] }}'),
+            parse_construct("item{ id[var I], qty[99] }"),
+            Bindings.of(I="a"),
+        )
+        assert count == 1
+
+
+class TestRdfUpdates:
+    def test_insert_counts_new(self):
+        graph = Graph()
+        assert rdf_insert(graph, Triple("s", "p", "o")) == 1
+        assert rdf_insert(graph, Triple("s", "p", "o")) == 0
+        assert rdf_insert(graph, [Triple("a", "p", "b"), Triple("a", "p", "c")]) == 2
+
+    def test_delete_by_pattern(self):
+        graph = Graph()
+        graph.assert_("a", "p", "b")
+        graph.assert_("a", "q", "c")
+        assert rdf_delete(graph, ("a", "p", None)) == 1
+        assert len(graph) == 1
+
+
+class TestTransactions:
+    def _store(self):
+        store = ResourceStore()
+        store.put("http://a.example/doc", d("doc", 1))
+        return store
+
+    def test_commit_keeps_changes(self):
+        store = self._store()
+        with Transaction(store):
+            store.put("http://a.example/doc", d("doc", 2))
+        assert store.get("http://a.example/doc") == d("doc", 2)
+
+    def test_exception_rolls_back(self):
+        store = self._store()
+        with pytest.raises(ValueError):
+            with Transaction(store):
+                store.put("http://a.example/doc", d("doc", 2))
+                store.put("http://a.example/new", d("n"))
+                raise ValueError("boom")
+        assert store.get("http://a.example/doc") == d("doc", 1)
+        assert "http://a.example/new" not in store
+
+    def test_explicit_rollback(self):
+        store = self._store()
+        transaction = Transaction(store)
+        store.put("http://a.example/doc", d("doc", 2))
+        transaction.rollback()
+        assert store.get("http://a.example/doc") == d("doc", 1)
+
+    def test_double_finish_rejected(self):
+        store = self._store()
+        transaction = Transaction(store)
+        transaction.commit()
+        with pytest.raises(TransactionError):
+            transaction.rollback()
+
+    def test_multi_store_atomicity(self):
+        left, right = self._store(), ResourceStore()
+        with pytest.raises(RuntimeError):
+            with Transaction(left, right):
+                left.put("http://a.example/doc", d("doc", 9))
+                right.put("http://b.example/doc", d("d"))
+                raise RuntimeError
+        assert left.get("http://a.example/doc") == d("doc", 1)
+        assert "http://b.example/doc" not in right
+
+    def test_atomically_returns_value(self):
+        store = self._store()
+        result = atomically(store, lambda: 42)
+        assert result == 42
+
+    def test_needs_a_store(self):
+        with pytest.raises(TransactionError):
+            Transaction()
