@@ -13,6 +13,8 @@ Rows are plain dicts so EXPERIMENTS.md can quote them verbatim.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 from typing import Callable
 
@@ -50,3 +52,15 @@ def seeded(seed: int = 42) -> random.Random:
 
 def run_main(table_fn: Callable[[], list[dict]], title: str, claim: str) -> None:
     print_table(title, table_fn(), claim)
+
+
+def write_json(filename: str, payload) -> str:
+    """Write a benchmark result file next to this harness (``BENCH_*.json``).
+
+    Returns the absolute path written, so callers can print it.
+    """
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), filename)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

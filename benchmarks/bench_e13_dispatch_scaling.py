@@ -1,0 +1,124 @@
+"""E13: label-indexed event dispatch vs the broadcast baseline.
+
+The ROADMAP's north star ("fast as the hardware allows, millions of
+users") dies first at dispatch: a node with *R* installed rules that
+broadcasts every incoming event to every rule's evaluator pays O(R) per
+event even when only one rule cares.  The engine therefore routes events
+through a label index built from each evaluator's ``interest()`` set
+(wildcard queries keep seeing everything); this experiment measures what
+that buys.
+
+Workload: *R* rules, each subscribed to its own disjoint event label
+(``evt-i``), and a stream of events cycling through those labels — the
+many-tenants shape where broadcast hurts most.  The ablation switch is
+``EngineConfig(indexed_dispatch=False)``, which restores the old broadcast
+``_dispatch``.  Both modes must produce identical rule-firing counts
+(identical semantics — only the routing changes); the run emits
+``BENCH_e13.json`` for CI tracking.
+
+Shape to reproduce: broadcast throughput decays ~1/R; indexed throughput
+stays flat, so the speedup grows linearly with the rule count (>= 2x at
+200 rules is the acceptance bar; in practice it is orders of magnitude).
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+from _harness import print_table, write_json
+
+from repro.core import EngineConfig, ReactiveEngine, eca
+from repro.core.actions import PyAction
+from repro.events import EAtom
+from repro.events.model import make_event
+from repro.terms import Var, d, q
+from repro.web import Simulation
+
+N_EVENTS = 2000
+RULE_GRID = (25, 50, 100, 200)
+
+
+def build_engine(n_rules: int, indexed: bool) -> ReactiveEngine:
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://bench.example")
+    engine = ReactiveEngine(node, config=EngineConfig(indexed_dispatch=indexed))
+    noop = PyAction(lambda n, b: None, "noop")
+    for i in range(n_rules):
+        engine.install(eca(f"r{i}", EAtom(q(f"evt-{i}", Var("X"))), noop))
+    return engine
+
+
+def make_stream(n_events: int, n_labels: int):
+    return [
+        make_event(d(f"evt-{i % n_labels}", d("x", i)), float(i))
+        for i in range(n_events)
+    ]
+
+
+def run_once(n_rules: int, indexed: bool) -> tuple[float, int]:
+    """Feed the stream straight into the engine; (events/s, rule firings)."""
+    engine = build_engine(n_rules, indexed)
+    stream = make_stream(N_EVENTS, n_rules)
+    started = time.perf_counter()
+    for event in stream:
+        engine.handle_event(event)
+    elapsed = time.perf_counter() - started
+    return N_EVENTS / elapsed, engine.stats.rule_firings
+
+
+def table() -> list[dict]:
+    rows = []
+    for n_rules in RULE_GRID:
+        indexed_rate, indexed_firings = run_once(n_rules, indexed=True)
+        broadcast_rate, broadcast_firings = run_once(n_rules, indexed=False)
+        assert indexed_firings == broadcast_firings, (
+            f"dispatch modes disagree at {n_rules} rules: "
+            f"{indexed_firings} != {broadcast_firings}"
+        )
+        rows.append({
+            "rules": n_rules,
+            "firings": indexed_firings,
+            "indexed ev/s": indexed_rate,
+            "broadcast ev/s": broadcast_rate,
+            "speedup": indexed_rate / broadcast_rate,
+        })
+    return rows
+
+
+def test_e13_indexed_beats_broadcast_at_scale():
+    indexed_rate, indexed_firings = run_once(200, indexed=True)
+    broadcast_rate, broadcast_firings = run_once(200, indexed=False)
+    assert indexed_firings == broadcast_firings == N_EVENTS
+    assert indexed_rate >= 2 * broadcast_rate
+
+
+def test_e13_dispatch_throughput(benchmark):
+    stream = make_stream(500, 100)
+
+    def run():
+        engine = build_engine(100, indexed=True)
+        for event in stream:
+            engine.handle_event(event)
+
+    benchmark(run)
+
+
+def main() -> None:
+    rows = table()
+    print_table(
+        "E13 — dispatch throughput vs installed rule count "
+        f"({N_EVENTS} events, disjoint labels)",
+        rows,
+        "indexed dispatch is flat in the rule count; broadcast decays ~1/R "
+        "(>= 2x at 200 rules, identical firing counts)",
+    )
+    path = write_json("BENCH_e13.json", {
+        "experiment": "e13_dispatch_scaling",
+        "n_events": N_EVENTS,
+        "rows": rows,
+    })
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,13 +18,11 @@ rule conditions query it with the same query language as everything else —
 Thesis 7's language coherency on Semantic Web data.
 """
 
-from repro.core import ReactiveEngine, eca
+from repro import Simulation, parse_data, parse_query, rule, to_text
 from repro.core.actions import PyAction
 from repro.events.queries import EAtom
-from repro.terms import parse_data, parse_query, to_text
 from repro.terms.owl import OWL_INVERSE_OF, OWL_TRANSITIVE, semantic_closure
 from repro.terms.rdf import Graph, RDF_TYPE
-from repro.web import Simulation
 
 
 def build_catalogue() -> Graph:
@@ -41,9 +39,8 @@ def build_catalogue() -> Graph:
 
 def main() -> None:
     sim = Simulation(latency=0.02)
-    tutor = sim.node("http://tutor.example")
+    tutor = sim.reactive_node("http://tutor.example")
     student = sim.node("http://student.example")
-    engine = ReactiveEngine(tutor)
 
     catalogue = semantic_closure(build_catalogue())
     tutor.put("http://tutor.example/catalogue", catalogue.to_term())
@@ -69,19 +66,17 @@ def main() -> None:
                     f'recommendation{{ unit["{candidate}"], note["unlocked{note}"] }}'))
                 return
 
-    engine.install(eca(
-        "on-test-result",
-        EAtom(parse_query("test-result{{ unit[var UNIT], student[var WHO], "
-                          "score[var S -> >= 50] }}")),
-        PyAction(recommend),
-    ))
-    engine.install(eca(
-        "on-failed-test",
-        EAtom(parse_query("test-result{{ unit[var UNIT], student[var WHO], "
-                          "score[var S -> < 50] }}")),
-        PyAction(lambda n, b: n.raise_event(str(b["WHO"]), parse_data(
-            f'recommendation{{ unit["ex:{b["UNIT"]}"], note["repeat this unit"] }}'))),
-    ))
+    tutor.install(
+        rule("on-test-result")
+        .on(EAtom(parse_query("test-result{{ unit[var UNIT], student[var WHO], "
+                              "score[var S -> >= 50] }}")))
+        .do(PyAction(recommend)),
+        rule("on-failed-test")
+        .on(EAtom(parse_query("test-result{{ unit[var UNIT], student[var WHO], "
+                              "score[var S -> < 50] }}")))
+        .do(PyAction(lambda n, b: n.raise_event(str(b["WHO"]), parse_data(
+            f'recommendation{{ unit["ex:{b["UNIT"]}"], note["repeat this unit"] }}')))),
+    )
 
     student.on_event(lambda e: print(f"[{sim.now:4.2f}s] student <- {to_text(e.term)}"))
 

@@ -13,11 +13,9 @@ Combines most of the theses in one scenario:
   within a deadline and escalates them (Thesis 5, absence).
 """
 
-from repro.core import ReactiveEngine, RuleSet
+from repro import Simulation, parse_data, to_text
 from repro.core.aaa import Accountant
-from repro.lang import parse_program, parse_rule
-from repro.terms import parse_data, to_text
-from repro.web import Simulation
+from repro.lang import parse_rule
 
 SHOP = "http://shop.example"
 WAREHOUSE = "http://warehouse.example"
@@ -27,20 +25,19 @@ CUSTOMER = "http://franz.example"
 
 def main() -> None:
     sim = Simulation(latency=0.05)
-    shop = sim.node(SHOP)
-    warehouse = sim.node(WAREHOUSE)
-    bank = sim.node(BANK)
+    shop = sim.reactive_node(SHOP)
+    warehouse = sim.reactive_node(WAREHOUSE)
+    bank = sim.reactive_node(BANK)
     customer = sim.node(CUSTOMER)
 
-    shop.put(f"{SHOP}/stock", parse_data(
-        'stock{ item{ id["ball"], qty[2] }, item{ id["shirt"], qty[1] } }'))
+    shop.put(f"{SHOP}/stock",
+             'stock{ item{ id["ball"], qty[2] }, item{ id["shirt"], qty[1] } }')
 
-    shop_engine = ReactiveEngine(shop)
-    accountant = Accountant(shop_engine)
+    accountant = Accountant(shop.engine)
     accountant.attach()
 
     # The shared shipping procedure (Thesis 9).
-    shop_engine.define_procedure(
+    shop.define_procedure(
         "dispatch", ("ITEM", "WHO"),
         parse_rule('''
             RULE unused ON never DO
@@ -55,7 +52,7 @@ def main() -> None:
     )
 
     # The shop's rule program: payments subset + escalation subset.
-    program = parse_program(f'''
+    shop.install(f'''
         RULESET shop
           RULESET payments
             RULE card-order
@@ -85,18 +82,16 @@ def main() -> None:
           END
         END
     ''')
-    for item in program:
-        shop_engine.install(item)
     # Meter every order (Thesis 12).
-    shop_engine.install(parse_rule(f'''
+    shop.install(f'''
         RULE meter-orders
         ON order{{{{ item[var I], customer[var C] }}}}
         DO RAISE TO "{SHOP}"
              service-request{{ principal[var C], service["order"], units[1] }}
-    '''))
+    ''')
 
     # Warehouse: confirm shipments back to shop and customer.
-    ReactiveEngine(warehouse).install(parse_rule(f'''
+    warehouse.install(f'''
         RULE handle-ship
         ON ship{{{{ item[var I], to[var C] }}}}
         DO SEQUENCE
@@ -104,14 +99,14 @@ def main() -> None:
              ALSO RAISE TO "{SHOP}" shipped{{ item[var I], to[var C] }}
              ALSO RAISE TO var C shipped{{ item[var I], to[var C] }}
            END
-    '''))
+    ''')
 
     # Bank: acknowledge charges.
-    ReactiveEngine(bank).install(parse_rule(f'''
+    bank.install(f'''
         RULE charge
         ON charge{{{{ item[var I], customer[var C] }}}}
         DO RAISE TO "{SHOP}" charge-ok{{ item[var I], customer[var C] }}
-    '''))
+    ''')
 
     customer.on_event(lambda e: print(f"[{sim.now:5.2f}s] franz <- {to_text(e.term)}"))
 
@@ -129,7 +124,7 @@ def main() -> None:
     print("warehouse log:", to_text(warehouse.get(f"{WAREHOUSE}/log")))
     print("shop bill:", accountant.bill())
     escalations = (to_text(shop.get(f"{SHOP}/escalations"))
-                   if f"{SHOP}/escalations" in shop.resources else "none")
+                   if f"{SHOP}/escalations" in shop.node.resources else "none")
     print("escalations:", escalations)
 
 

@@ -9,27 +9,26 @@ pushed from one node to another (Thesis 3), where a locally processed ECA
 rule (Thesis 2) matches it (Thesis 5, data extraction), checks a condition
 against a persistent resource (Thesis 7), and reacts by updating the
 resource and raising a reply event (Thesis 8).
+
+Nodes are created through the :class:`ReactiveNode` facade
+(``sim.reactive_node``), which bundles the Web node and its rule engine and
+accepts surface-syntax strings everywhere.
 """
 
-from repro.core import ReactiveEngine
-from repro.lang import parse_rule
-from repro.terms import parse_data, to_text
-from repro.web import Simulation
+from repro import Simulation, to_text
 
 
 def main() -> None:
     sim = Simulation(latency=0.05)
-    shop = sim.node("http://shop.example")
-    customer = sim.node("http://franz.example")
+    shop = sim.reactive_node("http://shop.example")
+    customer = sim.reactive_node("http://franz.example")
 
     # Persistent Web data: the shop's stock document.
-    shop.put(
-        "http://shop.example/stock",
-        parse_data('stock{ item{ id["ball"], qty[3] } }'),
-    )
+    shop.put("http://shop.example/stock",
+             'stock{ item{ id["ball"], qty[3] } }')
 
     # The shop's reactive rule, written in the surface language.
-    ReactiveEngine(shop).install(parse_rule('''
+    shop.install('''
         RULE take-order
         ON order{{ item[var I], reply-to[var C] }}
         IF IN "http://shop.example/stock"
@@ -42,21 +41,21 @@ def main() -> None:
              ALSO RAISE TO var C confirmation{ item[var I], left[sub(var Q, 1)] }
            END
         ELSE RAISE TO var C out-of-stock{ item[var I] }
-    '''))
+    ''')
 
     # The customer just prints whatever comes back.
-    customer_engine = ReactiveEngine(customer)
     customer.on_event(lambda e: print(f"[{sim.now:5.2f}s] franz received: {to_text(e.term)}"))
 
     for _ in range(4):  # four orders against a stock of three
         customer.raise_event(
             "http://shop.example",
-            parse_data('order{ item["ball"], reply-to["http://franz.example"] }'),
+            'order{ item["ball"], reply-to["http://franz.example"] }',
         )
     sim.run()
 
     print("\nfinal stock:", to_text(shop.get("http://shop.example/stock")))
-    print("network:", sim.stats.messages, "messages,", sim.stats.bytes, "bytes")
+    print("shop fired", shop.stats.rule_firings, "rules;",
+          "network:", sim.stats.messages, "messages,", sim.stats.bytes, "bytes")
 
 
 if __name__ == "__main__":

@@ -10,31 +10,26 @@ The paper's two accumulation examples in one scenario:
 A market node pushes ticks; the analyst's rules accumulate them.
 """
 
-from repro.core import ReactiveEngine
-from repro.lang import parse_rule
-from repro.terms import parse_data, to_text
-from repro.web import Simulation
+from repro import Simulation, parse_data, to_text
 
 
 def main() -> None:
     sim = Simulation(latency=0.0)
     market = sim.node("http://market.example")
-    analyst = sim.node("http://analyst.example")
+    analyst = sim.reactive_node("http://analyst.example")
 
-    engine = ReactiveEngine(analyst)
-    engine.install(parse_rule('''
+    analyst.install('''
         RULE rally-alert
         ON AGG avg var P OF tick{{ symbol[var S], price[var P] }}
            LAST 5 INTO var A BY [S] RISE 5.0
         DO PERSIST rally{ symbol[var S], average[var A] }
              INTO "http://analyst.example/alerts" ROOT alerts
-    '''))
-    engine.install(parse_rule('''
+
         RULE halt-storm
         ON COUNT 3 OF halt{{ symbol[var S] }} WITHIN 60.0 BY [S]
         DO PERSIST storm{ symbol[var S] }
              INTO "http://analyst.example/alerts" ROOT alerts
-    '''))
+    ''')
 
     prices = {
         # flat, then a jump that lifts the 5-tick average by >5%.

@@ -11,10 +11,7 @@ the traveller.  Absence is confirmed by the engine's deadline wake-ups;
 no polling is involved.
 """
 
-from repro.core import ReactiveEngine
-from repro.lang import parse_rule
-from repro.terms import parse_data, to_text
-from repro.web import Simulation
+from repro import Simulation, parse_data, to_text
 
 HOUR = 1.0  # simulated hours
 
@@ -22,11 +19,10 @@ HOUR = 1.0  # simulated hours
 def main() -> None:
     sim = Simulation(latency=0.01)
     airline = sim.node("http://airline.example")
-    agent = sim.node("http://agent.example")
+    agent = sim.reactive_node("http://agent.example")
     traveller = sim.node("http://traveller.example")
 
-    agent_engine = ReactiveEngine(agent)
-    agent_engine.install(parse_rule('''
+    agent.install('''
         RULE stranded-passenger
         ON WITHIN 2.0 ( cancellation{{ flight[var F], passenger[var P] }}
                         THEN NOT rebooking{{ flight[var F], passenger[var P] }} )
@@ -36,7 +32,7 @@ def main() -> None:
              ALSO RAISE TO "http://traveller.example"
                     hotel-booked{ flight[var F], passenger[var P] }
            END
-    '''))
+    ''')
 
     traveller.on_event(lambda e: print(
         f"[{sim.now:5.2f}h] traveller notified: {to_text(e.term)}"))

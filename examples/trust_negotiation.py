@@ -17,21 +17,19 @@ Only the relevant policy rule ever crosses the wire; the shop's other
 (sensitive) rules stay home — the two advantages the paper claims.
 """
 
-from repro.core import ReactiveEngine, eca
+from repro import Simulation, parse_construct, parse_data, parse_query, rule
+from repro.core import eca
 from repro.core.aaa import Authenticator, Certificate
 from repro.core.actions import InstallRule, PyAction, Raise
 from repro.core.meta import rule_to_term
 from repro.events.queries import EAtom
-from repro.terms import Var, parse_construct, parse_data, parse_query, to_text
-from repro.web import Simulation
+from repro.terms import Var, to_text
 
 
 def main() -> None:
     sim = Simulation(latency=0.05)
-    shop = sim.node("http://fussbaelle.biz")
-    franz = sim.node("http://franz.example")
-    shop_engine = ReactiveEngine(shop)
-    franz_engine = ReactiveEngine(franz)
+    shop = sim.reactive_node("http://fussbaelle.biz")
+    franz = sim.reactive_node("http://franz.example")
 
     def log(who, what):
         print(f"[{sim.now:5.2f}s] {who}: {what}")
@@ -43,29 +41,29 @@ def main() -> None:
         Raise("http://fussbaelle.biz",
               parse_construct('payment-accepted{ method["credit-card"] }')),
     )
-    shop_engine.install(eca(
+    shop.install(eca(
         "on-purchase-request",
         EAtom(parse_query("purchase-request{{ customer[var C] }}")),
         Raise(Var("C"), rule_to_term(payment_policy)),
     ))
 
     # Franz: install received policies, then ask for credentials (step 3).
-    franz_engine.install(eca(
-        "install-policy", EAtom(parse_query("eca-rule"), alias="R"),
-        InstallRule(Var("R")),
-    ))
-    franz_engine.install(eca(
-        "request-certificate", EAtom(parse_query("eca-rule")),
-        PyAction(lambda n, b: (
+    franz.install(
+        rule("install-policy")
+        .on(EAtom(parse_query("eca-rule"), alias="R"))
+        .do(InstallRule(Var("R"))),
+        rule("request-certificate")
+        .on(EAtom(parse_query("eca-rule")))
+        .do(PyAction(lambda n, b: (
             log("franz", "policy received and installed; asking for certificate"),
             n.raise_event("http://fussbaelle.biz", parse_data(
                 'certificate-request{ customer["http://franz.example"] }')),
-        )),
-    ))
+        ))),
+    )
 
     # The shop answers with its BBB certificate (step 4).
     certificate = Certificate("fussbaelle.biz", "http://bbb.example")
-    shop_engine.install(eca(
+    shop.install(eca(
         "send-certificate",
         EAtom(parse_query("certificate-request{{ customer[var C] }}")),
         Raise(Var("C"), certificate.to_term()),
@@ -82,11 +80,11 @@ def main() -> None:
         node.raise_event(node.uri, parse_data(
             'payment-offer{ method["credit-card"] }'))
 
-    franz_engine.install(eca(
+    franz.install(eca(
         "verify-certificate", EAtom(parse_query("certificate"), alias="CERT"),
         PyAction(verify_and_pay),
     ))
-    shop_engine.install(eca(
+    shop.install(eca(
         "close-deal", EAtom(parse_query("payment-accepted{{}}")),
         PyAction(lambda n, b: log("shop", "payment accepted — deal closed, "
                                           "shipping ten soccer balls")),
@@ -98,7 +96,7 @@ def main() -> None:
         'item["soccer-ball"], qty[10] }'))
     sim.run()
 
-    print("\nrules now active on franz's node:", franz_engine.rules())
+    print("\nrules now active on franz's node:", franz.rules())
     print("messages exchanged:", sim.stats.messages,
           f"({sim.stats.bytes} bytes)")
 

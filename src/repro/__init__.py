@@ -9,21 +9,27 @@ support.
 
 Quickstart::
 
-    from repro.web import Simulation
-    from repro.lang import parse_rule
+    from repro import Simulation, parse_data
 
     sim = Simulation()
-    shop = sim.node("http://shop.example")
-    shop.install(parse_rule('''
+    shop = sim.reactive_node("http://shop.example")
+    shop.install('''
         RULE greet
-        ON ping{{ sender{ var F } }}
+        ON ping{{ sender[var F] }}
         DO RAISE TO var F pong{}
-    '''))
+    ''')
+    franz = sim.node("http://franz.example")
+    franz.raise_event("http://shop.example",
+                      parse_data('ping{ sender["http://franz.example"] }'))
+    sim.run()
+    assert franz.events_received == 1          # the pong came back
+    assert shop.stats.rule_firings == 1
 
 See ``examples/quickstart.py`` for a complete runnable scenario.
 """
 
 from repro import errors
+from repro.api import EngineConfig, ReactiveNode, RuleBuilder, rule
 from repro.terms import (
     Bindings,
     Data,
@@ -36,12 +42,17 @@ from repro.terms import (
     to_text,
     u,
 )
+from repro.web.node import Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Bindings",
     "Data",
+    "EngineConfig",
+    "ReactiveNode",
+    "RuleBuilder",
+    "Simulation",
     "d",
     "errors",
     "match",
@@ -49,6 +60,7 @@ __all__ = [
     "parse_construct",
     "parse_data",
     "parse_query",
+    "rule",
     "to_text",
     "u",
     "__version__",

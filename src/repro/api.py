@@ -1,0 +1,260 @@
+"""The unified public API: reactive nodes and a fluent rule builder.
+
+The paper's Thesis 2 makes the *node* — a Web site with local resources,
+an inbox, and its own rule base — the unit of the system.  This module
+gives that unit a single first-class object, so applications never have to
+hand-wire a :class:`~repro.web.node.WebNode` to a
+:class:`~repro.core.engine.ReactiveEngine`::
+
+    from repro.web import Simulation
+
+    sim = Simulation()
+    shop = sim.reactive_node("http://shop.example")      # -> ReactiveNode
+    shop.put("http://shop.example/stock", 'stock{ item["ball"] }')
+    shop.install('''
+        RULE take-order
+        ON order{{ item[var I], reply-to[var C] }}
+        DO RAISE TO var C confirmation{ item[var I] }
+    ''')
+
+:class:`ReactiveNode` bundles rule management (``install`` / ``uninstall``
+/ ``define_procedure`` / ``define_web_views``), messaging (``raise_event``
+/ ``raise_local``), resource access (``get`` / ``put``) and the engine's
+``stats`` behind one facade.  Anywhere a term or rule is expected, a
+surface-syntax string is accepted and parsed.
+
+For building rules programmatically there is a fluent builder that lowers
+to the existing :class:`~repro.core.rules.ECARule`::
+
+    from repro import rule
+
+    shop.install(
+        rule("restock-alert")
+        .on('COUNT 3 OF out-of-stock{{ item[var I] }} WITHIN 60.0 BY [I]')
+        .when('IN "http://shop.example/config" : alerts{{ enabled["yes"] }}')
+        .do('RAISE TO "http://ops.example" restock{ item[var I] }')
+    )
+
+``.on`` / ``.when`` / ``.do`` accept either surface-syntax strings or the
+structured objects (event queries, conditions, actions); several
+``.when(...).do(...)`` pairs build an ECnAn rule, ``.otherwise`` the final
+else branch, and ``.firing("first")`` selects single-firing semantics.
+
+Engines are tuned through :class:`~repro.core.engine.EngineConfig`
+(consumption policy, deductive event views, and the label-indexed dispatch
+ablation switch), passed as ``sim.reactive_node(uri, config=...)``.
+
+The old explicit wiring (``ReactiveEngine(sim.node(uri))``) keeps working;
+the facade is sugar over it, not a replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.engine import EngineConfig, EngineStats, ReactiveEngine
+from repro.core.rules import ECARule
+from repro.deductive.rules import Program
+from repro.errors import RuleError
+from repro.events.model import Event
+from repro.lang.parser import (
+    parse_action,
+    parse_condition,
+    parse_event_query,
+    parse_program,
+)
+from repro.terms.ast import Data
+from repro.terms.parser import parse_data
+
+__all__ = ["EngineConfig", "ReactiveNode", "RuleBuilder", "rule"]
+
+
+class RuleBuilder:
+    """Fluent construction of an :class:`~repro.core.rules.ECARule`.
+
+    Build order: ``.on`` once, then any number of ``.when``/``.do`` branch
+    pairs (``.do`` without a preceding ``.when`` makes an unconditional
+    branch; consecutive ``.when`` calls are conjoined), optionally
+    ``.otherwise`` and ``.firing``.  ``.build()`` lowers to the frozen
+    :class:`ECARule`; installing the builder directly on a
+    :class:`ReactiveNode` builds it implicitly.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._event = None
+        self._branches: list[tuple[object, object]] = []
+        self._pending = None
+        self._otherwise = None
+        self._firing = "all"
+
+    def on(self, event) -> "RuleBuilder":
+        """Set the event query (surface string or structured query)."""
+        if self._event is not None:
+            raise RuleError(f"rule {self._name!r} already has an event query")
+        self._event = parse_event_query(event) if isinstance(event, str) else event
+        return self
+
+    def when(self, condition) -> "RuleBuilder":
+        """Add a condition for the next ``.do`` (strings are parsed)."""
+        if isinstance(condition, str):
+            condition = parse_condition(condition)
+        if self._pending is None:
+            self._pending = condition
+        else:
+            from repro.core.conditions import AndCond
+
+            self._pending = AndCond(self._pending, condition)
+        return self
+
+    def do(self, action) -> "RuleBuilder":
+        """Close the current branch with its action (strings are parsed)."""
+        if isinstance(action, str):
+            action = parse_action(action)
+        self._branches.append((self._pending, action))
+        self._pending = None
+        return self
+
+    def otherwise(self, action) -> "RuleBuilder":
+        """Set the final else action, fired when no branch condition holds."""
+        if self._otherwise is not None:
+            raise RuleError(f"rule {self._name!r} already has an otherwise action")
+        self._otherwise = parse_action(action) if isinstance(action, str) else action
+        return self
+
+    def firing(self, mode: str) -> "RuleBuilder":
+        """Select the firing mode: ``"all"`` (default) or ``"first"``."""
+        self._firing = mode
+        return self
+
+    def build(self) -> ECARule:
+        """Lower to a frozen :class:`ECARule` (validates the event query)."""
+        if self._event is None:
+            raise RuleError(f"rule {self._name!r} needs an event query: .on(...)")
+        if self._pending is not None:
+            raise RuleError(
+                f"rule {self._name!r} has a dangling .when(...); close it with .do(...)"
+            )
+        return ECARule(self._name, self._event, tuple(self._branches),
+                       self._otherwise, self._firing)
+
+
+def rule(name: str) -> RuleBuilder:
+    """Start building a rule: ``rule("n").on(E).when(C).do(A)``."""
+    return RuleBuilder(name)
+
+
+class ReactiveNode:
+    """One reactive Web site: a node and its rule engine behind one facade.
+
+    Created via :meth:`repro.web.node.Simulation.reactive_node`.  The
+    underlying parts stay reachable as :attr:`node` and :attr:`engine` for
+    anything the facade does not cover.
+    """
+
+    def __init__(self, node, config: EngineConfig | None = None) -> None:
+        self.node = node
+        self.engine = ReactiveEngine(node, config=config)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def uri(self) -> str:
+        return self.node.uri
+
+    @property
+    def now(self) -> float:
+        return self.node.now
+
+    @property
+    def stats(self) -> EngineStats:
+        """The engine's counters (firings, updates, raised events, ...)."""
+        return self.engine.stats
+
+    def __repr__(self) -> str:
+        return f"ReactiveNode({self.uri!r}, rules={len(self.engine.rules())})"
+
+    # -- rule management -------------------------------------------------------
+
+    def install(self, *items) -> "ReactiveNode":
+        """Install rules, rule sets, builders, or surface-syntax programs.
+
+        Each item may be an :class:`ECARule`, a :class:`RuleSet`, a
+        :class:`RuleBuilder` (built implicitly), or a string holding one or
+        more ``RULE`` / ``RULESET`` / ``PROCEDURE`` definitions.
+        """
+        # Parse and validate everything before mutating the engine, so a
+        # bad item late in the arguments cannot leave a half-installed node.
+        batch = []
+        procedures = []
+        for item in items:
+            if isinstance(item, str):
+                for parsed in parse_program(item):
+                    if isinstance(parsed, tuple) and parsed[0] == "procedure":
+                        procedures.append(parsed[1:])
+                    else:
+                        batch.append(parsed)
+            elif isinstance(item, RuleBuilder):
+                batch.append(item.build())
+            else:
+                batch.append(item)
+        self.engine.install_all(batch, procedures)  # atomic across both
+        return self
+
+    def uninstall(self, item) -> "ReactiveNode":
+        """Remove an installed rule or rule set (by object or name)."""
+        self.engine.uninstall(item)
+        return self
+
+    def rules(self) -> list[str]:
+        """Names of the currently active rules (rule-set rules qualified)."""
+        return self.engine.rules()
+
+    def define_procedure(self, name: str, params, action) -> "ReactiveNode":
+        """Register a named action procedure (Thesis 9)."""
+        if isinstance(params, str):
+            raise RuleError(
+                f"params must be a sequence of parameter names, "
+                f"not the bare string {params!r}"
+            )
+        if isinstance(action, str):
+            action = parse_action(action)
+        self.engine.define_procedure(name, tuple(params), action)
+        return self
+
+    def define_web_views(self, uri: str, program: Program) -> "ReactiveNode":
+        """Attach deductive views to a local resource (Thesis 9)."""
+        self.engine.define_web_views(uri, program)
+        return self
+
+    # -- messaging --------------------------------------------------------------
+
+    def raise_event(self, to: str, term: "Data | str") -> "ReactiveNode":
+        """Push an event message to another node (strings are parsed)."""
+        self.node.raise_event(to, self._term(term))
+        return self
+
+    def raise_local(self, term: "Data | str") -> "ReactiveNode":
+        """Dispatch an event to this node's own rules, without the network."""
+        self.node.raise_local(self._term(term))
+        return self
+
+    def on_event(self, handler: Callable[[Event], None]) -> "ReactiveNode":
+        """Register an extra inbox handler alongside the rule engine."""
+        self.node.on_event(handler)
+        return self
+
+    # -- resources -----------------------------------------------------------------
+
+    def get(self, uri: str) -> Data:
+        """Read a resource: local directly, remote over the network."""
+        return self.node.get(uri)
+
+    def put(self, uri: str, root: "Data | str") -> "ReactiveNode":
+        """Write a local resource (strings are parsed as data terms)."""
+        self.node.put(uri, self._term(root))
+        return self
+
+    @staticmethod
+    def _term(term: "Data | str") -> Data:
+        return parse_data(term) if isinstance(term, str) else term

@@ -41,7 +41,7 @@ from repro.core.conditions import (
     QueryCond,
     TrueCond,
 )
-from repro.core.engine import ReactiveEngine
+from repro.core.engine import EngineConfig, EngineStats, ReactiveEngine
 from repro.core.production import ProductionEngine, ProductionRule, derive_eca
 from repro.core.rules import ECARule, eca, ecaa, ecna
 from repro.core.rulesets import RuleSet
@@ -54,6 +54,8 @@ __all__ = [
     "Conditional",
     "DeleteResource",
     "ECARule",
+    "EngineConfig",
+    "EngineStats",
     "InstallRule",
     "NotCond",
     "OrCond",

@@ -32,7 +32,7 @@ from repro.deductive.base import TermBase
 from repro.deductive.evaluation import forward_chain
 from repro.deductive.rules import Program
 from repro.errors import ActionError, RecursionRejected, RuleError
-from repro.events.consumption import ConsumingEvaluator
+from repro.events.consumption import ConsumingEvaluator, ConsumptionPolicy
 from repro.events.incremental import IncrementalEvaluator
 from repro.events.model import Event, make_event
 from repro.terms.ast import Bindings, Data, canonical_str
@@ -57,6 +57,30 @@ class EngineStats:
 
 
 @dataclass(frozen=True)
+class EngineConfig:
+    """Everything configurable about one node's engine, in one value.
+
+    - ``consumption`` — event instance consumption policy applied to every
+      rule's evaluator (see :mod:`repro.events.consumption`);
+    - ``event_views`` — a non-recursive deductive program deriving further
+      event terms from each incoming event (Thesis 9);
+    - ``indexed_dispatch`` — route events to rules through the label index
+      (the default).  ``False`` restores the broadcast baseline where every
+      event visits every rule's evaluator; kept as an ablation switch for
+      the dispatch-scaling experiment (E13).
+    """
+
+    consumption: str = "unrestricted"
+    event_views: "Program | None" = None
+    indexed_dispatch: bool = True
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not at first install; ConsumptionPolicy is
+        # the single source of truth for valid policy names.
+        ConsumptionPolicy(self.consumption)
+
+
+@dataclass(frozen=True)
 class Procedure:
     """A named, parameterised action (Thesis 9 procedural abstraction)."""
 
@@ -69,19 +93,41 @@ class ReactiveEngine:
     """Rule evaluation and action execution for one node."""
 
     def __init__(self, node: WebNode, event_views: "Program | None" = None,
-                 consumption: str = "unrestricted") -> None:
-        if event_views is not None and event_views.is_recursive():
+                 consumption: str = "unrestricted",
+                 config: "EngineConfig | None" = None) -> None:
+        if config is None:
+            config = EngineConfig(consumption=consumption, event_views=event_views)
+        elif event_views is not None or consumption != "unrestricted":
+            raise RuleError(
+                "pass consumption/event_views through EngineConfig when "
+                "config= is given (mixing both is ambiguous)"
+            )
+        if config.event_views is not None and config.event_views.is_recursive():
             raise RecursionRejected(
                 "event-level deductive views must be non-recursive (Thesis 9)"
             )
         self.node = node
+        self.config = config
         self.stats = EngineStats()
-        self.consumption = consumption
-        self._event_views = event_views
+        self.consumption = config.consumption
+        self._event_views = config.event_views
+        self._indexed = config.indexed_dispatch
         self._rulesets: list[RuleSet] = []
         self._single_rules: dict[str, ECARule] = {}
         self._active: dict[str, tuple[ECARule, object]] = {}
+        # Label-indexed dispatch (rebuilt in refresh): root label of an
+        # incoming event -> (rule, evaluator) pairs whose queries can be
+        # affected by it, in installation order, with wildcard entries
+        # (label-variable/descendant queries) merged into every bucket;
+        # events whose label has no bucket fall back to _wildcard alone.
+        self._index: dict[str, list[tuple[ECARule, object]]] = {}
+        self._wildcard: list[tuple[ECARule, object]] = []
         self._procedures: dict[str, Procedure] = {}
+        # Evaluators whose deadlines may have moved since the last wake-up
+        # scheduling pass: only these need a next_deadline() probe, keeping
+        # per-event scheduling work proportional to the rules dispatched
+        # to, not to the total rule count.
+        self._touched: set[object] = set()
         self._scheduled: set[float] = set()
         self._web_views: dict[str, object] = {}  # uri -> BackwardEvaluator
         node.on_event(self.handle_event)
@@ -90,6 +136,39 @@ class ReactiveEngine:
 
     def install(self, item: "ECARule | RuleSet") -> None:
         """Install a rule or a whole rule set."""
+        self.install_all((item,))
+
+    def install_all(self, items, procedures=()) -> None:
+        """Install many rules / rule sets (and procedures) in one batch.
+
+        Atomic, with a single index rebuild: if any item is rejected (bad
+        type, duplicate rule or procedure name — even one only detected
+        while rebuilding the active table), the rule base is restored to
+        its previous state before the error propagates and no procedure is
+        defined.  *procedures* holds ``(name, params, action)`` triples, as
+        produced by :func:`repro.lang.parser.parse_program`.
+        """
+        procedures = tuple(procedures)
+        pending: set[str] = set()
+        for name, _params, _action in procedures:
+            if name in self._procedures or name in pending:
+                raise RuleError(f"procedure {name!r} already defined")
+            pending.add(name)
+        saved_rules = dict(self._single_rules)
+        saved_sets = list(self._rulesets)
+        try:
+            for item in items:
+                self._admit(item)
+            self.refresh()
+        except Exception:
+            self._single_rules = saved_rules
+            self._rulesets = saved_sets
+            self.refresh()
+            raise
+        for name, params, action in procedures:
+            self.define_procedure(name, tuple(params), action)
+
+    def _admit(self, item: "ECARule | RuleSet") -> None:
         if isinstance(item, RuleSet):
             self._rulesets.append(item)
         elif isinstance(item, ECARule):
@@ -98,17 +177,48 @@ class ReactiveEngine:
             self._single_rules[item.name] = item
         else:
             raise RuleError(f"cannot install {item!r}")
+
+    def uninstall(self, item: "str | ECARule | RuleSet") -> None:
+        """Remove an installed rule or rule set, by object or by name.
+
+        A string uninstalls the single rule of that name, or — if no such
+        rule exists — the installed rule set of that name.
+        """
+        if isinstance(item, RuleSet):
+            if not any(existing is item for existing in self._rulesets):
+                raise RuleError(
+                    f"rule set {item.name!r} is not installed ({self._installed()})"
+                )
+            self._rulesets = [rs for rs in self._rulesets if rs is not item]
+        elif isinstance(item, ECARule):
+            # Structural equality, not identity: rules round-tripped through
+            # the meta wire format or re-parsed from text compare equal.
+            if self._single_rules.get(item.name) != item:
+                raise RuleError(
+                    f"rule {item.name!r} is not installed ({self._installed()})"
+                )
+            del self._single_rules[item.name]
+        elif isinstance(item, str):
+            if item in self._single_rules:
+                del self._single_rules[item]
+            else:
+                named = [rs for rs in self._rulesets if rs.name == item]
+                if not named:
+                    raise RuleError(
+                        f"no installed rule or rule set {item!r} ({self._installed()})"
+                    )
+                self._rulesets.remove(named[0])
+        else:
+            raise RuleError(f"cannot uninstall {item!r}")
         self.refresh()
 
-    def uninstall(self, name: str) -> None:
-        """Remove an individually installed rule by name."""
-        if name not in self._single_rules:
-            raise RuleError(f"no installed rule {name!r}")
-        del self._single_rules[name]
-        self.refresh()
+    def _installed(self) -> str:
+        rules = ", ".join(sorted(self._single_rules)) or "none"
+        sets = ", ".join(ruleset.name for ruleset in self._rulesets) or "none"
+        return f"installed rules: {rules}; installed rule sets: {sets}"
 
     def refresh(self) -> None:
-        """Rebuild the active rule table (after enable/disable toggles).
+        """Rebuild the active rule table and the dispatch index.
 
         Evaluators of rules that stay installed keep their partial-match
         state; new rules start fresh.
@@ -130,6 +240,30 @@ class ReactiveEngine:
                     evaluator = ConsumingEvaluator(evaluator, self.consumption)
                 active[name] = (rule, evaluator)
         self._active = active
+        self._touched.intersection_update(ev for _rule, ev in active.values())
+        index: dict[str, list[tuple[int, ECARule, object]]] = {}
+        wildcard: list[tuple[int, ECARule, object]] = []
+        for seq, (rule, evaluator) in enumerate(active.values()):
+            entry = (seq, rule, evaluator)
+            labels = evaluator.interest()
+            if labels is None:
+                wildcard.append(entry)
+            else:
+                for label in labels:
+                    index.setdefault(label, []).append(entry)
+        if wildcard:
+            # Pre-merge the wildcard bucket into every label bucket (in
+            # installation order) so dispatch is a plain lookup, not a sort.
+            for label, bucket in index.items():
+                index[label] = sorted(bucket + wildcard)
+        # The sequence tags only order the merge; store stripped buckets so
+        # dispatch hands back the list as-is (safe: refresh replaces these
+        # lists wholesale, it never mutates them in place).
+        self._index = {
+            label: [(rule, ev) for _seq, rule, ev in bucket]
+            for label, bucket in index.items()
+        }
+        self._wildcard = [(rule, ev) for _seq, rule, ev in wildcard]
 
     def rules(self) -> list[str]:
         """Names of the currently active rules."""
@@ -199,16 +333,34 @@ class ReactiveEngine:
         return out
 
     def _dispatch(self, event: Event) -> None:
-        for _name, (rule, evaluator) in list(self._active.items()):
+        for rule, evaluator in self._interested(event):
+            self._touched.add(evaluator)
             answers = evaluator.on_event(event)
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
             for answer in answers:
                 self._fire(rule, answer.bindings)
 
+    def _interested(self, event: Event) -> list[tuple[ECARule, object]]:
+        """Snapshot of the rules whose queries can be affected by *event*.
+
+        With indexed dispatch this is the event label's bucket (wildcard
+        entries pre-merged in installation order by refresh); the broadcast
+        ablation returns every active rule.  Always a snapshot: firing a
+        rule may install/uninstall rules, which rebuilds the index
+        mid-dispatch.
+        """
+        if not self._indexed:
+            return list(self._active.values())
+        entries = self._index.get(event.term.label)
+        if entries is None:
+            entries = self._wildcard
+        return entries
+
     def _on_time(self, when: float) -> None:
         self._scheduled.discard(when)
         for _name, (rule, evaluator) in list(self._active.items()):
+            self._touched.add(evaluator)
             answers = evaluator.advance_time(when)
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
@@ -217,12 +369,13 @@ class ReactiveEngine:
         self._schedule_wakeups()
 
     def _schedule_wakeups(self) -> None:
-        for _name, (_rule, evaluator) in self._active.items():
+        for evaluator in self._touched:
             deadline = evaluator.next_deadline()
             if deadline is None or deadline in self._scheduled:
                 continue
             self._scheduled.add(deadline)
             self.node.clock.at(deadline, lambda d=deadline: self._on_time(d))
+        self._touched.clear()
 
     # -- rule firing ------------------------------------------------------------------
 

@@ -31,6 +31,8 @@ from repro.events.queries import (
     EOr,
     ESeq,
     EWithin,
+    pattern_interest,
+    query_interest,
     validate_query,
 )
 
@@ -50,5 +52,7 @@ __all__ = [
     "IncrementalEvaluator",
     "NaiveEvaluator",
     "answers",
+    "pattern_interest",
+    "query_interest",
     "validate_query",
 ]

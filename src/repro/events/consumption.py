@@ -98,6 +98,14 @@ class ConsumingEvaluator:
             self.policy.forget()
         return accepted
 
+    def interest(self) -> frozenset[str] | None:
+        """Delegate label interest to the wrapped evaluator.
+
+        Consumption only filters confirmed answers, so it never widens the
+        set of events the underlying query needs to see.
+        """
+        return self._evaluator.interest()
+
     def state_size(self) -> int:
         return self._evaluator.state_size()
 

@@ -40,6 +40,7 @@ from repro.events.queries import (
     EOr,
     ESeq,
     EWithin,
+    query_interest,
     validate_query,
 )
 from repro.terms.ast import Bindings, is_scalar
@@ -250,12 +251,17 @@ class _SeqOp(_Op):
         out = self._fire_pending(event.time)
         deltas = [op.on_event(event) for op in self._positives]
         out.extend(self._extend(deltas))
+        # A completion admitted just now may already sit on its deadline
+        # (last positive exactly at start + window): fire it in this pass,
+        # like the naive semantics does, instead of one entry point late.
+        out.extend(self._fire_pending(event.time))
         return _dedup(out)
 
     def on_time(self, now: float) -> list[EventAnswer]:
         out = self._fire_pending(now)
         deltas = [op.on_time(now) for op in self._positives]
         out.extend(self._extend(deltas))
+        out.extend(self._fire_pending(now))
         return _dedup(out)
 
     # -- internals --------------------------------------------------------------
@@ -632,6 +638,17 @@ class IncrementalEvaluator:
         out = self._root.on_time(now)
         self._root.gc(now)
         return sorted(_dedup(out), key=answer_sort_key)
+
+    def interest(self) -> frozenset[str] | None:
+        """Event labels that can affect this query (``None``: all labels).
+
+        Engines use this to index their dispatch: only events whose root
+        label is in the interest set need to reach :meth:`on_event`.
+        Skipping other events is sound — they can neither match a leaf nor
+        block an absence check — but time still has to be advanced for
+        absence deadlines, which engines do via :meth:`advance_time`.
+        """
+        return query_interest(self.query)
 
     def state_size(self) -> int:
         """Number of live partial matches / retained blocker events."""

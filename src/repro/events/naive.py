@@ -47,6 +47,7 @@ from repro.events.queries import (
     EOr,
     ESeq,
     EWithin,
+    query_interest,
     validate_query,
 )
 from repro.terms.ast import Bindings, canonical_str, is_scalar
@@ -161,6 +162,8 @@ def _seq_answers(query: ESeq, history: Sequence[Event], now: float,
             if window is None:
                 raise EventError("trailing ENot needs an enclosing EWithin")
             deadline = start + window
+            if end > deadline:
+                return  # the last positive itself missed the absence deadline
             if deadline > now:
                 return  # not yet confirmed
             if _blocker_in(trailing, history, bindings, end, deadline, inclusive_end=True):
@@ -330,6 +333,10 @@ class NaiveEvaluator:
         fresh = sorted(current - self._emitted, key=answer_sort_key)
         self._emitted |= current
         return fresh
+
+    def interest(self) -> frozenset[str] | None:
+        """Event labels that can affect this query (``None``: all labels)."""
+        return query_interest(self._query)
 
     def state_size(self) -> int:
         """Stored state: the entire history (the point of Thesis 6)."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EventQueryError
-from repro.terms.ast import Query, free_vars
+from repro.terms.ast import Data, LabelVar, QTerm, Query, Var, free_vars
 
 
 @dataclass(frozen=True)
@@ -169,6 +169,58 @@ def query_vars(query: "EventQuery | ENot") -> frozenset[str]:
         return frozenset(query.group_by) | {query.into}
     if isinstance(query, ENot):
         return frozenset()
+    raise EventQueryError(f"not an event query: {query!r}")
+
+
+def pattern_interest(pattern: Query) -> frozenset[str] | None:
+    """Top-level data-term labels *pattern* can match; ``None`` means any.
+
+    This drives the engine's label-indexed event dispatch: an evaluator is
+    only handed events whose root label is in its interest set.  The
+    computation is conservative — whenever the label cannot be pinned down
+    statically (label variables, ``desc``, bare variables, comparison
+    patterns), the pattern lands in the wildcard bucket and sees every
+    event.
+    """
+    if isinstance(pattern, QTerm):
+        if isinstance(pattern.label, LabelVar) or pattern.label == "*":
+            return None
+        return frozenset((pattern.label,))
+    if isinstance(pattern, Data):
+        if pattern.label == "*":
+            return None
+        return frozenset((pattern.label,))
+    if isinstance(pattern, Var):
+        if pattern.inner is None:
+            return None
+        return pattern_interest(pattern.inner)
+    # Desc, Without, Optional_, Compare, RegexMatch, scalars: no static label.
+    return None
+
+
+def query_interest(query: "EventQuery | ENot") -> frozenset[str] | None:
+    """Event labels that can affect evaluating *query*; ``None`` means all.
+
+    The set covers every leaf that *consumes* events, including ``ENot``
+    blockers inside an ``ESeq``: an absence check must still observe the
+    events whose presence would block it, so their labels count as interest.
+    """
+    if isinstance(query, EAtom):
+        return pattern_interest(query.pattern)
+    if isinstance(query, ENot):
+        return pattern_interest(query.pattern)
+    if isinstance(query, (EAnd, EOr, ESeq)):
+        out: frozenset[str] = frozenset()
+        for member in query.members:
+            labels = query_interest(member)
+            if labels is None:
+                return None
+            out |= labels
+        return out
+    if isinstance(query, EWithin):
+        return query_interest(query.query)
+    if isinstance(query, (ECount, EAggregate)):
+        return pattern_interest(query.pattern)
     raise EventQueryError(f"not an event query: {query!r}")
 
 

@@ -19,7 +19,21 @@ encoding in :mod:`repro.core.meta` gives two interchangeable wire formats
 for rule exchange (Thesis 11).
 """
 
-from repro.lang.parser import parse_program, parse_rule
+from repro.lang.parser import (
+    parse_action,
+    parse_condition,
+    parse_event_query,
+    parse_program,
+    parse_rule,
+)
 from repro.lang.serializer import program_to_text, rule_to_text
 
-__all__ = ["parse_program", "parse_rule", "program_to_text", "rule_to_text"]
+__all__ = [
+    "parse_action",
+    "parse_condition",
+    "parse_event_query",
+    "parse_program",
+    "parse_rule",
+    "program_to_text",
+    "rule_to_text",
+]

@@ -410,6 +410,34 @@ def parse_rule(text: str) -> ECARule:
     return rule
 
 
+def parse_event_query(text: str):
+    """Parse the event part of a rule (the ``ON ...`` grammar) on its own.
+
+    >>> parse_event_query('a{{ x[var X] }} THEN b{{ x[var X] }}')  # doctest: +ELLIPSIS
+    ESeq(...)
+    """
+    parser = _RuleParser(text)
+    query = parser.parse_event()
+    parser.expect_end()
+    return query
+
+
+def parse_condition(text: str):
+    """Parse the condition part of a rule (the ``IF ...`` grammar) alone."""
+    parser = _RuleParser(text)
+    condition = parser.parse_condition()
+    parser.expect_end()
+    return condition
+
+
+def parse_action(text: str):
+    """Parse the action part of a rule (the ``DO ...`` grammar) alone."""
+    parser = _RuleParser(text)
+    action = parser.parse_action()
+    parser.expect_end()
+    return action
+
+
 def parse_program(text: str) -> list:
     """Parse a whole program: rules, procedures, and rule sets.
 

@@ -138,6 +138,17 @@ class Simulation:
         """Create and register a node for the given URI authority."""
         return WebNode(uri, self.network)
 
+    def reactive_node(self, uri: str, config=None):
+        """Create a node with an attached rule engine, behind one facade.
+
+        *config* is an optional :class:`~repro.core.engine.EngineConfig`.
+        Returns a :class:`~repro.api.ReactiveNode`; the bare parts remain
+        available as its ``node`` and ``engine`` attributes.
+        """
+        from repro.api import ReactiveNode  # deferred: keeps this module engine-free
+
+        return ReactiveNode(self.node(uri), config)
+
     def run_until(self, end: float) -> None:
         self.scheduler.run_until(end)
 

@@ -1,0 +1,187 @@
+"""Label-indexed event dispatch: interest computation and engine routing."""
+
+from repro.core import EngineConfig, ReactiveEngine, eca
+from repro.core.actions import PyAction
+from repro.events.queries import (
+    EAggregate,
+    EAnd,
+    EAtom,
+    ECount,
+    ENot,
+    EOr,
+    ESeq,
+    EWithin,
+    query_interest,
+)
+from repro.terms import Var, parse_data, parse_query, q
+from repro.terms.ast import Desc, LabelVar
+from repro.web import Simulation
+
+
+def one_node(**kwargs):
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://n.example")
+    return sim, node, ReactiveEngine(node, **kwargs)
+
+
+class TestQueryInterest:
+    def test_atom_has_its_label(self):
+        assert query_interest(EAtom(q("a", Var("X")))) == frozenset({"a"})
+
+    def test_composites_union_member_labels(self):
+        query = EWithin(EOr(EAtom(q("a")), EAnd(EAtom(q("b")), EAtom(q("c")))), 5.0)
+        assert query_interest(query) == frozenset({"a", "b", "c"})
+
+    def test_seq_includes_negation_blocker_labels(self):
+        query = EWithin(ESeq(EAtom(q("a")), ENot(q("blocker")), EAtom(q("b"))), 5.0)
+        assert query_interest(query) == frozenset({"a", "blocker", "b"})
+
+    def test_accumulation_uses_pattern_label(self):
+        assert query_interest(ECount(q("halt"), 3, 60.0)) == frozenset({"halt"})
+        agg = EAggregate(q("tick", Var("P")), "P", "avg", "A", size=5)
+        assert query_interest(agg) == frozenset({"tick"})
+
+    def test_wildcard_forms_have_no_static_interest(self):
+        assert query_interest(EAtom(q(LabelVar("L")))) is None
+        assert query_interest(EAtom(parse_query("*"))) is None
+        assert query_interest(EAtom(Var("X"))) is None
+        assert query_interest(EAtom(Desc(q("a")))) is None
+
+    def test_one_wildcard_member_widens_the_composite(self):
+        assert query_interest(EAnd(EAtom(q("a")), EAtom(Var("X")))) is None
+
+
+class TestIndexedRouting:
+    def test_uninterested_evaluators_never_see_events(self):
+        sim, node, engine = one_node()
+        engine.install(eca("ra", EAtom(q("a")), PyAction(lambda n, b: None)))
+        engine.install(eca("rb", EAtom(q("b")), PyAction(lambda n, b: None)))
+        for _ in range(5):
+            node.raise_local(parse_data("a{}"))
+        sim.run()
+        # The 'b' evaluator was never fed: its clock never advanced.
+        assert engine._active["ra"][1]._last_time >= 0.0
+        assert engine._active["rb"][1]._last_time == float("-inf")
+
+    def test_broadcast_ablation_feeds_everyone(self):
+        sim, node, engine = one_node(config=EngineConfig(indexed_dispatch=False))
+        engine.install(eca("ra", EAtom(q("a")), PyAction(lambda n, b: None)))
+        engine.install(eca("rb", EAtom(q("b")), PyAction(lambda n, b: None)))
+        node.raise_local(parse_data("a{}"))
+        sim.run()
+        assert engine._active["rb"][1]._last_time >= 0.0
+
+    def test_wildcard_rules_see_every_label(self):
+        sim, node, engine = one_node()
+        seen = []
+        engine.install(eca(
+            "inbox", EAtom(parse_query("*"), alias="E"),
+            PyAction(lambda n, b: seen.append(b["E"].label)),
+        ))
+        for label in ("a", "b", "c"):
+            node.raise_local(parse_data(f"{label}{{}}"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_label_variable_rules_see_every_label(self):
+        sim, node, engine = one_node()
+        seen = []
+        engine.install(eca(
+            "any", EAtom(q(LabelVar("L"))),
+            PyAction(lambda n, b: seen.append(b["L"])),
+        ))
+        for label in ("x", "y"):
+            node.raise_local(parse_data(f"{label}{{}}"))
+        sim.run()
+        assert seen == ["x", "y"]
+
+    def test_wildcard_and_label_rules_fire_in_install_order(self):
+        sim, node, engine = one_node()
+        order = []
+        engine.install(eca("first-a", EAtom(q("a")),
+                           PyAction(lambda n, b: order.append("first-a"))))
+        engine.install(eca("wild", EAtom(parse_query("*")),
+                           PyAction(lambda n, b: order.append("wild"))))
+        engine.install(eca("last-a", EAtom(q("a")),
+                           PyAction(lambda n, b: order.append("last-a"))))
+        node.raise_local(parse_data("a{}"))
+        sim.run()
+        assert order == ["first-a", "wild", "last-a"]
+
+    def test_indexed_and_broadcast_agree_on_firings(self):
+        def run(indexed: bool) -> tuple[int, list[str]]:
+            sim, node, engine = one_node(
+                config=EngineConfig(indexed_dispatch=indexed))
+            fired = []
+            engine.install(eca("pair", EWithin(
+                EAnd(EAtom(q("a", q("x", Var("X")))), EAtom(q("b", q("x", Var("X"))))), 10.0),
+                PyAction(lambda n, b: fired.append(f"pair:{b['X']}"))))
+            engine.install(eca("count", ECount(q("c"), 2, 10.0),
+                               PyAction(lambda n, b: fired.append("count"))))
+            engine.install(eca("any", EAtom(q(LabelVar("L"))),
+                               PyAction(lambda n, b: fired.append(str(b["L"])))))
+            for text in ("a{x[1]}", "c{}", "b{x[1]}", "noise{}", "c{}"):
+                node.raise_local(parse_data(text))
+            sim.run()
+            return engine.stats.rule_firings, fired
+
+        indexed_firings, indexed_seq = run(indexed=True)
+        broadcast_firings, broadcast_seq = run(indexed=False)
+        assert indexed_firings == broadcast_firings > 0
+        assert indexed_seq == broadcast_seq
+
+
+class TestRefreshAndDeadlines:
+    def test_refresh_preserves_partial_state_across_install(self):
+        sim, node, engine = one_node()
+        hits = []
+        engine.install(eca("pair", EWithin(
+            EAnd(EAtom(q("a", q("x", Var("X")))), EAtom(q("b", q("x", Var("X"))))), 10.0),
+            PyAction(lambda n, b: hits.append(b["X"]))))
+        node.raise_local(parse_data("a{x[7]}"))
+        # Installing (and uninstalling) other rules rebuilds the index but
+        # must keep the half-completed pair match alive.
+        engine.install(eca("other", EAtom(q("z")), PyAction(lambda n, b: None)))
+        engine.uninstall("other")
+        node.raise_local(parse_data("b{x[7]}"))
+        sim.run()
+        assert hits == [7]
+
+    def test_absence_fires_via_wakeup_despite_indexing(self):
+        # No further event carries the rule's labels, so only the scheduled
+        # wake-up can confirm the absence — exactly the indexed-dispatch
+        # risk case (the unrelated traffic never reaches the evaluator).
+        sim, node, engine = one_node()
+        hits = []
+        engine.install(eca("quiet", EWithin(
+            ESeq(EAtom(q("start", q("x", Var("X")))), ENot(q("stop"))), 2.0),
+            PyAction(lambda n, b: hits.append(b["X"]))))
+        node.raise_local(parse_data("start{x[1]}"))
+        for at in (0.5, 1.0, 3.0):
+            sim.scheduler.at(at, lambda: node.raise_local(parse_data("noise{}")))
+        sim.run()
+        assert hits == [1]
+
+    def test_firing_first_truncates_deadline_batch(self):
+        # Two pending absences confirm at the same wake-up; firing="first"
+        # must fire the rule once, not twice (_on_time truncation).
+        sim, node, engine = one_node()
+        hits = []
+        engine.install(eca("quiet", EWithin(
+            ESeq(EAtom(q("start", q("x", Var("X")))), ENot(q("stop"))), 2.0),
+            PyAction(lambda n, b: hits.append(b["X"])), firing="first"))
+        node.raise_local(parse_data("start{x[1]}"))
+        node.raise_local(parse_data("start{x[2]}"))
+        sim.run()
+        assert len(hits) == 1
+
+    def test_firing_all_fires_whole_deadline_batch(self):
+        sim, node, engine = one_node()
+        hits = []
+        engine.install(eca("quiet", EWithin(
+            ESeq(EAtom(q("start", q("x", Var("X")))), ENot(q("stop"))), 2.0),
+            PyAction(lambda n, b: hits.append(b["X"]))))
+        node.raise_local(parse_data("start{x[1]}"))
+        node.raise_local(parse_data("start{x[2]}"))
+        sim.run()
+        assert sorted(hits) == [1, 2]
