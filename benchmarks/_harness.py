@@ -9,6 +9,11 @@ Every ``bench_eNN_*.py`` module exposes:
   hot path of the experiment.
 
 Rows are plain dicts so EXPERIMENTS.md can quote them verbatim.
+
+Running any harness with ``--smoke`` (the CI benchmark job does) switches
+to tiny workload sizes via :func:`pick` and disables :func:`write_json`,
+so the sweep exercises every code path in seconds without overwriting the
+committed ``BENCH_*.json`` results.
 """
 
 from __future__ import annotations
@@ -16,7 +21,27 @@ from __future__ import annotations
 import json
 import os
 import random
+import sys
 from typing import Callable
+
+SMOKE = False
+
+
+def parse_cli(argv: "list[str] | None" = None) -> None:
+    """Process benchmark CLI flags (call first in every ``main()``)."""
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        global SMOKE
+        SMOKE = True
+
+
+def smoke_mode() -> bool:
+    return SMOKE
+
+
+def pick(full, tiny):
+    """*full* in a real run, *tiny* under ``--smoke``."""
+    return tiny if SMOKE else full
 
 
 def print_table(title: str, rows: list[dict], claim: str = "") -> None:
@@ -54,11 +79,15 @@ def run_main(table_fn: Callable[[], list[dict]], title: str, claim: str) -> None
     print_table(title, table_fn(), claim)
 
 
-def write_json(filename: str, payload) -> str:
+def write_json(filename: str, payload) -> "str | None":
     """Write a benchmark result file next to this harness (``BENCH_*.json``).
 
-    Returns the absolute path written, so callers can print it.
+    Returns the absolute path written, so callers can print it; in smoke
+    mode nothing is written (tiny-size rows must not overwrite real
+    results) and ``None`` is returned.
     """
+    if SMOKE:
+        return None
     path = os.path.join(os.path.dirname(os.path.abspath(__file__)), filename)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

@@ -17,7 +17,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.deductive import DeductiveRule, Match, Program, TermBase, forward_chain
 from repro.deductive.evaluation import _solve_goals, _derive
@@ -124,12 +124,13 @@ def run_canonical(width: int, repeats: int = 200) -> dict:
 
 
 def table() -> list[dict]:
-    return [
-        run_chaining(30),
-        run_chaining(60),
-        run_canonical(20),
-        run_canonical(60),
-    ]
+    chain_sizes = pick((30, 60), (6, 10))
+    canon_sizes = pick((20, 60), (4, 8))
+    repeats = pick(200, 5)
+    return (
+        [run_chaining(n) for n in chain_sizes]
+        + [run_canonical(w, repeats=repeats) for w in canon_sizes]
+    )
 
 
 def test_a01_seminaive_faster(benchmark):
@@ -148,6 +149,7 @@ def test_a01_memoisation_pays():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "A1 — ablations of internal design choices",
         table(),

@@ -9,7 +9,7 @@ CA->ECA derivation fixes both.  We also compare condition-evaluation cost.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.core import (
     ProductionEngine,
@@ -84,10 +84,11 @@ def run_variant(variant: str, events: int = 50, poll_interval: float = 0.4,
 
 
 def table() -> list[dict]:
+    events = pick(50, 6)
     return [
-        run_variant("production-naive"),
-        run_variant("production-refractory"),
-        run_variant("eca"),
+        run_variant("production-naive", events),
+        run_variant("production-refractory", events),
+        run_variant("eca", events),
     ]
 
 
@@ -117,6 +118,7 @@ def test_e01_eca_fewer_evaluations():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E1 — ECA vs production rules (50 condition pulses)",
         table(),

@@ -10,7 +10,7 @@ busiest node) for a k-node event ring, direct vs relayed through a broker.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table
+from _harness import parse_cli, pick, print_table
 
 from repro.core import ReactiveEngine, eca
 from repro.core.actions import Raise
@@ -52,9 +52,10 @@ def run_ring(k: int, rounds: int, broker: bool) -> dict:
 
 def table() -> list[dict]:
     rows = []
-    for k in (4, 8, 16):
-        rows.append(run_ring(k, rounds=5, broker=False))
-        rows.append(run_ring(k, rounds=5, broker=True))
+    for k in pick((4, 8, 16), (3, 4)):
+        rounds = pick(5, 2)
+        rows.append(run_ring(k, rounds=rounds, broker=False))
+        rows.append(run_ring(k, rounds=rounds, broker=True))
     return rows
 
 
@@ -73,6 +74,7 @@ def test_e02_hotspot_concentration():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E2 — choreography vs central broker (5 ring laps)",
         table(),

@@ -12,7 +12,7 @@ intermediate changes.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.terms import parse_data
 from repro.web import PollingWatcher, Simulation
@@ -79,7 +79,7 @@ def run_poll(event_rate: float, interval: float, seed: int = 7) -> dict:
 
 def table() -> list[dict]:
     rows = [run_push(0.2)]
-    for interval in (0.5, 1.0, 5.0, 20.0):
+    for interval in pick((0.5, 1.0, 5.0, 20.0), (5.0, 20.0)):
         rows.append(run_poll(0.2, interval))
     rows.append(run_push(5.0))
     rows.append(run_poll(5.0, 5.0))
@@ -111,6 +111,7 @@ def test_e03_crossover_at_high_event_rate():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E3 — push vs poll (horizon 200 s, change rate in events/s)",
         table(),

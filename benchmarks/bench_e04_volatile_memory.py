@@ -9,7 +9,7 @@ event rate x window.  Measured: live state of the incremental evaluator
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.events import EAnd, EAtom, EWithin, IncrementalEvaluator, NaiveEvaluator
 from repro.events.model import make_event
@@ -32,7 +32,7 @@ def run_stream(evaluator, events: int, seed: int = 3) -> list[int]:
 
 def table() -> list[dict]:
     rows = []
-    for events in (100, 1_000, 5_000):
+    for events in pick((100, 1_000, 5_000), (20, 60)):
         incremental = IncrementalEvaluator(QUERY)
         inc_sizes = run_stream(incremental, events)
         # The naive evaluator's state is the history itself (verified in
@@ -73,6 +73,7 @@ def test_e04_growth_shape():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E4 — event state: windowed GC vs unbounded history",
         table(),

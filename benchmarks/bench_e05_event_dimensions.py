@@ -10,7 +10,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.events import (
     EAggregate,
@@ -83,7 +83,8 @@ def run_query(name: str, events: int = 2_000) -> dict:
 
 
 def table() -> list[dict]:
-    return [run_query(name) for name in QUERIES]
+    events = pick(2_000, 60)
+    return [run_query(name, events) for name in QUERIES]
 
 
 def test_e05_all_dimensions_detect(benchmark):
@@ -96,6 +97,7 @@ def test_e05_all_dimensions_detect(benchmark):
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E5 — event-query dimensions on one 2000-event stream",
         table(),

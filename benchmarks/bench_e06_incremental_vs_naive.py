@@ -14,7 +14,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.events import EAnd, EAtom, EWithin, IncrementalEvaluator, NaiveEvaluator
 from repro.events.model import make_event
@@ -55,7 +55,7 @@ def time_per_event(evaluator_cls, history_length: int) -> float:
 
 def table() -> list[dict]:
     rows = []
-    for history in (100, 300, 900):
+    for history in pick((100, 300, 900), (20, 40)):
         incremental = time_per_event(IncrementalEvaluator, history)
         naive = time_per_event(NaiveEvaluator, history)
         rows.append({
@@ -100,6 +100,7 @@ def test_e06_shape_incremental_flat_naive_grows():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E6 — per-event cost vs history length (within-5 conjunction)",
         table(),

@@ -12,7 +12,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.core.conditions import QueryCond, evaluate
 from repro.terms import Bindings, parse_data, parse_query
@@ -63,9 +63,10 @@ def run_variant(variant: str, items: int, lookups: int = 50) -> dict:
 
 def table() -> list[dict]:
     rows = []
-    for items in (10, 100, 400):
-        rows.append(run_variant("parameterised", items))
-        rows.append(run_variant("unparameterised", items))
+    lookups = pick(50, 5)
+    for items in pick((10, 100, 400), (5, 10)):
+        rows.append(run_variant("parameterised", items, lookups))
+        rows.append(run_variant("unparameterised", items, lookups))
     return rows
 
 
@@ -85,6 +86,7 @@ def test_e07_same_answers_cheaper():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E7 — condition parameterised by event bindings vs engine-side join",
         table(),

@@ -10,7 +10,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.core import ReactiveEngine
 from repro.core.actions import Alternative, PyAction, Sequence, Update
@@ -97,10 +97,13 @@ def run_alternatives(seed: int = 9, operations: int = 100) -> dict:
 
 
 def table() -> list[dict]:
-    rows = [run_consistency(True), run_consistency(False), run_alternatives()]
+    operations = pick(200, 15)
+    overhead_ops = pick(300, 15)
+    rows = [run_consistency(True, operations), run_consistency(False, operations),
+            run_alternatives(operations=pick(100, 10))]
     rows.append({
-        "mode": f"atomicity overhead: {run_overhead(True):.1f} vs "
-                f"{run_overhead(False):.1f} us/op",
+        "mode": f"atomicity overhead: {run_overhead(True, overhead_ops):.1f} vs "
+                f"{run_overhead(False, overhead_ops):.1f} us/op",
         "operations": "-", "injected failures": "-",
         "inconsistent states seen": "-", "rollbacks": "-",
     })
@@ -124,6 +127,7 @@ def test_e08_alternative_absorbs_failures():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E8 — compound actions under failure injection (30% failure rate)",
         table(),

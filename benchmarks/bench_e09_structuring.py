@@ -12,7 +12,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table
+from _harness import parse_cli, pick, print_table
 
 from repro.core import NotCond, PyAction, QueryCond, ReactiveEngine, eca, ecaa
 from repro.deductive import DeductiveRule, Match, Program
@@ -101,11 +101,13 @@ def run_views(variant: str, rules: int = 16, events: int = 150) -> dict:
 
 
 def table() -> list[dict]:
+    events = pick(200, 12)
+    view_rules, view_events = pick(16, 4), pick(150, 10)
     return [
-        run_branching("ecaa"),
-        run_branching("two-rules"),
-        run_views("deductive view"),
-        run_views("replicated query"),
+        run_branching("ecaa", events),
+        run_branching("two-rules", events),
+        run_views("deductive view", view_rules, view_events),
+        run_views("replicated query", view_rules, view_events),
     ]
 
 
@@ -123,6 +125,7 @@ def test_e09_view_same_answers():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E9 — structuring: ECAA vs 2xECA; shared view vs replicated query",
         table(),

@@ -10,7 +10,7 @@ genuine change (identity preserved) vs as a delete/insert pair (lost).
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.core.identity import ChangeMonitor
 from repro.terms import parse_data, parse_query
@@ -58,7 +58,8 @@ def run_mode(mode: str, edits: int = 300, seed: int = 31) -> dict:
 
 
 def table() -> list[dict]:
-    return [run_mode("surrogate"), run_mode("extensional")]
+    edits = pick(300, 20)
+    return [run_mode("surrogate", edits), run_mode("extensional", edits)]
 
 
 def test_e10_surrogate_preserves_identity(benchmark):
@@ -73,6 +74,7 @@ def test_e10_extensional_loses_identity():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E10 — identity of monitored items over 300 random edits",
         table(),

@@ -13,7 +13,7 @@ whole policy base up front — sweeping the size of the shop's policy base.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table
+from _harness import parse_cli, pick, print_table
 
 from repro.core import Raise, eca
 from repro.core.meta import rule_to_term
@@ -69,7 +69,7 @@ def run_exchange(strategy: str, base_size: int) -> dict:
 
 def table() -> list[dict]:
     rows = []
-    for base_size in (10, 50, 200):
+    for base_size in pick((10, 50, 200), (5, 10)):
         rows.append(run_exchange("reactive", base_size))
         rows.append(run_exchange("all-at-once", base_size))
     return rows
@@ -96,6 +96,7 @@ def test_e11_reactive_cost_independent_of_base():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E11 — reactive policy exchange vs all-at-once dump",
         table(),

@@ -11,7 +11,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import print_table, seeded
+from _harness import parse_cli, pick, print_table, seeded
 
 from repro.core import PyAction, ReactiveEngine, eca
 from repro.core.aaa import Accountant
@@ -63,8 +63,9 @@ def run_service(accounting: bool, requests: int = 300, seed: int = 17) -> dict:
 
 
 def table() -> list[dict]:
-    off = run_service(False)
-    on = run_service(True)
+    requests = pick(300, 20)
+    off = run_service(False, requests)
+    on = run_service(True, requests)
     overhead = (on["us/request"] / off["us/request"] - 1.0) * 100.0
     return [off, on, {
         "accounting": f"overhead: {overhead:.0f}%",
@@ -91,6 +92,7 @@ def test_e12_accounting_orthogonal():
 
 
 def main() -> None:
+    parse_cli()
     print_table(
         "E12 — accounting as a second reactive layer (300 requests)",
         table(),

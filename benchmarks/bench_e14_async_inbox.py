@@ -1,0 +1,189 @@
+"""E14: queued per-node inboxes and owner-indexed (coalesced) wake-ups.
+
+The ROADMAP's async-inbox item decouples event *delivery* from event
+*processing*: `WebNode` enqueues incoming events in a FIFO inbox and the
+scheduler drains them, so a slow rule no longer stalls the sender's stack.
+The same PR owner-indexes absence deadlines: `_on_time` advances only the
+evaluators whose windows actually expire, instead of every active rule.
+This experiment measures both halves and pins the non-negotiable
+invariant — identical rule-firing counts across all four modes.
+
+Workloads (R rules, disjoint labels, the many-tenants shape):
+
+- *delivery*: plain `EAtom` rules fed bursts of same-instant events
+  through the node; `EngineConfig(sync_delivery=True)` is the inline
+  ablation.  Queued delivery pays one scheduler callback per burst, so
+  throughput should be within a small constant of inline — the inbox
+  buys decoupling and backpressure accounting (peak depth = burst size),
+  not raw speed.
+- *wakeups*: absence rules `start-i .. NOT stop-i WITHIN w`; every event
+  plants a deadline, every deadline is a wake-up.
+  `EngineConfig(coalesced_wakeups=False)` is the broadcast ablation that
+  advances all R evaluators at each wake-up.  Coalesced wake-ups advance
+  only the owner, so the speedup grows with R (>= 1 at 100 rules is the
+  acceptance bar; in practice it is several-fold).
+
+Emits ``BENCH_e14.json`` for CI tracking (skipped under ``--smoke``).
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+from _harness import parse_cli, pick, print_table, smoke_mode, write_json
+
+from repro.core import EngineConfig, ReactiveEngine, eca
+from repro.core.actions import PyAction
+from repro.events import EAtom, ENot, ESeq, EWithin
+from repro.terms import Var, d, q
+from repro.web import Simulation
+
+RULE_GRID = (25, 50, 100, 200)
+N_EVENTS = 800
+BURST = 40          # same-instant events per burst (delivery workload)
+WINDOW = 5.0        # absence window (wake-up workload)
+
+NOOP = PyAction(lambda n, b: None, "noop")
+
+
+def _sizes() -> tuple[tuple[int, ...], int]:
+    return pick(RULE_GRID, (4, 8)), pick(N_EVENTS, 40)
+
+
+def run_delivery(n_rules: int, n_events: int, sync: bool):
+    """Bursts of same-instant events through the node's inbox.
+
+    Returns (events/s, rule firings, peak inbox depth)."""
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://bench.example")
+    engine = ReactiveEngine(node, config=EngineConfig(sync_delivery=sync))
+    engine.install_all(
+        eca(f"r{i}", EAtom(q(f"evt-{i}", Var("X"))), NOOP)
+        for i in range(n_rules)
+    )
+    for j in range(n_events):
+        at = float(j // BURST)  # BURST events per simulated second
+        sim.scheduler.at(
+            at, lambda i=j % n_rules: node.raise_local(d(f"evt-{i}", d("x", 1)))
+        )
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return n_events / elapsed, engine.stats.rule_firings, node.inbox_peak
+
+
+def run_wakeups(n_rules: int, n_events: int, coalesced: bool):
+    """Every event plants an absence deadline; every deadline wakes up.
+
+    Returns (events/s, rule firings, evaluator advance_time calls)."""
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://bench.example")
+    engine = ReactiveEngine(node, config=EngineConfig(coalesced_wakeups=coalesced))
+    engine.install_all(
+        eca(
+            f"quiet-{i}",
+            EWithin(ESeq(EAtom(q(f"start-{i}", q("x", Var("X")))),
+                         ENot(q(f"stop-{i}"))), WINDOW),
+            NOOP,
+        )
+        for i in range(n_rules)
+    )
+    for j in range(n_events):
+        # Distinct instants, binary-exact (k/16): start + window is then an
+        # exact float, so every absence confirms at its deadline instead of
+        # being dropped by the EWithin span filter when the addition rounds
+        # up an ulp.  Every deadline is its own wake-up.
+        sim.scheduler.at(
+            0.0625 + j * 0.125,
+            lambda i=j % n_rules: node.raise_local(d(f"start-{i}", d("x", 1))),
+        )
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return n_events / elapsed, engine.stats.rule_firings, engine.stats.evaluator_advances
+
+
+def table() -> list[dict]:
+    grid, n_events = _sizes()
+    rows = []
+    for n_rules in grid:
+        queued_rate, queued_firings, peak = run_delivery(n_rules, n_events, sync=False)
+        sync_rate, sync_firings, _ = run_delivery(n_rules, n_events, sync=True)
+        assert queued_firings == sync_firings, (
+            f"delivery modes disagree at {n_rules} rules: "
+            f"{queued_firings} != {sync_firings}"
+        )
+        coal_rate, coal_firings, coal_adv = run_wakeups(n_rules, n_events, True)
+        bcast_rate, bcast_firings, bcast_adv = run_wakeups(n_rules, n_events, False)
+        assert coal_firings == bcast_firings, (
+            f"wake-up modes disagree at {n_rules} rules: "
+            f"{coal_firings} != {bcast_firings}"
+        )
+        rows.append({
+            "rules": n_rules,
+            "firings": queued_firings,
+            "queued ev/s": queued_rate,
+            "sync ev/s": sync_rate,
+            "inbox peak": peak,
+            "coalesced ev/s": coal_rate,
+            "broadcast ev/s": bcast_rate,
+            "wakeup speedup": coal_rate / bcast_rate,
+            "advances": coal_adv,
+            "advances (bcast)": bcast_adv,
+        })
+    return rows
+
+
+def test_e14_firing_counts_invariant():
+    _, queued_firings, peak = run_delivery(50, 400, sync=False)
+    _, sync_firings, _ = run_delivery(50, 400, sync=True)
+    assert queued_firings == sync_firings == 400
+    assert peak == BURST  # whole burst queues before the drain runs
+    _, coal_firings, coal_adv = run_wakeups(50, 200, coalesced=True)
+    _, bcast_firings, bcast_adv = run_wakeups(50, 200, coalesced=False)
+    assert coal_firings == bcast_firings == 200  # one absence answer per start
+    assert coal_adv < bcast_adv / 10  # owners only vs whole rule base
+
+
+def test_e14_coalesced_beats_broadcast_at_scale():
+    coal_rate, coal_firings, _ = run_wakeups(100, 400, coalesced=True)
+    bcast_rate, bcast_firings, _ = run_wakeups(100, 400, coalesced=False)
+    assert coal_firings == bcast_firings == 400
+    assert coal_rate > bcast_rate
+
+
+def test_e14_inbox_throughput(benchmark):
+    def run():
+        run_delivery(100, 400, sync=False)
+
+    benchmark(run)
+
+
+def main() -> None:
+    parse_cli()
+    rows = table()
+    _grid, n_events = _sizes()
+    print_table(
+        f"E14 — queued inbox and coalesced wake-ups vs rule count ({n_events} events)",
+        rows,
+        "queued delivery matches inline firing-for-firing; coalesced wake-ups "
+        "advance only deadline owners, so their advantage grows with the rule "
+        "count (>= 1x at 100 rules, identical firing counts everywhere)",
+    )
+    path = write_json("BENCH_e14.json", {
+        "experiment": "e14_async_inbox",
+        "n_events": n_events,
+        "burst": BURST,
+        "window": WINDOW,
+        "rows": rows,
+    })
+    print(f"\nwrote {path}" if path else "\n(smoke mode: no JSON written)")
+    if not smoke_mode():
+        at_scale = [r for r in rows if r["rules"] >= 100]
+        assert all(r["wakeup speedup"] > 1.0 for r in at_scale), (
+            "coalesced wake-ups must beat broadcast at >= 100 rules"
+        )
+
+
+if __name__ == "__main__":
+    main()

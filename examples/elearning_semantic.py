@@ -91,6 +91,9 @@ def main() -> None:
     submit(2.0, "algebra2", 75)   # pass: unlocks calculus (requires both,
     #                               satisfied via the transitive closure)
     sim.run()
+    print("tutor processed", tutor.stats.events_processed,
+          "events | rule firings:", tutor.stats.rule_firings,
+          "| inbox peak:", tutor.stats.inbox_peak)
 
 
 if __name__ == "__main__":

@@ -126,6 +126,11 @@ def main() -> None:
     escalations = (to_text(shop.get(f"{SHOP}/escalations"))
                    if f"{SHOP}/escalations" in shop.node.resources else "none")
     print("escalations:", escalations)
+    print("inbox peaks:", {
+        "shop": shop.stats.inbox_peak,
+        "warehouse": warehouse.stats.inbox_peak,
+        "bank": bank.stats.inbox_peak,
+    })
 
 
 if __name__ == "__main__":

@@ -56,6 +56,9 @@ def main() -> None:
     print("\nfinal stock:", to_text(shop.get("http://shop.example/stock")))
     print("shop fired", shop.stats.rule_firings, "rules;",
           "network:", sim.stats.messages, "messages,", sim.stats.bytes, "bytes")
+    # The four orders arrive in one burst: they queue in the shop's inbox
+    # (delivery is asynchronous) and drain in arrival order.
+    print("shop inbox peak:", shop.stats.inbox_peak, "queued events")
 
 
 if __name__ == "__main__":

@@ -55,6 +55,8 @@ def main() -> None:
     print("alerts raised:")
     for alert in alerts.children:
         print("  ", to_text(alert))
+    print("ticks processed:", analyst.stats.events_processed,
+          "| inbox peak:", analyst.stats.inbox_peak)
 
 
 if __name__ == "__main__":

@@ -51,6 +51,10 @@ def main() -> None:
 
     sim.run()
     print("\ncase file:", to_text(agent.get("http://agent.example/cases")))
+    # ida's hotel was booked by an absence *wake-up* (no event carried the
+    # deadline): the engine woke only the owning evaluator, not every rule.
+    print("deadline wake-ups:", agent.stats.wakeups,
+          "| evaluators advanced:", agent.stats.evaluator_advances)
 
 
 if __name__ == "__main__":

@@ -99,6 +99,8 @@ def main() -> None:
     print("\nrules now active on franz's node:", franz.rules())
     print("messages exchanged:", sim.stats.messages,
           f"({sim.stats.bytes} bytes)")
+    print("events through franz's inbox:", franz.stats.events_processed,
+          "| peak queued:", franz.stats.inbox_peak)
 
 
 if __name__ == "__main__":

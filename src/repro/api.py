@@ -50,6 +50,7 @@ the facade is sugar over it, not a replacement.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
 from repro.core.engine import EngineConfig, EngineStats, ReactiveEngine
@@ -168,8 +169,13 @@ class ReactiveNode:
 
     @property
     def stats(self) -> EngineStats:
-        """The engine's counters (firings, updates, raised events, ...)."""
-        return self.engine.stats
+        """A consistent snapshot of the engine's counters (firings,
+        updates, raised events, ...) with the node's inbox depth/peak
+        mirrored in (backpressure).  Re-read the property for fresh
+        values; the engine's own live object stays at ``engine.stats``."""
+        return replace(self.engine.stats,
+                       inbox_depth=self.node.inbox_depth,
+                       inbox_peak=self.node.inbox_peak)
 
     def __repr__(self) -> str:
         return f"ReactiveNode({self.uri!r}, rules={len(self.engine.rules())})"

@@ -54,6 +54,12 @@ class EngineStats:
     updates_applied: int = 0
     events_raised: int = 0
     rollbacks: int = 0
+    wakeups: int = 0
+    evaluator_advances: int = 0
+    # Mirrored from the node's inbox by ReactiveNode.stats (the facade is
+    # the one place that sees both halves); 0 for a bare engine.
+    inbox_depth: int = 0
+    inbox_peak: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,16 +74,34 @@ class EngineConfig:
       (the default).  ``False`` restores the broadcast baseline where every
       event visits every rule's evaluator; kept as an ablation switch for
       the dispatch-scaling experiment (E13).
+    - ``sync_delivery`` — ``True`` dispatches events inline on the
+      sender's stack instead of through the node's queued inbox (see the
+      delivery model in :mod:`repro.web.node`; the ablation switch for the
+      async inbox experiment E14), ``False`` forces queued delivery, and
+      ``None`` (default) leaves the node's setting alone (a fresh node
+      queues).
+    - ``inbox_batch`` — cap on events one inbox drain processes before
+      re-yielding to the scheduler (``None`` = leave the node's setting
+      alone; a fresh node drains its whole backlog at once).
+    - ``coalesced_wakeups`` — at an absence-deadline wake-up, advance only
+      the evaluators that own a deadline at that instant (the default).
+      ``False`` restores the broadcast baseline where every active rule's
+      evaluator is advanced at every wake-up; the E14 ablation switch.
     """
 
     consumption: str = "unrestricted"
     event_views: "Program | None" = None
     indexed_dispatch: bool = True
+    sync_delivery: bool | None = None
+    inbox_batch: int | None = None
+    coalesced_wakeups: bool = True
 
     def __post_init__(self) -> None:
         # Fail at construction, not at first install; ConsumptionPolicy is
         # the single source of truth for valid policy names.
         ConsumptionPolicy(self.consumption)
+        if self.inbox_batch is not None and self.inbox_batch < 1:
+            raise RuleError(f"inbox_batch must be >= 1, got {self.inbox_batch}")
 
 
 @dataclass(frozen=True)
@@ -112,6 +136,13 @@ class ReactiveEngine:
         self.consumption = config.consumption
         self._event_views = config.event_views
         self._indexed = config.indexed_dispatch
+        self._coalesced = config.coalesced_wakeups
+        # Only settings the config actually specifies reach the node;
+        # node-level delivery choices survive an engine with defaults.
+        if config.sync_delivery is not None:
+            node.configure_delivery(sync_delivery=config.sync_delivery)
+        if config.inbox_batch is not None:
+            node.configure_delivery(inbox_batch=config.inbox_batch)
         self._rulesets: list[RuleSet] = []
         self._single_rules: dict[str, ECARule] = {}
         self._active: dict[str, tuple[ECARule, object]] = {}
@@ -128,7 +159,15 @@ class ReactiveEngine:
         # per-event scheduling work proportional to the rules dispatched
         # to, not to the total rule count.
         self._touched: set[object] = set()
-        self._scheduled: set[float] = set()
+        # deadline instant -> evaluators owning an absence window that may
+        # expire then.  One scheduler callback per distinct instant; at the
+        # wake-up only the owners are advanced (coalesced mode), so idle
+        # rules pay nothing for other rules' deadlines.
+        self._deadline_owners: dict[float, set[object]] = {}
+        # evaluator -> (installation sequence, rule); rebuilt in refresh.
+        # Lets _on_time order and advance just the owners without scanning
+        # the whole active table, and drops stale (uninstalled) owners.
+        self._eval_entry: dict[object, tuple[int, ECARule]] = {}
         self._web_views: dict[str, object] = {}  # uri -> BackwardEvaluator
         node.on_event(self.handle_event)
 
@@ -243,8 +282,10 @@ class ReactiveEngine:
         self._touched.intersection_update(ev for _rule, ev in active.values())
         index: dict[str, list[tuple[int, ECARule, object]]] = {}
         wildcard: list[tuple[int, ECARule, object]] = []
+        self._eval_entry = {}
         for seq, (rule, evaluator) in enumerate(active.values()):
             entry = (seq, rule, evaluator)
+            self._eval_entry[evaluator] = (seq, rule)
             labels = evaluator.interest()
             if labels is None:
                 wildcard.append(entry)
@@ -358,9 +399,26 @@ class ReactiveEngine:
         return entries
 
     def _on_time(self, when: float) -> None:
-        self._scheduled.discard(when)
-        for _name, (rule, evaluator) in list(self._active.items()):
+        owners = self._deadline_owners.pop(when, set())
+        self.stats.wakeups += 1
+        # Installation order, not owner-set order: firing order at a shared
+        # deadline stays deterministic and identical between coalesced and
+        # broadcast wake-ups.  Coalesced wake-ups sort just the owners by
+        # their installation sequence (stale owners drop out of
+        # _eval_entry), so per-wakeup work scales with the expiring rules,
+        # never the whole rule base.
+        if self._coalesced:
+            batch = sorted(
+                (self._eval_entry[ev] + (ev,) for ev in owners
+                 if ev in self._eval_entry),
+                key=lambda entry: entry[0],
+            )
+            items = [(rule, ev) for _seq, rule, ev in batch]
+        else:
+            items = list(self._active.values())
+        for rule, evaluator in items:
             self._touched.add(evaluator)
+            self.stats.evaluator_advances += 1
             answers = evaluator.advance_time(when)
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
@@ -371,10 +429,13 @@ class ReactiveEngine:
     def _schedule_wakeups(self) -> None:
         for evaluator in self._touched:
             deadline = evaluator.next_deadline()
-            if deadline is None or deadline in self._scheduled:
+            if deadline is None:
                 continue
-            self._scheduled.add(deadline)
-            self.node.clock.at(deadline, lambda d=deadline: self._on_time(d))
+            owners = self._deadline_owners.get(deadline)
+            if owners is None:
+                owners = self._deadline_owners[deadline] = set()
+                self.node.clock.at(deadline, lambda d=deadline: self._on_time(d))
+            owners.add(evaluator)
         self._touched.clear()
 
     # -- rule firing ------------------------------------------------------------------

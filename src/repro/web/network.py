@@ -111,6 +111,12 @@ class Network:
     def nodes(self) -> list:
         return list(self._nodes.values())
 
+    def inbox_backlog(self) -> int:
+        """Events queued across all registered nodes' inboxes but not yet
+        dispatched — the network-wide backpressure signal (0 when every
+        drain has caught up, always 0 under sync delivery)."""
+        return sum(node.inbox_depth for node in self._nodes.values())
+
     # -- delivery ---------------------------------------------------------------
 
     def send(self, src: str, dst: str, payload: Data, kind: str = "event") -> None:

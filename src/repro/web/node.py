@@ -13,10 +13,39 @@ central coordinator.  A :class:`WebNode` therefore bundles:
 
 The ECA rule engine lives in :mod:`repro.core.engine` and attaches to a
 node via :meth:`WebNode.on_event`; this module has no dependency on it.
+
+Delivery model
+--------------
+
+Events are delivered through a per-node FIFO inbox, *not* on the sender's
+stack.  :meth:`WebNode.receive` and :meth:`WebNode.raise_local` stamp the
+event at the arrival instant, append it to the inbox, and schedule a
+single *drain* callback at the current simulated instant; the drain pops
+queued events in arrival order and runs every registered handler on each.
+Consequences:
+
+- a slow rule on one node can no longer stall the sender (or the whole
+  network) mid-``raise``: the sender's action completes, and the
+  receiver's handlers run when the scheduler reaches the drain;
+- same-instant events on one node are processed strictly in arrival
+  order, and simulated timestamps are identical to inline dispatch (the
+  drain runs at the enqueue instant), so runs remain deterministic;
+- events raised from inside a handler are processed *after* the current
+  event's handlers finish (breadth-first), not recursively inside them;
+- work outside the scheduler (installing rules, reading stats) observes
+  events only after the next :meth:`Simulation.run` / ``run_until``.
+
+``inbox_batch`` bounds how many events one drain processes (the remainder
+is re-scheduled at the same instant — fairness between same-instant
+callbacks, never a delay), and ``inbox_depth`` / ``inbox_peak`` expose
+queue depth for backpressure accounting.  ``sync_delivery=True`` restores
+the old inline dispatch; the engine keeps it available as the
+:class:`~repro.core.engine.EngineConfig` ablation for experiment E14.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from repro.errors import WebError
@@ -27,11 +56,15 @@ from repro.web.resources import ResourceStore
 from repro.web.scheduler import Scheduler
 from repro.web.soap import Envelope
 
+_UNSET = object()  # configure_delivery: "parameter omitted" (None is a value)
+
 
 class WebNode:
     """One Web site in the simulation."""
 
-    def __init__(self, uri: str, network: Network) -> None:
+    def __init__(self, uri: str, network: Network, *,
+                 sync_delivery: bool = False,
+                 inbox_batch: int | None = None) -> None:
         self.uri = authority(uri)
         self.network = network
         self.resources = ResourceStore()
@@ -39,6 +72,12 @@ class WebNode:
         self._get_guard: Callable[[str, str], None] | None = None
         self.events_received = 0
         self.events_sent = 0
+        self._inbox: deque[Event] = deque()
+        self._drain_scheduled = False
+        self.inbox_peak = 0
+        self.inbox_drains = 0
+        self.configure_delivery(sync_delivery=sync_delivery,
+                                inbox_batch=inbox_batch)
         network.register(self)
 
     @property
@@ -62,20 +101,42 @@ class WebNode:
 
     # -- messaging ----------------------------------------------------------------
 
+    def configure_delivery(self, *, sync_delivery: bool | None = None,
+                           inbox_batch: "int | None | object" = _UNSET) -> None:
+        """Tune event delivery: inline dispatch and/or per-drain batch size.
+
+        Omitted parameters are left unchanged.  ``sync_delivery=True``
+        dispatches events on the sender's stack (the pre-inbox behaviour,
+        kept as an ablation); ``inbox_batch`` caps how many queued events
+        one drain processes before yielding back to the scheduler
+        (``None`` = drain the whole backlog)."""
+        if sync_delivery is not None:
+            self.sync_delivery = sync_delivery
+        if inbox_batch is not _UNSET:
+            if inbox_batch is not None and inbox_batch < 1:
+                raise WebError(f"inbox_batch must be >= 1, got {inbox_batch}")
+            self.inbox_batch = inbox_batch
+
+    @property
+    def inbox_depth(self) -> int:
+        """Events queued but not yet dispatched (backpressure signal)."""
+        return len(self._inbox)
+
     def receive(self, message: Message) -> None:
-        """Network delivery callback: unwrap the envelope, build the event."""
+        """Network delivery callback: unwrap the envelope, enqueue the event."""
         if message.kind != "event":
             raise WebError(f"unexpected message kind {message.kind!r} in inbox")
         envelope = Envelope.from_term(message.payload)
-        self.events_received += 1
         event = make_event(
             envelope.body,
             self.now,
             source=envelope.sender or message.src,
-            occurrence=min(envelope.sent_at, self.now) if envelope.sent_at else self.now,
+            # `is not None`, not truthiness: an event sent at t=0.0 still
+            # occurred when it was sent, not when it arrived.
+            occurrence=(min(envelope.sent_at, self.now)
+                        if envelope.sent_at is not None else self.now),
         )
-        for handler in list(self._event_handlers):
-            handler(event)
+        self._deliver(event)
 
     def raise_event(self, to: str, term: Data) -> None:
         """Push an event message to another node (or to this node itself)."""
@@ -84,12 +145,45 @@ class WebNode:
         self.network.send(self.uri, to, envelope.to_term(), "event")
 
     def raise_local(self, term: Data) -> None:
-        """Dispatch an event to local handlers without network traffic.
+        """Enqueue an event for local handlers without network traffic.
 
         Used for events that originate at this node (resource changes,
         internal service-request events for accounting)."""
-        event = make_event(term, self.now, source=self.uri)
+        self._deliver(make_event(term, self.now, source=self.uri))
+
+    def _deliver(self, event: Event) -> None:
         self.events_received += 1
+        # Inline dispatch never jumps a backlog: if queued events are still
+        # waiting (delivery was switched to sync mid-run), this event lines
+        # up behind them so arrival order survives the mode switch.
+        if self.sync_delivery and not self._inbox:
+            self._handle(event)
+            return
+        self._inbox.append(event)
+        if len(self._inbox) > self.inbox_peak:
+            self.inbox_peak = len(self._inbox)
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.clock.soon(self._drain)
+
+    def _drain(self) -> None:
+        # Clear the flag first: handlers may enqueue further events, which
+        # then schedule their own same-instant drain rather than being lost.
+        self._drain_scheduled = False
+        self.inbox_drains += 1
+        budget = self.inbox_batch if self.inbox_batch is not None else len(self._inbox)
+        try:
+            while budget > 0 and self._inbox:
+                budget -= 1
+                self._handle(self._inbox.popleft())
+        finally:
+            # Re-schedule on the batch limit AND on a handler exception:
+            # a failing rule must not strand the rest of the backlog.
+            if self._inbox and not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.clock.soon(self._drain)
+
+    def _handle(self, event: Event) -> None:
         for handler in list(self._event_handlers):
             handler(event)
 

@@ -37,6 +37,12 @@ class Scheduler:
             raise WebError(f"negative delay: {delay}")
         self.at(self.now + delay, callback)
 
+    def soon(self, callback: Callable[[], None]) -> None:
+        """Schedule *callback* at the current instant, after everything
+        already queued for this instant (used for inbox drains: time never
+        advances, but control returns to the scheduler first)."""
+        self.at(self.now, callback)
+
     def every(self, interval: float, callback: Callable[[], None],
               until: float | None = None) -> None:
         """Schedule *callback* periodically (first call after one interval)."""

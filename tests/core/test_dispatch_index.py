@@ -139,6 +139,7 @@ class TestRefreshAndDeadlines:
             EAnd(EAtom(q("a", q("x", Var("X")))), EAtom(q("b", q("x", Var("X"))))), 10.0),
             PyAction(lambda n, b: hits.append(b["X"]))))
         node.raise_local(parse_data("a{x[7]}"))
+        sim.run()  # a{x[7]} is a processed partial match before the rebuild
         # Installing (and uninstalling) other rules rebuilds the index but
         # must keep the half-completed pair match alive.
         engine.install(eca("other", EAtom(q("z")), PyAction(lambda n, b: None)))

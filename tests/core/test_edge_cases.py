@@ -44,6 +44,7 @@ class TestEngineLifecycle:
         engine.install(eca("r", EAtom(parse_query("go")),
                            PyAction(lambda n, b: hits.append(1))))
         node.raise_local(parse_data("go"))
+        sim.run()  # drain before the uninstall: delivery is queued
         engine.uninstall("r")
         node.raise_local(parse_data("go"))
         sim.run()
@@ -64,6 +65,7 @@ class TestEngineLifecycle:
             PyAction(lambda n, b: hits.append(1)),
         ))
         node.raise_local(parse_data("a{}"))
+        sim.run()  # a is a processed partial match before the refresh
         # Installing another rule triggers refresh; the a-partial survives.
         engine.install(eca("other", EAtom(q("zzz")), PyAction(lambda n, b: None)))
         node.raise_local(parse_data("b{}"))

@@ -133,6 +133,7 @@ class TestIdentity:
         node.put(uri, parse_data(
             'articles{ article{ id["a1"], text["NEW"] }, article{ id["a2"], text["x"] } }'
         ))
+        sim.run()  # change events drain through the node's inbox
         labels = [t.label for t in events]
         assert labels == ["item-changed"]
         assert monitor.stats.identities_preserved == 1
@@ -142,6 +143,7 @@ class TestIdentity:
         node.put(uri, parse_data(
             'articles{ article{ id["a1"], text["NEW"] }, article{ id["a2"], text["x"] } }'
         ))
+        sim.run()  # change events drain through the node's inbox
         labels = sorted(t.label for t in events)
         assert labels == ["item-deleted", "item-inserted"]
         assert monitor.stats.identities_lost == 1
@@ -154,17 +156,20 @@ class TestIdentity:
         node.put(uri, parse_data(
             'articles{ article{ id["a1"], text["v3"] }, article{ id["a2"], text["x"] } }'
         ))
+        sim.run()  # change events drain through the node's inbox
         oids = [t.first("oid").value for t in events if t.label == "item-changed"]
         assert len(oids) == 2 and oids[0] == oids[1]
 
     def test_insert_and_delete_reported(self):
         sim, node, uri, monitor, events = self._monitored("surrogate")
         node.put(uri, parse_data('articles{ article{ id["a1"], text["old"] } }'))
+        sim.run()  # change events drain through the node's inbox
         assert [t.label for t in events] == ["item-deleted"]
         events.clear()
         node.put(uri, parse_data(
             'articles{ article{ id["a1"], text["old"] }, article{ id["a9"], text["new"] } }'
         ))
+        sim.run()
         assert [t.label for t in events] == ["item-inserted"]
 
     def test_positional_fallback_without_keys(self):
@@ -175,6 +180,7 @@ class TestIdentity:
         node.on_event(lambda e: events.append(e.term.label))
         ChangeMonitor(node, uri, parse_query("entry"), mode="surrogate", key_label=None)
         node.put(uri, parse_data("list{ entry{ 2 } }"))
+        sim.run()  # change events drain through the node's inbox
         assert events == ["item-changed"]
 
 

@@ -9,6 +9,7 @@ exactly the same answer sets at every step.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.core import EngineConfig, PyAction, ReactiveEngine, eca
 from repro.events import (
     EAggregate,
     EAnd,
@@ -23,6 +24,7 @@ from repro.events import (
 )
 from repro.events.model import make_event
 from repro.terms import Var, d, q
+from repro.web import Simulation
 
 # Small alphabet so that streams actually hit the queries.
 LABELS = ["a", "b", "c", "n"]
@@ -127,6 +129,62 @@ def test_no_duplicate_emissions(query, stream):
     for answer in incremental.advance_time(clock + 100.0):
         assert answer not in seen
         seen.add(answer)
+
+
+def _run_engine(query, stream, **config_kwargs):
+    """Drive a whole node+engine over *stream*; the firing sequence.
+
+    Events are scheduled on the simulation clock (same instants allowed),
+    so delivery goes through the node's inbox and absence deadlines through
+    the engine's wake-ups — the full production path, unlike the
+    evaluator-level tests above.
+    """
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://p.example")
+    engine = ReactiveEngine(node, config=EngineConfig(**config_kwargs))
+    fired = []
+    engine.install(eca(
+        "r", query, PyAction(lambda n, b: fired.append(b), "record")
+    ))
+    clock = 0.0
+    for delta, label, value in stream:
+        clock += delta
+        sim.scheduler.at(clock, lambda t=d(label, value): node.raise_local(t))
+    sim.run()
+    return fired, engine.stats.rule_firings
+
+
+@given(event_queries(), streams())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_queued_delivery_equals_sync(query, stream):
+    """The async inbox must not change what fires, how often, or in what
+    order — only *when* control reaches the handlers."""
+    queued, queued_firings = _run_engine(query, stream, sync_delivery=False)
+    inline, inline_firings = _run_engine(query, stream, sync_delivery=True)
+    assert queued_firings == inline_firings
+    assert queued == inline
+
+
+@given(event_queries(), streams(), st.sampled_from([1, 2, 3]))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_inbox_batching_preserves_firings(query, stream, batch):
+    """Splitting a backlog over several same-instant drains is invisible."""
+    batched, _ = _run_engine(query, stream, inbox_batch=batch)
+    whole, _ = _run_engine(query, stream)
+    assert batched == whole
+
+
+@given(event_queries(), streams())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_coalesced_wakeups_equal_broadcast(query, stream):
+    """Advancing only deadline owners at a wake-up must produce exactly the
+    broadcast (advance-everything) firing sequence."""
+    coalesced, coalesced_firings = _run_engine(query, stream,
+                                               coalesced_wakeups=True)
+    broadcast, broadcast_firings = _run_engine(query, stream,
+                                               coalesced_wakeups=False)
+    assert coalesced_firings == broadcast_firings
+    assert coalesced == broadcast
 
 
 @given(event_queries(), streams())
