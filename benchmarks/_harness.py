@@ -75,6 +75,29 @@ def seeded(seed: int = 42) -> random.Random:
     return random.Random(seed)
 
 
+def require_columns(bench: str, rows: list[dict], columns) -> list[dict]:
+    """Fail loudly when a sweep drops a required (ablation) column.
+
+    Every comparative bench names its ablation columns here, so a refactor
+    that silently stops producing one of the comparisons (e.g. only runs
+    the fast mode) turns into an immediate, explicit failure instead of a
+    table that quietly lost its baseline.  Returns *rows* unchanged for
+    inline use.
+    """
+    if not rows:
+        raise SystemExit(f"{bench}: sweep produced no rows")
+    missing = sorted({
+        column for row in rows for column in columns if column not in row
+    })
+    if missing:
+        raise SystemExit(
+            f"{bench}: ablation column(s) {missing} missing from the sweep "
+            f"(have: {sorted(rows[0])}); every ablation must stay in every "
+            f"row so regressions cannot hide"
+        )
+    return rows
+
+
 def run_main(table_fn: Callable[[], list[dict]], title: str, claim: str) -> None:
     print_table(title, table_fn(), claim)
 

@@ -25,7 +25,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import parse_cli, pick, print_table, smoke_mode, write_json
+from _harness import parse_cli, pick, print_table, require_columns, write_json
 
 from repro.core import EngineConfig, ReactiveEngine, eca
 from repro.core.actions import PyAction
@@ -83,7 +83,7 @@ def table() -> list[dict]:
             "broadcast ev/s": broadcast_rate,
             "speedup": indexed_rate / broadcast_rate,
         })
-    return rows
+    return require_columns("e13", rows, ("indexed ev/s", "broadcast ev/s"))
 
 
 def test_e13_indexed_beats_broadcast_at_scale():

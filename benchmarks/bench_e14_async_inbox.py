@@ -30,7 +30,7 @@ import sys
 import time
 
 sys.path.insert(0, "benchmarks")
-from _harness import parse_cli, pick, print_table, smoke_mode, write_json
+from _harness import parse_cli, pick, print_table, require_columns, smoke_mode, write_json
 
 from repro.core import EngineConfig, ReactiveEngine, eca
 from repro.core.actions import PyAction
@@ -89,10 +89,10 @@ def run_wakeups(n_rules: int, n_events: int, coalesced: bool):
         for i in range(n_rules)
     )
     for j in range(n_events):
-        # Distinct instants, binary-exact (k/16): start + window is then an
-        # exact float, so every absence confirms at its deadline instead of
-        # being dropped by the EWithin span filter when the addition rounds
-        # up an ulp.  Every deadline is its own wake-up.
+        # Distinct instants (k/16, binary-exact) so every deadline is its
+        # own wake-up.  Exactness is no longer load-bearing: absence
+        # answers carry their planted window as the span, so a rounded-up
+        # start + window cannot make EWithin drop them anymore.
         sim.scheduler.at(
             0.0625 + j * 0.125,
             lambda i=j % n_rules: node.raise_local(d(f"start-{i}", d("x", 1))),
@@ -131,7 +131,10 @@ def table() -> list[dict]:
             "advances": coal_adv,
             "advances (bcast)": bcast_adv,
         })
-    return rows
+    return require_columns(
+        "e14", rows,
+        ("queued ev/s", "sync ev/s", "coalesced ev/s", "broadcast ev/s"),
+    )
 
 
 def test_e14_firing_counts_invariant():

@@ -131,6 +131,11 @@ def main() -> None:
         "warehouse": warehouse.stats.inbox_peak,
         "bank": bank.stats.inbox_peak,
     })
+    print("shop dispatch:", {
+        "candidates": shop.stats.candidates_considered,
+        "index probes": shop.stats.index_probes,
+        "matcher calls": shop.stats.matcher_calls,
+    })
 
 
 if __name__ == "__main__":

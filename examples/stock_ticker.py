@@ -55,8 +55,12 @@ def main() -> None:
     print("alerts raised:")
     for alert in alerts.children:
         print("  ", to_text(alert))
-    print("ticks processed:", analyst.stats.events_processed,
-          "| inbox peak:", analyst.stats.inbox_peak)
+    stats = analyst.stats
+    print("ticks processed:", stats.events_processed,
+          "| inbox peak:", stats.inbox_peak)
+    print("dispatch: candidates considered:", stats.candidates_considered,
+          "| index probes:", stats.index_probes,
+          "| matcher calls:", stats.matcher_calls)
 
 
 if __name__ == "__main__":

@@ -41,8 +41,9 @@ structured objects (event queries, conditions, actions); several
 else branch, and ``.firing("first")`` selects single-firing semantics.
 
 Engines are tuned through :class:`~repro.core.engine.EngineConfig`
-(consumption policy, deductive event views, and the label-indexed dispatch
-ablation switch), passed as ``sim.reactive_node(uri, config=...)``.
+(consumption policy, deductive event views, and the dispatch pipeline
+knobs — broadcast / root-label / discriminating — described in
+:mod:`repro.core.engine`), passed as ``sim.reactive_node(uri, config=...)``.
 
 The old explicit wiring (``ReactiveEngine(sim.node(uri))``) keeps working;
 the facade is sugar over it, not a replacement.
@@ -170,9 +171,11 @@ class ReactiveNode:
     @property
     def stats(self) -> EngineStats:
         """A consistent snapshot of the engine's counters (firings,
-        updates, raised events, ...) with the node's inbox depth/peak
-        mirrored in (backpressure).  Re-read the property for fresh
-        values; the engine's own live object stays at ``engine.stats``."""
+        updates, raised events, dispatch efficiency:
+        ``candidates_considered`` / ``index_probes`` / ``matcher_calls``)
+        with the node's inbox depth/peak mirrored in (backpressure).
+        Re-read the property for fresh values; the engine's own live
+        object stays at ``engine.stats``."""
         return replace(self.engine.stats,
                        inbox_depth=self.node.inbox_depth,
                        inbox_peak=self.node.inbox_peak)

@@ -18,6 +18,44 @@ The engine:
   deductive program derives further event terms from each incoming event
   (e.g. classifying ``order`` events as ``high-value-order``), and rules
   can subscribe to the derived labels.
+
+Dispatch: the two-level discrimination net
+------------------------------------------
+
+Deciding *which* rules an incoming event can affect is the per-event hot
+path, so ``refresh`` compiles the rule base into a two-level net consulted
+by ``_interested``:
+
+1. **Root label** — the first level keys on the event's root label, built
+   from each evaluator's ``interest()``
+   (:class:`~repro.events.queries.EventInterest`).  Wildcard rules (label
+   variables, ``desc``, bare variables) are pre-merged into every bucket
+   in installation order; events whose label has no bucket see only the
+   wildcard rules.
+2. **Discriminator value** — within one label's bucket, rules that all
+   constrain the same constant — an attribute value or a constant-scalar
+   child (``stock[sym: "ACME"]``) — are sub-indexed by that value on the
+   bucket's most selective shared axis.  Dispatch extracts the event's
+   value for the axis *once* and probes two dicts: the value bucket and
+   the residual of non-discriminating rules, merged in installation
+   order.  Extraction is conservative: an event exhibiting the axis
+   ambiguously (several same-label children, non-scalar content) falls
+   back to the whole label bucket, so discrimination can over-deliver but
+   never under-deliver.
+
+Three config knobs select the pipeline depth, each the ablation switch of
+a benchmark experiment: ``indexed_dispatch=False`` broadcasts every event
+to every rule (E13); ``discriminating_index=False`` stops at the root
+label (E15); the default runs both levels.  All three modes produce
+identical answers and firing counts, and — under queued delivery, the
+default — identical firing order; only the candidate count changes
+(``EngineStats.candidates_considered`` / ``index_probes`` /
+``matcher_calls`` expose it).  The one sequencing caveat:
+with ``sync_delivery=True``, broadcast hands *unrelated* events to an
+absence rule's evaluator, which can confirm a pending absence one
+callback earlier than the scheduled wake-up when such an event lands
+exactly on the deadline instant — same simulated time and answers,
+different intra-instant order.
 """
 
 from __future__ import annotations
@@ -36,6 +74,7 @@ from repro.events.consumption import ConsumingEvaluator, ConsumptionPolicy
 from repro.events.incremental import IncrementalEvaluator
 from repro.events.model import Event, make_event
 from repro.terms.ast import Bindings, Data, canonical_str
+from repro.terms.simulation import matcher_call_count, scalar_key
 from repro.updates.primitives import delete_terms, insert_child, replace_terms
 from repro.updates.transactions import Transaction
 from repro.web.network import authority
@@ -44,7 +83,16 @@ from repro.web.node import WebNode
 
 @dataclass
 class EngineStats:
-    """Counters the benchmark experiments report."""
+    """Counters the benchmark experiments report.
+
+    The dispatch-efficiency triple measures the two-level net:
+    ``candidates_considered`` counts (rule, evaluator) pairs handed an
+    event (broadcast: rules × events; discriminating: close to the rules
+    that can actually match), ``index_probes`` counts dispatch-index dict
+    lookups (≤ 2 per event), and ``matcher_calls`` counts term-matcher
+    invocations made by the evaluators the event reached — the work the
+    index failed to avoid.
+    """
 
     events_processed: int = 0
     derived_events: int = 0
@@ -56,6 +104,9 @@ class EngineStats:
     rollbacks: int = 0
     wakeups: int = 0
     evaluator_advances: int = 0
+    candidates_considered: int = 0
+    index_probes: int = 0
+    matcher_calls: int = 0
     # Mirrored from the node's inbox by ReactiveNode.stats (the facade is
     # the one place that sees both halves); 0 for a bare engine.
     inbox_depth: int = 0
@@ -74,6 +125,12 @@ class EngineConfig:
       (the default).  ``False`` restores the broadcast baseline where every
       event visits every rule's evaluator; kept as an ablation switch for
       the dispatch-scaling experiment (E13).
+    - ``discriminating_index`` — within one root label's bucket, sub-index
+      rules by their shared constant discriminator (attribute value or
+      constant-scalar child) so high-fanout labels stop broadcasting to
+      their whole bucket (the default).  ``False`` stops the net at the
+      root label — the E15 ablation, i.e. pre-discrimination behaviour.
+      Only meaningful with ``indexed_dispatch=True``.
     - ``sync_delivery`` — ``True`` dispatches events inline on the
       sender's stack instead of through the node's queued inbox (see the
       delivery model in :mod:`repro.web.node`; the ablation switch for the
@@ -92,6 +149,7 @@ class EngineConfig:
     consumption: str = "unrestricted"
     event_views: "Program | None" = None
     indexed_dispatch: bool = True
+    discriminating_index: bool = True
     sync_delivery: bool | None = None
     inbox_batch: int | None = None
     coalesced_wakeups: bool = True
@@ -111,6 +169,97 @@ class Procedure:
     name: str
     params: tuple[str, ...]
     action: object
+
+
+@dataclass
+class _LabelBucket:
+    """One root label's slice of the two-level dispatch net.
+
+    ``all_entries`` is the flat (installation-ordered, wildcard-merged)
+    bucket the root-label-only mode dispatches to.  When the bucket's
+    rules share a discriminator axis, ``by_value`` maps each constant on
+    that axis to the rules requiring it *pre-merged* with the residual of
+    non-discriminating rules (wildcards included) in installation order —
+    the same merge-at-refresh pattern the first level uses for wildcards,
+    so dispatch is a plain lookup, never a per-event sort.
+    """
+
+    all_entries: list  # [(rule, evaluator)] — installation order
+    axis: "tuple[str, str] | None" = None  # (kind, key) or None
+    by_value: dict = field(default_factory=dict)  # value -> [(rule, ev)]
+    residual_entries: list = field(default_factory=list)  # [(rule, ev)]
+
+    @staticmethod
+    def build(entries: "list[tuple[int, ECARule, object, frozenset]]") -> "_LabelBucket":
+        """Compile one label's (seq, rule, evaluator, discriminators) rows.
+
+        Picks the most selective shared axis — the (kind, key) pair the
+        largest number of entries constrain with a constant, ties broken
+        by distinct-value count then axis name for determinism — and
+        splits the bucket around it.
+        """
+        entries = sorted(entries)
+        bucket = _LabelBucket([(rule, ev) for _seq, rule, ev, _d in entries])
+        values_per_axis: dict[tuple[str, str], set] = {}
+        for _seq, _rule, _ev, discs in entries:
+            for disc in discs:
+                values_per_axis.setdefault((disc.kind, disc.key), set()).add(
+                    scalar_key(disc.value)
+                )
+        if not values_per_axis:
+            return bucket
+        counts = {
+            axis: sum(
+                1 for _s, _r, _e, discs in entries
+                if any((d.kind, d.key) == axis for d in discs)
+            )
+            for axis in values_per_axis
+        }
+        axis = max(counts, key=lambda a: (counts[a], len(values_per_axis[a]), a))
+        by_value: dict = {}
+        residual = []
+        for seq, rule, ev, discs in entries:
+            on_axis = sorted(
+                (d for d in discs if (d.kind, d.key) == axis),
+                key=lambda d: canonical_str(d.value),
+            )
+            if on_axis:
+                by_value.setdefault(on_axis[0].value, []).append((seq, rule, ev))
+            else:
+                residual.append((seq, rule, ev))
+        bucket.axis = axis
+        bucket.by_value = {
+            value: [(rule, ev) for _seq, rule, ev in sorted(selected + residual)]
+            for value, selected in by_value.items()
+        }
+        bucket.residual_entries = [(rule, ev) for _seq, rule, ev in residual]
+        return bucket
+
+    def select(self, term: Data) -> list:
+        """The entries *term* can affect, in installation order.
+
+        Extracts the event's value on the bucket's axis once; ambiguity
+        (several same-label children, structured content) degrades to the
+        whole bucket, never to under-delivery.
+        """
+        kind, key = self.axis  # type: ignore[misc]  # only called with an axis
+        if kind == "attr":
+            value = term.attr(key)
+            if value is None:
+                return self.residual_entries
+        else:
+            found = None
+            for child in term.children:
+                if isinstance(child, Data) and child.label == key:
+                    if found is not None:
+                        return self.all_entries  # several candidates: ambiguous
+                    found = child
+            if found is None:
+                return self.residual_entries
+            value = found.value
+            if value is None:  # structured or multi-scalar child: ambiguous
+                return self.all_entries
+        return self.by_value.get(value, self.residual_entries)
 
 
 class ReactiveEngine:
@@ -136,6 +285,7 @@ class ReactiveEngine:
         self.consumption = config.consumption
         self._event_views = config.event_views
         self._indexed = config.indexed_dispatch
+        self._discriminating = config.discriminating_index
         self._coalesced = config.coalesced_wakeups
         # Only settings the config actually specifies reach the node;
         # node-level delivery choices survive an engine with defaults.
@@ -146,12 +296,13 @@ class ReactiveEngine:
         self._rulesets: list[RuleSet] = []
         self._single_rules: dict[str, ECARule] = {}
         self._active: dict[str, tuple[ECARule, object]] = {}
-        # Label-indexed dispatch (rebuilt in refresh): root label of an
-        # incoming event -> (rule, evaluator) pairs whose queries can be
-        # affected by it, in installation order, with wildcard entries
-        # (label-variable/descendant queries) merged into every bucket;
-        # events whose label has no bucket fall back to _wildcard alone.
-        self._index: dict[str, list[tuple[ECARule, object]]] = {}
+        # The two-level discrimination net (rebuilt in refresh): root label
+        # of an incoming event -> _LabelBucket holding the installation-
+        # ordered (rule, evaluator) pairs whose queries can be affected by
+        # it (wildcard entries pre-merged), optionally sub-indexed by the
+        # bucket's shared discriminator axis.  Events whose label has no
+        # bucket fall back to _wildcard alone.
+        self._index: dict[str, _LabelBucket] = {}
         self._wildcard: list[tuple[ECARule, object]] = []
         self._procedures: dict[str, Procedure] = {}
         # Evaluators whose deadlines may have moved since the last wake-up
@@ -280,31 +431,33 @@ class ReactiveEngine:
                 active[name] = (rule, evaluator)
         self._active = active
         self._touched.intersection_update(ev for _rule, ev in active.values())
-        index: dict[str, list[tuple[int, ECARule, object]]] = {}
-        wildcard: list[tuple[int, ECARule, object]] = []
+        index: dict[str, list[tuple[int, ECARule, object, frozenset]]] = {}
+        wildcard: list[tuple[int, ECARule, object, frozenset]] = []
         self._eval_entry = {}
         for seq, (rule, evaluator) in enumerate(active.values()):
-            entry = (seq, rule, evaluator)
             self._eval_entry[evaluator] = (seq, rule)
-            labels = evaluator.interest()
-            if labels is None:
-                wildcard.append(entry)
+            interest = evaluator.interest()
+            if interest.by_label is None:
+                wildcard.append((seq, rule, evaluator, frozenset()))
             else:
-                for label in labels:
-                    index.setdefault(label, []).append(entry)
+                for label, discriminators in interest.by_label:
+                    index.setdefault(label, []).append(
+                        (seq, rule, evaluator, discriminators)
+                    )
         if wildcard:
             # Pre-merge the wildcard bucket into every label bucket (in
-            # installation order) so dispatch is a plain lookup, not a sort.
+            # installation order) so dispatch is a plain lookup, not a
+            # sort; wildcards carry no discriminators, so they land in
+            # every bucket's residual and keep seeing every event.
             for label, bucket in index.items():
-                index[label] = sorted(bucket + wildcard)
-        # The sequence tags only order the merge; store stripped buckets so
-        # dispatch hands back the list as-is (safe: refresh replaces these
-        # lists wholesale, it never mutates them in place).
+                index[label] = bucket + wildcard
+        # _LabelBucket.build sorts by the sequence tags and picks each
+        # bucket's discriminator axis (safe: refresh replaces the buckets
+        # wholesale, it never mutates them in place).
         self._index = {
-            label: [(rule, ev) for _seq, rule, ev in bucket]
-            for label, bucket in index.items()
+            label: _LabelBucket.build(bucket) for label, bucket in index.items()
         }
-        self._wildcard = [(rule, ev) for _seq, rule, ev in wildcard]
+        self._wildcard = [(rule, ev) for _seq, rule, ev, _d in sorted(wildcard)]
 
     def rules(self) -> list[str]:
         """Names of the currently active rules."""
@@ -374,9 +527,14 @@ class ReactiveEngine:
         return out
 
     def _dispatch(self, event: Event) -> None:
-        for rule, evaluator in self._interested(event):
+        stats = self.stats
+        entries = self._interested(event)
+        stats.candidates_considered += len(entries)
+        for rule, evaluator in entries:
             self._touched.add(evaluator)
+            before = matcher_call_count()
             answers = evaluator.on_event(event)
+            stats.matcher_calls += matcher_call_count() - before
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
             for answer in answers:
@@ -385,18 +543,24 @@ class ReactiveEngine:
     def _interested(self, event: Event) -> list[tuple[ECARule, object]]:
         """Snapshot of the rules whose queries can be affected by *event*.
 
-        With indexed dispatch this is the event label's bucket (wildcard
-        entries pre-merged in installation order by refresh); the broadcast
-        ablation returns every active rule.  Always a snapshot: firing a
-        rule may install/uninstall rules, which rebuilds the index
-        mid-dispatch.
+        The two-level net: probe the event label's bucket, then — when the
+        bucket discriminates and the config allows — probe its value
+        sub-index with the constant the event exhibits on the bucket's
+        axis.  Root-label-only mode (``discriminating_index=False``) stops
+        at the flat bucket; the broadcast ablation returns every active
+        rule.  Always a snapshot: firing a rule may install/uninstall
+        rules, which rebuilds the index mid-dispatch.
         """
         if not self._indexed:
             return list(self._active.values())
-        entries = self._index.get(event.term.label)
-        if entries is None:
-            entries = self._wildcard
-        return entries
+        self.stats.index_probes += 1
+        bucket = self._index.get(event.term.label)
+        if bucket is None:
+            return self._wildcard
+        if not self._discriminating or bucket.axis is None:
+            return bucket.all_entries
+        self.stats.index_probes += 1
+        return bucket.select(event.term)
 
     def _on_time(self, when: float) -> None:
         owners = self._deadline_owners.pop(when, set())
@@ -419,7 +583,9 @@ class ReactiveEngine:
         for rule, evaluator in items:
             self._touched.add(evaluator)
             self.stats.evaluator_advances += 1
+            before = matcher_call_count()
             answers = evaluator.advance_time(when)
+            self.stats.matcher_calls += matcher_call_count() - before
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
             for answer in answers:

@@ -23,6 +23,7 @@ from repro.events.incremental import IncrementalEvaluator
 from repro.events.model import Event, EventAnswer
 from repro.events.naive import NaiveEvaluator, answers
 from repro.events.queries import (
+    Discriminator,
     EAggregate,
     EAnd,
     EAtom,
@@ -30,7 +31,10 @@ from repro.events.queries import (
     ENot,
     EOr,
     ESeq,
+    EventInterest,
     EWithin,
+    pattern_discriminators,
+    pattern_event_interest,
     pattern_interest,
     query_interest,
     validate_query,
@@ -39,6 +43,7 @@ from repro.events.queries import (
 __all__ = [
     "ConsumingEvaluator",
     "ConsumptionPolicy",
+    "Discriminator",
     "EAggregate",
     "EAnd",
     "EAtom",
@@ -49,9 +54,12 @@ __all__ = [
     "EWithin",
     "Event",
     "EventAnswer",
+    "EventInterest",
     "IncrementalEvaluator",
     "NaiveEvaluator",
     "answers",
+    "pattern_discriminators",
+    "pattern_event_interest",
     "pattern_interest",
     "query_interest",
     "validate_query",

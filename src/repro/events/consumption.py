@@ -98,8 +98,8 @@ class ConsumingEvaluator:
             self.policy.forget()
         return accepted
 
-    def interest(self) -> frozenset[str] | None:
-        """Delegate label interest to the wrapped evaluator.
+    def interest(self):
+        """Delegate the :class:`EventInterest` to the wrapped evaluator.
 
         Consumption only filters confirmed answers, so it never widens the
         set of events the underlying query needs to see.

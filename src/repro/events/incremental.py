@@ -44,7 +44,7 @@ from repro.events.queries import (
     validate_query,
 )
 from repro.terms.ast import Bindings, is_scalar
-from repro.terms.simulation import match, matches
+from repro.terms.simulation import compile_matches, compile_pattern
 
 
 # ---------------------------------------------------------------------------
@@ -75,15 +75,21 @@ class _Op:
 
 
 class _AtomOp(_Op):
-    """Stateless: matches the pattern against each incoming event."""
+    """Stateless: matches its *compiled* pattern against incoming events.
+
+    The pattern is compiled once at construction
+    (:func:`repro.terms.simulation.compile_pattern`), so the per-event cost
+    for a non-matching candidate is a handful of direct comparisons rather
+    than a recursive simulation.
+    """
 
     def __init__(self, query: EAtom) -> None:
-        self._pattern = query.pattern
+        self._matcher = compile_pattern(query.pattern)
         self._alias = query.alias
 
     def on_event(self, event: Event) -> list[EventAnswer]:
         out = []
-        for bindings in match(self._pattern, event.term):
+        for bindings in self._matcher(event.term):
             if self._alias is not None:
                 extended = bindings.bind(self._alias, event.term)
                 if extended is None:
@@ -242,6 +248,12 @@ class _SeqOp(_Op):
         self._blockers: dict[int, list[Event]] = {
             gap: [] for gap in list(negations) + ([len(positives) - 1] if trailing else [])
         }
+        # One compiled boolean matcher per negation gap: blocker candidacy
+        # and the emission-time checks are existence tests, so they use the
+        # short-circuiting form (first derivation wins).
+        self._blocker_matchers = {
+            gap: compile_matches(self._pattern_for_gap(gap)) for gap in self._blockers
+        }
         self._pending: list[_Pending] = []
 
     # -- entry points ---------------------------------------------------------
@@ -271,6 +283,20 @@ class _SeqOp(_Op):
             return self._trailing.pattern
         return self._negations[gap].pattern
 
+    def _misses_window(self, start: float, end: float) -> bool:
+        """Whether a prefix reaching *end* can no longer yield an answer.
+
+        With a trailing negation the gate is the *planted deadline*
+        (``start + window``, the same float the pending entry will carry
+        and the naive semantics compares against), not the recomputed
+        span — the two disagree by 1 ulp when the addition rounds.
+        Without one, the enclosing ``EWithin`` filters on ``end - start``,
+        so pruning uses exactly that expression.
+        """
+        if self._trailing is not None:
+            return end > start + self._window
+        return end - start > self._window
+
     def _store_blockers(self, event: Event) -> None:
         from repro.errors import QueryError
 
@@ -279,7 +305,7 @@ class _SeqOp(_Op):
             # stored); the precise check happens at emission time under the
             # full combination bindings.
             try:
-                candidate = matches(self._pattern_for_gap(gap), event.term)
+                candidate = self._blocker_matchers[gap](event.term)
             except QueryError:
                 candidate = True
             if candidate:
@@ -287,7 +313,7 @@ class _SeqOp(_Op):
 
     def _gap_blocked(self, gap: int, bindings: Bindings, lo: float, hi: float,
                      inclusive_end: bool) -> bool:
-        pattern = self._pattern_for_gap(gap)
+        matcher = self._blocker_matchers[gap]
         for event in self._blockers.get(gap, ()):
             if event.time <= lo:
                 continue
@@ -296,7 +322,7 @@ class _SeqOp(_Op):
                     continue
             elif event.time >= hi:
                 continue
-            if matches(pattern, event.term, bindings):
+            if matcher(event.term, bindings):
                 return True
         return False
 
@@ -315,8 +341,8 @@ class _SeqOp(_Op):
                 for prefix in list(self._prefixes[k - 1]):
                     if prefix.spans[-1][1] >= answer.start:
                         continue
-                    if self._window is not None and \
-                            answer.end - prefix.spans[0][0] > self._window:
+                    if self._window is not None and self._misses_window(
+                            prefix.spans[0][0], answer.end):
                         continue
                     merged = prefix.bindings.merge(answer.bindings)
                     if merged is None:
@@ -346,14 +372,15 @@ class _SeqOp(_Op):
         if answer is not None:
             out.append(answer)
 
-    def _emit(self, prefix: _Prefix, end: float) -> EventAnswer | None:
+    def _emit(self, prefix: _Prefix, end: float,
+              span: float | None = None) -> EventAnswer | None:
         for gap, _negation in self._negations.items():
             lo = prefix.spans[gap][1]
             hi = prefix.spans[gap + 1][0]
             if self._gap_blocked(gap, prefix.bindings, lo, hi, inclusive_end=False):
                 return None
         ids = tuple(sorted(set(prefix.events)))
-        return EventAnswer(prefix.bindings, ids, prefix.spans[0][0], end)
+        return EventAnswer(prefix.bindings, ids, prefix.spans[0][0], end, span)
 
     def _fire_pending(self, now: float) -> list[EventAnswer]:
         out: list[EventAnswer] = []
@@ -366,7 +393,12 @@ class _SeqOp(_Op):
             if not self._gap_blocked(gap, pending.prefix.bindings,
                                      pending.prefix.spans[-1][1], pending.deadline,
                                      inclusive_end=True):
-                answer = self._emit(pending.prefix, pending.deadline)
+                # The answer's extent is *exactly* the window: carry the
+                # planted deadline's window as the span instead of letting
+                # EWithin recompute end - start, which can exceed the
+                # window by 1 ulp when start + window rounded up.
+                answer = self._emit(pending.prefix, pending.deadline,
+                                    span=self._window)
                 if answer is not None:
                     out.append(answer)
         self._pending = remaining
@@ -444,12 +476,13 @@ class _CountOp(_Op):
 
     def __init__(self, query: ECount) -> None:
         self._query = query
+        self._matcher = compile_pattern(query.pattern)
         self._groups: dict[Bindings, deque[tuple[float, int]]] = {}
 
     def on_event(self, event: Event) -> list[EventAnswer]:
         query = self._query
         keys = set()
-        for bindings in match(query.pattern, event.term):
+        for bindings in self._matcher(event.term):
             keys.add(bindings.project(frozenset(query.group_by)))
         out = []
         for key in keys:
@@ -490,6 +523,7 @@ class _AggOp(_Op):
 
     def __init__(self, query: EAggregate) -> None:
         self._query = query
+        self._matcher = compile_pattern(query.pattern)
         self._groups: dict[Bindings, deque[tuple[float, int, float]]] = {}
         self._prev: dict[Bindings, float] = {}
 
@@ -497,7 +531,7 @@ class _AggOp(_Op):
         query = self._query
         group_names = frozenset(query.group_by)
         out = []
-        for bindings in match(query.pattern, event.term):
+        for bindings in self._matcher(event.term):
             value = bindings.get(query.on)
             if not is_scalar(value) or isinstance(value, (str, bool)):
                 continue
@@ -639,14 +673,17 @@ class IncrementalEvaluator:
         self._root.gc(now)
         return sorted(_dedup(out), key=answer_sort_key)
 
-    def interest(self) -> frozenset[str] | None:
-        """Event labels that can affect this query (``None``: all labels).
+    def interest(self):
+        """The :class:`~repro.events.queries.EventInterest` of this query.
 
         Engines use this to index their dispatch: only events whose root
-        label is in the interest set need to reach :meth:`on_event`.
-        Skipping other events is sound — they can neither match a leaf nor
-        block an absence check — but time still has to be advanced for
-        absence deadlines, which engines do via :meth:`advance_time`.
+        label is in the interest set — and, per label, exhibiting the
+        interest's discriminator constants — need to reach
+        :meth:`on_event`.  Skipping other events is sound: they can
+        neither match a leaf nor block an absence check (a blocker pattern
+        requiring a constant cannot match an event lacking it).  Time
+        still has to be advanced for absence deadlines, which engines do
+        via :meth:`advance_time`.
         """
         return query_interest(self.query)
 

@@ -76,12 +76,20 @@ class EventAnswer:
     extent, and ``end`` is also the moment the answer was *confirmed* —
     for answers involving absence (negation), confirmation happens at the
     negation deadline, later than the last contributing event.
+
+    ``span_override`` carries the exact temporal extent for answers whose
+    end is a *derived* deadline (``start + window``): when that addition
+    rounds up an ulp, recomputing ``end - start`` would exceed the window
+    by one ulp and an enclosing ``EWithin`` would silently drop the
+    answer.  Absence answers therefore carry their planted window as the
+    span instead of recomputing it.
     """
 
     bindings: Bindings
     events: tuple[int, ...]
     start: float
     end: float
+    span_override: float | None = None
 
     def merge_with(self, other: "EventAnswer") -> "EventAnswer | None":
         """Conjunction of two answers; None if their bindings disagree."""
@@ -89,14 +97,23 @@ class EventAnswer:
         if merged is None:
             return None
         ids = tuple(sorted(set(self.events) | set(other.events)))
-        return EventAnswer(
-            merged,
-            ids,
-            min(self.start, other.start),
-            max(self.end, other.end),
-        )
+        start = min(self.start, other.start)
+        end = max(self.end, other.end)
+        # When the hull *is* one answer's extent, its exact span survives
+        # the merge — otherwise a deadline-derived end would degrade back
+        # to end - start and re-introduce the ulp drop for composed
+        # queries (e.g. an absence sequence joined inside an EAnd).
+        override = None
+        for answer in (self, other):
+            if (answer.span_override is not None
+                    and answer.start == start and answer.end == end):
+                override = answer.span_override
+                break
+        return EventAnswer(merged, ids, start, end, override)
 
     @property
     def span(self) -> float:
         """Temporal extent of the answer."""
+        if self.span_override is not None:
+            return self.span_override
         return self.end - self.start

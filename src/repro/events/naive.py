@@ -51,7 +51,7 @@ from repro.events.queries import (
     validate_query,
 )
 from repro.terms.ast import Bindings, canonical_str, is_scalar
-from repro.terms.simulation import match, matches
+from repro.terms.simulation import compile_matches, compile_pattern
 
 
 def answer_sort_key(answer: EventAnswer) -> tuple:
@@ -100,8 +100,9 @@ def answers(query, history: Sequence[Event], now: float, window: float | None = 
 
 def _atom_answers(query: EAtom, history: Sequence[Event]) -> set[EventAnswer]:
     out: set[EventAnswer] = set()
+    matcher = compile_pattern(query.pattern)  # memoised across re-evaluations
     for event in history:
-        for bindings in match(query.pattern, event.term):
+        for bindings in matcher(event.term):
             if query.alias is not None:
                 extended = bindings.bind(query.alias, event.term)
                 if extended is None:
@@ -127,6 +128,15 @@ def _seq_answers(query: ESeq, history: Sequence[Event], now: float,
         else:
             positive_index += 1
     trailing = negations.pop(len(positives) - 1, None)
+    # One compiled boolean matcher per negation, hoisted out of the
+    # per-combination finish() loop (mirrors the incremental _SeqOp).
+    gap_matchers = {
+        gap: compile_matches(negation.pattern)
+        for gap, negation in negations.items()
+    }
+    trailing_matcher = (
+        compile_matches(trailing.pattern) if trailing is not None else None
+    )
 
     out: set[EventAnswer] = set()
 
@@ -151,10 +161,10 @@ def _seq_answers(query: ESeq, history: Sequence[Event], now: float,
     def finish(bindings: Bindings, events: tuple[int, ...],
                spans: tuple[tuple[float, float], ...]) -> None:
         # Mid-sequence negation gaps, under the full combination bindings.
-        for gap, negation in negations.items():
+        for gap, matcher in gap_matchers.items():
             lo = spans[gap][1]
             hi = spans[gap + 1][0]
-            if _blocker_in(negation, history, bindings, lo, hi, inclusive_end=False):
+            if _blocker_in(matcher, history, bindings, lo, hi, inclusive_end=False):
                 return
         start, end = spans[0][0], spans[-1][1]
         ids = tuple(sorted(set(events)))
@@ -166,9 +176,13 @@ def _seq_answers(query: ESeq, history: Sequence[Event], now: float,
                 return  # the last positive itself missed the absence deadline
             if deadline > now:
                 return  # not yet confirmed
-            if _blocker_in(trailing, history, bindings, end, deadline, inclusive_end=True):
+            if _blocker_in(trailing_matcher, history, bindings, end, deadline,
+                           inclusive_end=True):
                 return
-            out.add(EventAnswer(bindings, ids, start, deadline))
+            # The answer extends exactly one window past its start: carry
+            # the window as the span so the enclosing EWithin filter does
+            # not drop it when start + window rounded up an ulp.
+            out.add(EventAnswer(bindings, ids, start, deadline, window))
         else:
             out.add(EventAnswer(bindings, ids, start, end))
 
@@ -176,8 +190,9 @@ def _seq_answers(query: ESeq, history: Sequence[Event], now: float,
     return out
 
 
-def _blocker_in(negation: ENot, history: Sequence[Event], bindings: Bindings,
+def _blocker_in(matcher, history: Sequence[Event], bindings: Bindings,
                 lo: float, hi: float, inclusive_end: bool) -> bool:
+    """Any event in the interval matching the compiled blocker pattern."""
     for event in history:
         if event.time <= lo:
             continue
@@ -186,7 +201,7 @@ def _blocker_in(negation: ENot, history: Sequence[Event], bindings: Bindings,
                 continue
         elif event.time >= hi:
             continue
-        if matches(negation.pattern, event.term, bindings):
+        if matcher(event.term, bindings):
             return True
     return False
 
@@ -195,16 +210,17 @@ def _count_answers(query: ECount, history: Sequence[Event]) -> set[EventAnswer]:
     out: set[EventAnswer] = set()
     # series per group key: chronological (time, id) of matching events.
     group_names = frozenset(query.group_by)
+    matcher = compile_pattern(query.pattern)
     for k, trigger in enumerate(history):
         keys = set()
-        for bindings in match(query.pattern, trigger.term):
+        for bindings in matcher(trigger.term):
             keys.add(bindings.project(group_names))
         for key in keys:
             series: list[tuple[float, int]] = []
             for event in history[: k + 1]:
                 if event.time <= trigger.time - query.window:
                     continue
-                for bindings in match(query.pattern, event.term):
+                for bindings in matcher(event.term):
                     if bindings.project(group_names) == key:
                         series.append((event.time, event.id))
                         break
@@ -226,8 +242,9 @@ def _aggregate_answers(query: EAggregate, history: Sequence[Event]) -> set[Event
     # aggregate (for the rise% predicate) — identical to the incremental op.
     series: dict[Bindings, list[tuple[float, int, float]]] = {}
     prev_agg: dict[Bindings, float] = {}
+    matcher = compile_pattern(query.pattern)
     for event in history:
-        for bindings in match(query.pattern, event.term):
+        for bindings in matcher(event.term):
             value = bindings.get(query.on)
             if not is_scalar(value) or isinstance(value, (str, bool)):
                 continue
@@ -334,8 +351,8 @@ class NaiveEvaluator:
         self._emitted |= current
         return fresh
 
-    def interest(self) -> frozenset[str] | None:
-        """Event labels that can affect this query (``None``: all labels)."""
+    def interest(self):
+        """The :class:`~repro.events.queries.EventInterest` of this query."""
         return query_interest(self._query)
 
     def state_size(self) -> int:

@@ -26,7 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EventQueryError
-from repro.terms.ast import Data, LabelVar, QTerm, Query, Var, free_vars
+from repro.terms.ast import (
+    Data,
+    LabelVar,
+    QTerm,
+    Query,
+    Scalar,
+    Var,
+    free_vars,
+)
+from repro.terms.simulation import child_value_requirement
 
 
 @dataclass(frozen=True)
@@ -175,12 +184,12 @@ def query_vars(query: "EventQuery | ENot") -> frozenset[str]:
 def pattern_interest(pattern: Query) -> frozenset[str] | None:
     """Top-level data-term labels *pattern* can match; ``None`` means any.
 
-    This drives the engine's label-indexed event dispatch: an evaluator is
-    only handed events whose root label is in its interest set.  The
-    computation is conservative — whenever the label cannot be pinned down
-    statically (label variables, ``desc``, bare variables, comparison
-    patterns), the pattern lands in the wildcard bucket and sees every
-    event.
+    This drives the first level of the engine's indexed event dispatch: an
+    evaluator is only handed events whose root label is in its interest
+    set.  The computation is conservative — whenever the label cannot be
+    pinned down statically (label variables, ``desc``, bare variables,
+    comparison patterns), the pattern lands in the wildcard bucket and sees
+    every event.
     """
     if isinstance(pattern, QTerm):
         if isinstance(pattern.label, LabelVar) or pattern.label == "*":
@@ -198,29 +207,173 @@ def pattern_interest(pattern: Query) -> frozenset[str] | None:
     return None
 
 
-def query_interest(query: "EventQuery | ENot") -> frozenset[str] | None:
-    """Event labels that can affect evaluating *query*; ``None`` means all.
+@dataclass(frozen=True)
+class Discriminator:
+    """A constant a matching event *must* exhibit, below its root label.
 
-    The set covers every leaf that *consumes* events, including ``ENot``
-    blockers inside an ``ESeq``: an absence check must still observe the
-    events whose presence would block it, so their labels count as interest.
+    Two kinds, both derived statically from ``EAtom`` / ``ENot`` patterns:
+
+    - ``("attr", name, value)`` — the event's root term must carry
+      attribute *name* with exactly the string *value* (query-term
+      attributes match partially, so a listed constant attribute is a
+      necessary condition);
+    - ``("child", label, value)`` — the event's root term must have a
+      direct child data term labelled *label* containing the constant
+      scalar *value* (non-optional query children must match some data
+      child in every matching mode, so presence is necessary).
+
+    Variables, wildcards, ``optional`` and ``without`` children contribute
+    no discriminator: they never *require* a constant.  Discriminators are
+    necessary, never sufficient — dispatch may still over-deliver (the
+    matcher filters), but must never under-deliver.
     """
-    if isinstance(query, EAtom):
-        return pattern_interest(query.pattern)
-    if isinstance(query, ENot):
-        return pattern_interest(query.pattern)
+
+    kind: str  # "attr" | "child"
+    key: str
+    value: Scalar
+
+
+@dataclass(frozen=True)
+class EventInterest:
+    """What events an evaluator needs to see, per root label.
+
+    ``by_label`` maps each interesting root label to the (possibly empty)
+    set of :class:`Discriminator` constants that *every* event of that
+    label must exhibit to affect the query; ``None`` preserves the old
+    ``None``-means-all-events semantics (wildcard queries).
+
+    The mapping is stored as a sorted tuple of pairs so interests are
+    immutable, hashable, and compare structurally.
+    """
+
+    by_label: "tuple[tuple[str, frozenset[Discriminator]], ...] | None"
+
+    @staticmethod
+    def all_events() -> "EventInterest":
+        """The wildcard interest: every event, any label."""
+        return _ALL_EVENTS
+
+    @staticmethod
+    def of(mapping: "dict[str, frozenset[Discriminator]]") -> "EventInterest":
+        return EventInterest(tuple(sorted(mapping.items())))
+
+    @property
+    def labels(self) -> frozenset[str] | None:
+        """The interesting root labels; ``None`` means all labels."""
+        if self.by_label is None:
+            return None
+        return frozenset(label for label, _ in self.by_label)
+
+    def discriminators(self, label: str) -> frozenset[Discriminator]:
+        """Constants every event with *label* must exhibit (may be empty)."""
+        if self.by_label is not None:
+            for have, discs in self.by_label:
+                if have == label:
+                    return discs
+        return frozenset()
+
+    def union(self, other: "EventInterest") -> "EventInterest":
+        """Interest of a query needing *either* operand's events.
+
+        Label sets union; where both sides know a label, only the
+        discriminators *both* require survive (an event relevant to either
+        leaf must be delivered).  A wildcard side absorbs everything.
+        """
+        if self.by_label is None or other.by_label is None:
+            return _ALL_EVENTS
+        merged = {label: discs for label, discs in self.by_label}
+        for label, discs in other.by_label:
+            if label in merged:
+                merged[label] = merged[label] & discs
+            else:
+                merged[label] = discs
+        return EventInterest.of(merged)
+
+
+_ALL_EVENTS = EventInterest(None)
+
+
+def _child_discriminator(child: Query) -> Discriminator | None:
+    """The constant a non-optional query child forces on the data term.
+
+    Delegates the query-term case to
+    :func:`repro.terms.simulation.child_value_requirement` — the same
+    necessary condition the compiled matcher guards on, so the dispatch
+    index and the matcher can never disagree about what is required.
+    """
+    if isinstance(child, Var) and child.inner is not None:
+        return _child_discriminator(child.inner)
+    if isinstance(child, Data):
+        if child.label != "*" and child.value is not None:
+            return Discriminator("child", child.label, child.value)
+        return None
+    requirement = child_value_requirement(child)
+    if requirement is not None:
+        return Discriminator("child", requirement[0], requirement[1])  # type: ignore[arg-type]
+    return None
+
+
+def pattern_discriminators(pattern: Query) -> frozenset[Discriminator]:
+    """Constants any event matching *pattern* must exhibit.
+
+    Sound in all four matching modes: listed attributes always match
+    partially, and every non-optional, non-negated query child must match
+    *some* data child — so a constant attribute value or a constant-scalar
+    child is required regardless of ordered/unordered, total/partial.
+    """
+    if isinstance(pattern, Var) and pattern.inner is not None:
+        return pattern_discriminators(pattern.inner)
+    if isinstance(pattern, Data):
+        out = {Discriminator("attr", key, value) for key, value in pattern.attrs}
+        for child in pattern.children:
+            if isinstance(child, Data) and child.label != "*" and child.value is not None:
+                out.add(Discriminator("child", child.label, child.value))
+        return frozenset(out)
+    if isinstance(pattern, QTerm):
+        out = set()
+        for key, want in pattern.attrs:
+            if isinstance(want, str):
+                out.add(Discriminator("attr", key, want))
+        for child in pattern.children:
+            found = _child_discriminator(child)
+            if found is not None:
+                out.add(found)
+        return frozenset(out)
+    return frozenset()
+
+
+def pattern_event_interest(pattern: Query) -> EventInterest:
+    """The :class:`EventInterest` of one event pattern."""
+    labels = pattern_interest(pattern)
+    if labels is None:
+        return EventInterest.all_events()
+    discs = pattern_discriminators(pattern)
+    return EventInterest.of({label: discs for label in labels})
+
+
+def query_interest(query: "EventQuery | ENot") -> EventInterest:
+    """The events that can affect evaluating *query*, as an interest.
+
+    Covers every leaf that *consumes* events, including ``ENot`` blockers
+    inside an ``ESeq``: an absence check must still observe the events
+    whose presence would block it, so their labels (and discriminators —
+    an event lacking a blocker pattern's required constant cannot block)
+    count as interest.  Composites union their members' interests.
+    """
+    if isinstance(query, (EAtom, ENot)):
+        return pattern_event_interest(query.pattern)
     if isinstance(query, (EAnd, EOr, ESeq)):
-        out: frozenset[str] = frozenset()
+        out: EventInterest | None = None
         for member in query.members:
-            labels = query_interest(member)
-            if labels is None:
-                return None
-            out |= labels
-        return out
+            interest = query_interest(member)
+            out = interest if out is None else out.union(interest)
+            if out.by_label is None:
+                return out
+        return out if out is not None else EventInterest.of({})
     if isinstance(query, EWithin):
         return query_interest(query.query)
     if isinstance(query, (ECount, EAggregate)):
-        return pattern_interest(query.pattern)
+        return pattern_event_interest(query.pattern)
     raise EventQueryError(f"not an event query: {query!r}")
 
 

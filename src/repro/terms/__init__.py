@@ -51,7 +51,13 @@ from repro.terms.parser import (
     parse_query,
     to_text,
 )
-from repro.terms.simulation import match, matches
+from repro.terms.simulation import (
+    compile_matches,
+    compile_pattern,
+    match,
+    matcher_call_count,
+    matches,
+)
 
 __all__ = [
     "Agg",
@@ -76,12 +82,15 @@ __all__ = [
     "all_vars",
     "c",
     "canonical_str",
+    "compile_matches",
+    "compile_pattern",
     "d",
     "free_vars",
     "instantiate",
     "instantiate_all",
     "is_scalar",
     "match",
+    "matcher_call_count",
     "matches",
     "parse_construct",
     "parse_data",

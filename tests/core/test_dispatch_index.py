@@ -1,8 +1,9 @@
-"""Label-indexed event dispatch: interest computation and engine routing."""
+"""Discriminating event dispatch: interest computation and engine routing."""
 
 from repro.core import EngineConfig, ReactiveEngine, eca
 from repro.core.actions import PyAction
 from repro.events.queries import (
+    Discriminator,
     EAggregate,
     EAnd,
     EAtom,
@@ -11,10 +12,11 @@ from repro.events.queries import (
     EOr,
     ESeq,
     EWithin,
+    pattern_discriminators,
     query_interest,
 )
-from repro.terms import Var, parse_data, parse_query, q
-from repro.terms.ast import Desc, LabelVar
+from repro.terms import Var, d, parse_data, parse_query, q
+from repro.terms.ast import Data, Desc, LabelVar, Optional_, Without
 from repro.web import Simulation
 
 
@@ -26,29 +28,181 @@ def one_node(**kwargs):
 
 class TestQueryInterest:
     def test_atom_has_its_label(self):
-        assert query_interest(EAtom(q("a", Var("X")))) == frozenset({"a"})
+        assert query_interest(EAtom(q("a", Var("X")))).labels == frozenset({"a"})
 
     def test_composites_union_member_labels(self):
         query = EWithin(EOr(EAtom(q("a")), EAnd(EAtom(q("b")), EAtom(q("c")))), 5.0)
-        assert query_interest(query) == frozenset({"a", "b", "c"})
+        assert query_interest(query).labels == frozenset({"a", "b", "c"})
 
     def test_seq_includes_negation_blocker_labels(self):
         query = EWithin(ESeq(EAtom(q("a")), ENot(q("blocker")), EAtom(q("b"))), 5.0)
-        assert query_interest(query) == frozenset({"a", "blocker", "b"})
+        assert query_interest(query).labels == frozenset({"a", "blocker", "b"})
 
     def test_accumulation_uses_pattern_label(self):
-        assert query_interest(ECount(q("halt"), 3, 60.0)) == frozenset({"halt"})
+        assert query_interest(ECount(q("halt"), 3, 60.0)).labels == frozenset({"halt"})
         agg = EAggregate(q("tick", Var("P")), "P", "avg", "A", size=5)
-        assert query_interest(agg) == frozenset({"tick"})
+        assert query_interest(agg).labels == frozenset({"tick"})
 
     def test_wildcard_forms_have_no_static_interest(self):
-        assert query_interest(EAtom(q(LabelVar("L")))) is None
-        assert query_interest(EAtom(parse_query("*"))) is None
-        assert query_interest(EAtom(Var("X"))) is None
-        assert query_interest(EAtom(Desc(q("a")))) is None
+        assert query_interest(EAtom(q(LabelVar("L")))).labels is None
+        assert query_interest(EAtom(parse_query("*"))).labels is None
+        assert query_interest(EAtom(Var("X"))).labels is None
+        assert query_interest(EAtom(Desc(q("a")))).labels is None
 
     def test_one_wildcard_member_widens_the_composite(self):
-        assert query_interest(EAnd(EAtom(q("a")), EAtom(Var("X")))) is None
+        assert query_interest(EAnd(EAtom(q("a")), EAtom(Var("X")))).labels is None
+
+
+class TestDiscriminators:
+    def test_constant_attr_discriminates(self):
+        assert pattern_discriminators(q("stock", sym="ACME")) == frozenset(
+            {Discriminator("attr", "sym", "ACME")}
+        )
+
+    def test_variable_attr_does_not(self):
+        assert pattern_discriminators(q("stock", sym=Var("S"))) == frozenset()
+
+    def test_constant_scalar_child_discriminates(self):
+        assert pattern_discriminators(
+            q("stock", q("sym", "ACME"), q("price", Var("P")))
+        ) == frozenset({Discriminator("child", "sym", "ACME")})
+
+    def test_ground_data_child_discriminates(self):
+        pattern = q("stock", d("sym", "ACME"))
+        assert pattern_discriminators(pattern) == frozenset(
+            {Discriminator("child", "sym", "ACME")}
+        )
+
+    def test_optional_and_without_children_do_not(self):
+        pattern = q(
+            "stock",
+            Optional_(q("sym", "ACME")),
+            Without(q("halted", True)),
+        )
+        assert pattern_discriminators(pattern) == frozenset()
+
+    def test_union_intersects_shared_labels(self):
+        # Both leaves constrain 'stock', but on different constants: no
+        # discriminator survives (an event matching either must arrive).
+        interest = query_interest(EOr(
+            EAtom(q("stock", sym="ACME")), EAtom(q("stock", sym="IBM"))
+        ))
+        assert interest.labels == frozenset({"stock"})
+        assert interest.discriminators("stock") == frozenset()
+
+    def test_union_keeps_disjoint_labels_intact(self):
+        interest = query_interest(EWithin(ESeq(
+            EAtom(q("order", sym="ACME")), EAtom(q("fill", sym="ACME"))
+        ), 5.0))
+        assert interest.discriminators("order") == frozenset(
+            {Discriminator("attr", "sym", "ACME")}
+        )
+        assert interest.discriminators("fill") == frozenset(
+            {Discriminator("attr", "sym", "ACME")}
+        )
+
+    def test_blocker_patterns_contribute_discriminators(self):
+        interest = query_interest(EWithin(ESeq(
+            EAtom(q("start")), ENot(q("stop", q("sym", "ACME")))
+        ), 5.0))
+        assert interest.discriminators("stop") == frozenset(
+            {Discriminator("child", "sym", "ACME")}
+        )
+
+
+class TestDiscriminatingRouting:
+    def _engine_with_symbol_rules(self, **config_kwargs):
+        sim, node, engine = one_node(config=EngineConfig(**config_kwargs))
+        seen = []
+        for sym in ("ACME", "IBM"):
+            engine.install(eca(
+                f"r-{sym}",
+                EAtom(q("stock", q("sym", sym), q("price", Var("P")))),
+                PyAction(lambda n, b, s=sym: seen.append(s)),
+            ))
+        return sim, node, engine, seen
+
+    def test_discriminated_rules_skip_other_values(self):
+        sim, node, engine, seen = self._engine_with_symbol_rules()
+        node.raise_local(parse_data('stock{ sym["ACME"], price[10] }'))
+        sim.run()
+        assert seen == ["ACME"]
+        # Only the ACME rule was even considered a candidate.
+        assert engine.stats.candidates_considered == 1
+        assert engine._active["r-IBM"][1]._last_time == float("-inf")
+
+    def test_root_label_ablation_considers_whole_bucket(self):
+        sim, node, engine, seen = self._engine_with_symbol_rules(
+            discriminating_index=False)
+        node.raise_local(parse_data('stock{ sym["ACME"], price[10] }'))
+        sim.run()
+        assert seen == ["ACME"]
+        assert engine.stats.candidates_considered == 2
+
+    def test_event_without_the_axis_reaches_residual_only(self):
+        sim, node, engine, seen = self._engine_with_symbol_rules()
+        engine.install(eca(
+            "r-any",
+            EAtom(q("stock", q("price", Var("P")))),
+            PyAction(lambda n, b: seen.append("any")),
+        ))
+        node.raise_local(parse_data('stock{ price[10] }'))
+        sim.run()
+        assert seen == ["any"]
+        assert engine.stats.candidates_considered == 1  # residual only
+
+    def test_ambiguous_event_degrades_to_whole_bucket(self):
+        sim, node, engine, seen = self._engine_with_symbol_rules()
+        # Two sym children: value extraction is ambiguous, and partial
+        # matching means the event satisfies *both* rules — extracting
+        # just the first sym child would have lost the ACME firing.
+        node.raise_local(parse_data('stock{ sym["IBM"], sym["ACME"], price[10] }'))
+        sim.run()
+        assert seen == ["ACME", "IBM"]
+        assert engine.stats.candidates_considered == 2
+
+    def test_residual_and_discriminated_merge_in_install_order(self):
+        sim, node, engine = one_node()
+        order = []
+        engine.install(eca("first-acme", EAtom(q("stock", q("sym", "ACME"))),
+                           PyAction(lambda n, b: order.append("first-acme"))))
+        engine.install(eca("plain", EAtom(q("stock")),
+                           PyAction(lambda n, b: order.append("plain"))))
+        engine.install(eca("last-acme", EAtom(q("stock", q("sym", "ACME"))),
+                           PyAction(lambda n, b: order.append("last-acme"))))
+        node.raise_local(parse_data('stock{ sym["ACME"] }'))
+        sim.run()
+        assert order == ["first-acme", "plain", "last-acme"]
+
+    def test_attribute_axis_routing(self):
+        sim, node, engine = one_node()
+        seen = []
+        for sym in ("ACME", "IBM"):
+            engine.install(eca(
+                f"r-{sym}", EAtom(q("stock", Var("P"), sym=sym)),
+                PyAction(lambda n, b, s=sym: seen.append(s)),
+            ))
+        node.raise_local(Data("stock", (Data("price", (10,)),), False,
+                              (("sym", "IBM"),)))
+        sim.run()
+        assert seen == ["IBM"]
+        assert engine.stats.candidates_considered == 1
+
+    def test_all_three_modes_agree_on_firings(self):
+        def run(**config_kwargs):
+            sim, node, engine, seen = self._engine_with_symbol_rules(**config_kwargs)
+            for text in ('stock{ sym["ACME"], price[1] }',
+                         'stock{ sym["IBM"], price[2] }',
+                         'stock{ price[3] }',
+                         'noise{}'):
+                node.raise_local(parse_data(text))
+            sim.run()
+            return seen, engine.stats.rule_firings
+
+        discriminating = run()
+        root_only = run(discriminating_index=False)
+        broadcast = run(indexed_dispatch=False)
+        assert discriminating == root_only == broadcast
 
 
 class TestIndexedRouting:

@@ -221,6 +221,53 @@ class TestNegation:
         assert len(out) == 1
         assert out[0].end == 3.0
 
+    def test_absence_survives_ulp_rounding_deadline(self, make_evaluator):
+        # 6.501 + 5.0 rounds UP an ulp: the deadline-confirmed answer's
+        # recomputed extent (end - start) would exceed the window by 1 ulp
+        # and the enclosing EWithin used to drop it silently.  The answer
+        # now carries the planted window as its span.
+        start, window = 6.501, 5.0
+        assert (start + window) - start > window  # the rounding premise
+        query = EWithin(ESeq(EAtom(q("start", q("x", Var("X")))),
+                             ENot(q("stop"))), window)
+        ev = make_evaluator(query)
+        out = feed(ev, (start, "start{x[1]}"), (start + 2 * window, None))
+        assert len(out) == 1
+        assert out[0].bindings["X"] == 1
+        assert out[0].end == start + window
+        assert out[0].span == window
+
+    def test_ulp_absence_survives_conjunction_merge(self, make_evaluator):
+        # The absence answer's exact span must survive merge_with: an EAnd
+        # member inside the sequence's extent keeps the hull equal to the
+        # sequence's extent, so the window override carries through and
+        # the enclosing EWithin keeps the merged answer.
+        start, window = 6.501, 5.0
+        query = EWithin(EAnd(
+            ESeq(EAtom(q("a")), ENot(q("n"))),
+            EAtom(q("b", q("x", Var("X")))),
+        ), window)
+        ev = make_evaluator(query)
+        out = feed(ev, (start, "a{}"), (7.0, "b{x[2]}"), (start + 2 * window, None))
+        assert len(out) == 1
+        assert out[0].bindings["X"] == 2
+        assert out[0].span == window
+
+    def test_ulp_rounding_multi_positive_sequence(self, make_evaluator):
+        # The last positive lands exactly on the rounded-up deadline: the
+        # planted-deadline gate must accept it in both evaluators.
+        start, window = 6.501, 5.0
+        query = EWithin(ESeq(EAtom(q("a")), EAtom(q("b")), ENot(q("n"))), window)
+        ev = make_evaluator(query)
+        out = feed(
+            ev,
+            (start, "a{}"),
+            (start + window, "b{}"),  # at the fp deadline, 1 ulp past s + w
+            (start + 3 * window, None),
+        )
+        assert len(out) == 1
+        assert out[0].span == window
+
 
 class TestWithin:
     def test_window_filters_spans(self, make_evaluator):

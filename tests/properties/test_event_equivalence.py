@@ -23,7 +23,8 @@ from repro.events import (
     NaiveEvaluator,
 )
 from repro.events.model import make_event
-from repro.terms import Var, d, q
+from repro.terms import LabelVar, Var, compile_pattern, d, match, q
+from repro.terms.ast import Compare, Data, Optional_, QTerm, Without
 from repro.web import Simulation
 
 # Small alphabet so that streams actually hit the queries.
@@ -185,6 +186,178 @@ def test_coalesced_wakeups_equal_broadcast(query, stream):
                                                coalesced_wakeups=False)
     assert coalesced_firings == broadcast_firings
     assert coalesced == broadcast
+
+
+# ---------------------------------------------------------------------------
+# Discriminating dispatch: broadcast ≡ root-label ≡ two-level net
+# ---------------------------------------------------------------------------
+
+SYMBOLS = ["ACME", "IBM", "XYZ"]
+
+# One rule spec: (label, required symbol or None).  None is the residual
+# shape (no discriminator); a whole fleet sharing one label exercises the
+# second index level, mixed labels the first.
+RULE_SPECS = st.lists(
+    st.tuples(st.sampled_from(LABELS), st.sampled_from(SYMBOLS + [None])),
+    min_size=1,
+    max_size=5,
+)
+
+# Streams of (delta, label, symbol or None, payload) — events may carry a
+# discriminating sym child, several of them, or none at all.
+DISC_STREAMS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.sampled_from(LABELS + ["x"]),
+        st.sampled_from(SYMBOLS + [None, "BOTH"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def _fleet_rule(index, label, symbol):
+    if symbol is None:
+        query = EAtom(q(label, q("val", Var("V"))))
+    else:
+        query = EAtom(q(label, q("sym", symbol), q("val", Var("V"))))
+    return index, query
+
+
+def _disc_event_term(label, symbol, payload):
+    children = [d("val", payload)]
+    if symbol == "BOTH":  # ambiguous: two sym children
+        children = [d("sym", SYMBOLS[0]), d("sym", SYMBOLS[1])] + children
+    elif symbol is not None:
+        children = [d("sym", symbol)] + children
+    return d(label, *children)
+
+
+def _run_fleet(specs, stream, include_wildcard, **config_kwargs):
+    """Drive several rules (shared labels, mixed discriminators) at once."""
+    sim = Simulation(latency=0.0)
+    node = sim.node("http://p.example")
+    engine = ReactiveEngine(node, config=EngineConfig(**config_kwargs))
+    fired = []
+    for index, (label, symbol) in enumerate(specs):
+        name, query = _fleet_rule(index, label, symbol)
+        engine.install(eca(
+            f"r{name}", query,
+            PyAction(lambda n, b, i=index: fired.append((i, b)), "record"),
+        ))
+    if include_wildcard:
+        engine.install(eca(
+            "wild", EAtom(q(LabelVar("L"))),
+            PyAction(lambda n, b: fired.append(("wild", b)), "record"),
+        ))
+    clock = 0.0
+    for delta, label, symbol, payload in stream:
+        clock += delta
+        term = _disc_event_term(label, symbol, payload)
+        sim.scheduler.at(clock, lambda t=term: node.raise_local(t))
+    sim.run()
+    return fired, engine.stats.rule_firings, engine.stats.candidates_considered
+
+
+@given(RULE_SPECS, DISC_STREAMS, st.booleans())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dispatch_modes_agree_on_answers_and_order(specs, stream, wildcard):
+    """Broadcast, root-label-only, and discriminating dispatch must produce
+    identical answer sets and firing orders; discrimination may only shrink
+    the candidate count, never change what fires."""
+    disc = _run_fleet(specs, stream, wildcard)
+    root = _run_fleet(specs, stream, wildcard, discriminating_index=False)
+    bcast = _run_fleet(specs, stream, wildcard, indexed_dispatch=False)
+    assert disc[:2] == root[:2] == bcast[:2]
+    assert disc[2] <= root[2] <= bcast[2]  # candidates only ever shrink
+
+
+# ---------------------------------------------------------------------------
+# Compiled pattern matchers ≡ interpreted simulation
+# ---------------------------------------------------------------------------
+
+PATTERN_LABELS = ["a", "b", "k"]
+PATTERN_SCALARS = st.one_of(
+    st.integers(min_value=0, max_value=2),
+    st.sampled_from(["u", "v", ""]),
+    st.booleans(),
+    st.sampled_from([1.0, 2.5]),
+)
+
+
+def _data_terms():
+    leaves = PATTERN_SCALARS
+    return st.recursive(
+        leaves,
+        lambda children: st.builds(
+            lambda label, kids, ordered, attrs: Data(
+                label, tuple(kids), ordered, tuple(attrs.items())
+            ),
+            st.sampled_from(PATTERN_LABELS),
+            st.lists(children, max_size=3),
+            st.booleans(),
+            st.dictionaries(st.sampled_from(["p", "s"]),
+                            st.sampled_from(["1", "2"]), max_size=2),
+        ),
+        max_leaves=6,
+    ).filter(lambda t: isinstance(t, Data))
+
+
+def _patterns():
+    child_leaf = st.one_of(
+        PATTERN_SCALARS,
+        st.sampled_from([Var("X"), Var("Y")]),
+        st.builds(Compare, st.sampled_from(["<", ">=", "=="]),
+                  st.integers(min_value=0, max_value=2)),
+        st.builds(
+            lambda label, value: QTerm(label, (value,), False, False),
+            st.sampled_from(PATTERN_LABELS),
+            st.one_of(PATTERN_SCALARS, st.sampled_from([Var("Z")])),
+        ),
+    )
+    decorated = st.one_of(
+        child_leaf,
+        child_leaf.map(Optional_),
+        child_leaf.map(Without),
+    )
+    label = st.one_of(st.sampled_from(PATTERN_LABELS),
+                      st.just("*"), st.just(LabelVar("L")))
+    attrs = st.dictionaries(
+        st.sampled_from(["p", "s"]),
+        st.one_of(st.sampled_from(["1", "2"]), st.just(Var("A"))),
+        max_size=2,
+    )
+    return st.builds(
+        lambda lab, kids, ordered, total, attr_map: QTerm(
+            lab, tuple(kids), ordered,
+            # 'without' is rejected in ordered total terms; degrade those.
+            total and not (ordered and any(isinstance(c, Without) for c in kids)),
+            tuple(attr_map.items()),
+        ),
+        label,
+        st.lists(decorated, max_size=3),
+        st.booleans(),
+        st.booleans(),
+        attrs,
+    )
+
+
+@given(_patterns(), _data_terms())
+@settings(max_examples=400, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_pattern_equals_interpreted_match(pattern, data):
+    """compile_pattern must agree with match exactly — same binding lists,
+    same order — on arbitrary patterns and data terms."""
+    assert compile_pattern(pattern)(data) == match(pattern, data)
+
+
+@given(_patterns(), _data_terms(), st.sampled_from(SYMBOLS))
+@settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_compiled_pattern_respects_prior_bindings(pattern, data, bound):
+    from repro.terms import Bindings
+
+    pre = Bindings.of(X=bound)
+    assert compile_pattern(pattern)(data, pre) == match(pattern, data, pre)
 
 
 @given(event_queries(), streams())

@@ -8,13 +8,17 @@ from repro.terms import (
     Compare,
     Data,
     Desc,
+    LabelVar,
     Optional_,
     QTerm,
     RegexMatch,
     Var,
     Without,
+    compile_matches,
+    compile_pattern,
     d,
     match,
+    matcher_call_count,
     matches,
     parse_data,
     parse_query,
@@ -285,3 +289,122 @@ class TestPartialityInteraction:
     def test_without_at_outer_level(self):
         assert matches(parse_query("library{{ without magazine }}"), self.doc)
         assert not matches(parse_query("library{{ without journal }}"), self.doc)
+
+
+class TestCompiledPatterns:
+    """compile_pattern must agree with interpreted match, exactly."""
+
+    def compiled_equals_match(self, query, data, bindings=Bindings()):
+        compiled = compile_pattern(query)
+        assert compiled(data, bindings) == match(query, data, bindings)
+
+    def test_scalar_pattern(self):
+        self.compiled_equals_match(7, 7)
+        self.compiled_equals_match(7, 7.0)
+        self.compiled_equals_match(7, 8)
+        self.compiled_equals_match(7, True)
+        self.compiled_equals_match("x", d("x"))
+
+    def test_ground_data_pattern(self):
+        self.compiled_equals_match(d("a", 1), d("a", 1))
+        self.compiled_equals_match(d("a", 1), d("a", 2))
+        self.compiled_equals_match(u("a", 1, 2), u("a", 2, 1))
+
+    def test_label_guard_rejects_fast(self):
+        compiled = compile_pattern(q("stock", Var("X")))
+        assert compiled(d("order", 1)) == []
+        assert compiled("scalar") == []
+
+    def test_constant_attr_guard(self):
+        pattern = q("stock", Var("P"), sym="ACME")
+        self.compiled_equals_match(pattern, d("stock", 10, sym="ACME"))
+        self.compiled_equals_match(pattern, d("stock", 10, sym="IBM"))
+        self.compiled_equals_match(pattern, d("stock", 10))
+
+    def test_binding_attr_fully_compiled(self):
+        pattern = q("stock", sym=Var("S"))
+        [b] = compile_pattern(pattern)(d("stock", sym="ACME"))
+        assert b["S"] == "ACME"
+        # Conflicting pre-binding fails in both forms.
+        pre = Bindings.of(S="IBM")
+        self.compiled_equals_match(pattern, d("stock", sym="ACME"), pre)
+
+    def test_all_scalar_children_all_modes(self):
+        for ordered in (False, True):
+            for total in (False, True):
+                pattern = QTerm("r", (1, "x", 1), ordered, total)
+                for data in (
+                    d("r", 1, "x", 1),
+                    d("r", 1, 1, "x"),
+                    d("r", 1, "x", 1, 2),
+                    d("r", 1.0, "x", 1),   # cross-type numeric equality
+                    d("r", True, "x", 1),  # bool is not 1 here
+                    d("r", 1, "x"),
+                    d("r"),
+                ):
+                    self.compiled_equals_match(pattern, data)
+
+    def test_required_child_value_guard(self):
+        pattern = q("stock", q("sym", "ACME"), q("price", Var("P")))
+        self.compiled_equals_match(pattern, d("stock", d("sym", "ACME"), d("price", 1)))
+        self.compiled_equals_match(pattern, d("stock", d("sym", "IBM"), d("price", 1)))
+        self.compiled_equals_match(pattern, d("stock", d("price", 1)))
+
+    def test_compiled_preserves_unbound_comparison_error(self):
+        pattern = q("a", Compare(">", Var("X")))
+        with pytest.raises(QueryError):
+            match(pattern, d("a", 5))
+        with pytest.raises(QueryError):
+            compile_pattern(pattern)(d("a", 5))
+
+    def test_raise_capable_pattern_keeps_interpreted_semantics(self):
+        # Child guards are disabled when a Compare could raise; the label
+        # guard still applies and cannot pre-empt the raise (the
+        # interpreted walk returns [] before reaching children too).
+        pattern = q("a", Compare(">", Var("X")), q("sym", "ACME"))
+        assert compile_pattern(pattern)(d("b", 5)) == []
+
+    def test_without_and_optional_children_fall_back(self):
+        pattern = q("r", Without(q("bad")), Optional_(q("opt", Var("O"))))
+        for data in (d("r"), d("r", d("bad")), d("r", d("opt", 1))):
+            self.compiled_equals_match(pattern, data)
+
+    def test_wildcard_and_labelvar_patterns(self):
+        self.compiled_equals_match(parse_query("*"), d("anything", 1))
+        self.compiled_equals_match(q(LabelVar("L"), q("k", "v")), d("x", d("k", "v")))
+        self.compiled_equals_match(q(LabelVar("L"), q("k", "v")), d("x", d("k", "w")))
+
+    def test_compilation_is_memoised(self):
+        pattern = q("stock", q("sym", "ACME"))
+        assert compile_pattern(pattern) is compile_pattern(q("stock", q("sym", "ACME")))
+
+    def test_matcher_call_count_advances(self):
+        before = matcher_call_count()
+        match(q("a"), d("a"))
+        compile_pattern(q("b"))(d("a"))
+        assert matcher_call_count() == before + 2
+
+    def test_cache_distinguishes_bool_from_int_patterns(self):
+        # q("a", 1) == q("a", True) under dataclass equality (bool is an
+        # int), but matching keeps them distinct — the memo must too.
+        int_matcher = compile_pattern(q("a", 1))
+        bool_matcher = compile_pattern(q("a", True))
+        assert int_matcher(d("a", 1)) and not int_matcher(d("a", True))
+        assert bool_matcher(d("a", True)) and not bool_matcher(d("a", 1))
+        assert compile_pattern(q("a", 1.0))(d("a", 1))  # 1.0 matches 1
+
+    def test_compile_matches_agrees_with_matches(self):
+        for pattern in (
+            q("stock", q("sym", "ACME"), Var("X")),
+            q("r", Var("X"), Var("Y")),
+            parse_query("*"),
+            7,
+            d("a", 1),
+        ):
+            for data in (d("stock", d("sym", "ACME"), 1), d("r", 1, 2, 3),
+                         d("a", 1), 7):
+                assert compile_matches(pattern)(data) == matches(pattern, data)
+
+    def test_compile_matches_preserves_unbound_comparison_error(self):
+        with pytest.raises(QueryError):
+            compile_matches(q("a", Compare(">", Var("X"))))(d("a", 5))
