@@ -1,4 +1,4 @@
-"""Shared helpers for the experiment harnesses (E1-E12).
+"""Shared helpers for the experiment harnesses (E1-E16, A1).
 
 Every ``bench_eNN_*.py`` module exposes:
 

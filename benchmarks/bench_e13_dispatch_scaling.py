@@ -4,9 +4,12 @@ The ROADMAP's north star ("fast as the hardware allows, millions of
 users") dies first at dispatch: a node with *R* installed rules that
 broadcasts every incoming event to every rule's evaluator pays O(R) per
 event even when only one rule cares.  The engine therefore routes events
-through a label index built from each evaluator's ``interest()`` set
-(wildcard queries keep seeing everything); this experiment measures what
-that buys.
+through the first level of its discrimination net — the root-label index
+built from each evaluator's ``interest()``
+(:class:`~repro.events.queries.EventInterest`; wildcard queries keep
+seeing everything).  This experiment measures what that first level buys
+on disjoint labels; E15 measures the second, discriminating level on one
+hot label, and E16 the shard partitioning built on the same keys.
 
 Workload: *R* rules, each subscribed to its own disjoint event label
 (``evt-i``), and a stream of events cycling through those labels — the

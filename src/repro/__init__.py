@@ -30,6 +30,7 @@ See ``examples/quickstart.py`` for a complete runnable scenario.
 
 from repro import errors
 from repro.api import EngineConfig, ReactiveNode, RuleBuilder, rule
+from repro.sharding import ShardRouter
 from repro.terms import (
     Bindings,
     Data,
@@ -44,7 +45,7 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Bindings",
@@ -52,6 +53,7 @@ __all__ = [
     "EngineConfig",
     "ReactiveNode",
     "RuleBuilder",
+    "ShardRouter",
     "Simulation",
     "d",
     "errors",

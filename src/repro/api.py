@@ -40,10 +40,20 @@ structured objects (event queries, conditions, actions); several
 ``.when(...).do(...)`` pairs build an ECnAn rule, ``.otherwise`` the final
 else branch, and ``.firing("first")`` selects single-firing semantics.
 
-Engines are tuned through :class:`~repro.core.engine.EngineConfig`
-(consumption policy, deductive event views, and the dispatch pipeline
-knobs — broadcast / root-label / discriminating — described in
-:mod:`repro.core.engine`), passed as ``sim.reactive_node(uri, config=...)``.
+Engines are tuned through :class:`~repro.core.engine.EngineConfig` — the
+one place every knob is documented: consumption policy, deductive event
+views, the dispatch pipeline (broadcast / root-label / discriminating),
+delivery (``sync_delivery`` / ``inbox_batch`` / ``coalesced_wakeups``),
+and scale-out (``shards``) — passed as ``sim.reactive_node(uri,
+config=...)``.
+
+With ``EngineConfig(shards=N)`` (N > 1) the facade fronts N engine
+shards behind a :class:`~repro.sharding.ShardRouter` instead of a single
+engine: rules are partitioned by root label (one hot label may be split
+along its discriminator-attribute axis), each shard drains its own FIFO
+inbox, and answers and firing order stay identical to ``shards=1``.  The
+facade surface is unchanged; :attr:`ReactiveNode.shards` and
+:attr:`ReactiveNode.shard_stats` expose the fleet.
 
 The old explicit wiring (``ReactiveEngine(sim.node(uri))``) keeps working;
 the facade is sugar over it, not a replacement.
@@ -55,6 +65,7 @@ from dataclasses import replace
 from typing import Callable
 
 from repro.core.engine import EngineConfig, EngineStats, ReactiveEngine
+from repro.sharding import ShardRouter
 from repro.core.rules import ECARule
 from repro.deductive.rules import Program
 from repro.errors import RuleError
@@ -156,7 +167,17 @@ class ReactiveNode:
 
     def __init__(self, node, config: EngineConfig | None = None) -> None:
         self.node = node
-        self.engine = ReactiveEngine(node, config=config)
+        if config is not None and config.shards > 1:
+            # N engine shards behind a router; `engine` stays None so a
+            # caller reaching for single-engine internals fails loudly
+            # instead of touching one arbitrary shard.
+            self.router: ShardRouter | None = ShardRouter(node, config)
+            self.engine = None
+            self._impl = self.router
+        else:
+            self.engine = ReactiveEngine(node, config=config)
+            self.router = None
+            self._impl = self.engine
 
     # -- identity ------------------------------------------------------------
 
@@ -169,19 +190,70 @@ class ReactiveNode:
         return self.node.now
 
     @property
+    def shards(self) -> tuple[ReactiveEngine, ...]:
+        """The underlying engine shard(s); length 1 unless sharded."""
+        if self.router is not None:
+            return self.router.engines
+        return (self.engine,)
+
+    @property
     def stats(self) -> EngineStats:
-        """A consistent snapshot of the engine's counters (firings,
-        updates, raised events, dispatch efficiency:
-        ``candidates_considered`` / ``index_probes`` / ``matcher_calls``)
-        with the node's inbox depth/peak mirrored in (backpressure).
-        Re-read the property for fresh values; the engine's own live
-        object stays at ``engine.stats``."""
-        return replace(self.engine.stats,
+        """A consistent snapshot of the node's counters.
+
+        Keys (all monotone counters unless noted):
+
+        - ``events_processed`` — events handled by the engine(s); on a
+          sharded node every shard's copy of a replicated delivery counts
+          (fleet work, not unique events);
+        - ``derived_events`` — extra events produced by deductive event
+          views (Thesis 9);
+        - ``rule_firings`` / ``condition_evaluations`` /
+          ``actions_executed`` — the ECA pipeline: answers fired,
+          condition parts evaluated, actions run;
+        - ``updates_applied`` / ``events_raised`` / ``rollbacks`` —
+          action effects: resource updates, RAISEd messages, atomic
+          sequences rolled back;
+        - ``wakeups`` / ``evaluator_advances`` — absence-deadline
+          scheduling: scheduler wake-ups taken and evaluators advanced at
+          them (sharded: summed per shard involved);
+        - ``candidates_considered`` / ``index_probes`` /
+          ``matcher_calls`` — dispatch efficiency: (rule, evaluator)
+          pairs handed an event, index lookups, and term-matcher calls;
+        - ``firings_deduped`` — answers produced by replicas of rules
+          hosted on several shards and suppressed there (the designated
+          shard fired them); 0 unless ``shards > 1``;
+        - ``inbox_depth`` / ``inbox_peak`` — *gauges*: the node inbox's
+          current and peak backlog (backpressure).
+
+        On a sharded node the snapshot sums all shards (see
+        :meth:`~repro.sharding.ShardRouter.aggregate_stats`); per-shard
+        snapshots — including each shard's own inbox depth/peak — are at
+        :attr:`shard_stats`.  Re-read the property for fresh values; a
+        single engine's live object stays at ``engine.stats``.
+        """
+        stats = (self.router.aggregate_stats() if self.router is not None
+                 else self.engine.stats)
+        return replace(stats,
                        inbox_depth=self.node.inbox_depth,
                        inbox_peak=self.node.inbox_peak)
 
+    @property
+    def shard_stats(self) -> tuple[EngineStats, ...]:
+        """Per-shard counter snapshots, one :class:`EngineStats` each.
+
+        Same keys as :attr:`stats`, except ``inbox_depth``/``inbox_peak``
+        mirror that shard's *own* FIFO inbox — the per-shard backpressure
+        signal.  Length 1 (mirroring the node inbox) when unsharded.
+        """
+        if self.router is not None:
+            return self.router.shard_stats()
+        return (replace(self.engine.stats,
+                        inbox_depth=self.node.inbox_depth,
+                        inbox_peak=self.node.inbox_peak),)
+
     def __repr__(self) -> str:
-        return f"ReactiveNode({self.uri!r}, rules={len(self.engine.rules())})"
+        shards = "" if self.router is None else f", shards={len(self.router.engines)}"
+        return f"ReactiveNode({self.uri!r}, rules={len(self._impl.rules())}{shards})"
 
     # -- rule management -------------------------------------------------------
 
@@ -207,17 +279,17 @@ class ReactiveNode:
                 batch.append(item.build())
             else:
                 batch.append(item)
-        self.engine.install_all(batch, procedures)  # atomic across both
+        self._impl.install_all(batch, procedures)  # atomic across both
         return self
 
     def uninstall(self, item) -> "ReactiveNode":
         """Remove an installed rule or rule set (by object or name)."""
-        self.engine.uninstall(item)
+        self._impl.uninstall(item)
         return self
 
     def rules(self) -> list[str]:
         """Names of the currently active rules (rule-set rules qualified)."""
-        return self.engine.rules()
+        return self._impl.rules()
 
     def define_procedure(self, name: str, params, action) -> "ReactiveNode":
         """Register a named action procedure (Thesis 9)."""
@@ -228,12 +300,12 @@ class ReactiveNode:
             )
         if isinstance(action, str):
             action = parse_action(action)
-        self.engine.define_procedure(name, tuple(params), action)
+        self._impl.define_procedure(name, tuple(params), action)
         return self
 
     def define_web_views(self, uri: str, program: Program) -> "ReactiveNode":
         """Attach deductive views to a local resource (Thesis 9)."""
-        self.engine.define_web_views(uri, program)
+        self._impl.define_web_views(uri, program)
         return self
 
     # -- messaging --------------------------------------------------------------

@@ -56,6 +56,34 @@ absence rule's evaluator, which can confirm a pending absence one
 callback earlier than the scheduled wake-up when such an event lands
 exactly on the deadline instant — same simulated time and answers,
 different intra-instant order.
+
+Sharding hooks
+--------------
+
+One engine is one *shard* of a node's rule base.  With
+``EngineConfig(shards=N)`` (N > 1) the facade puts a
+:class:`~repro.sharding.ShardRouter` in front of N engines; the router
+drives each engine through a few dedicated seams instead of the node
+inbox:
+
+- ``attach=False`` skips the ``node.on_event`` registration (the router
+  is the node's only handler and feeds shards from per-shard inboxes);
+- :meth:`ReactiveEngine.handle_event` takes ``fire=False`` for events
+  delivered to a *replica* of a rule hosted on several shards: the
+  evaluators advance (state stays identical across replicas) but the
+  answers are counted in ``EngineStats.firings_deduped`` instead of
+  firing — exactly-once actions across the fleet;
+- ``wakeup_via`` redirects absence-deadline registration to the router,
+  which merges same-instant wake-ups across shards so firing order at a
+  shared deadline follows global installation order;
+- ``installer`` redirects ``INSTALL``/``UNINSTALL`` actions (Thesis 11)
+  executed inside a shard back to the router, which re-partitions;
+- :meth:`ReactiveEngine.sync_rules` replaces the whole rule base in one
+  step (the router computes each shard's slice), preserving evaluator
+  state of rules that stay put.
+
+None of this affects a directly-constructed engine: with the default
+``shards=1`` nothing changes, bit for bit.
 """
 
 from __future__ import annotations
@@ -92,6 +120,11 @@ class EngineStats:
     lookups (≤ 2 per event), and ``matcher_calls`` counts term-matcher
     invocations made by the evaluators the event reached — the work the
     index failed to avoid.
+
+    ``firings_deduped`` counts answers produced by *replica* evaluators
+    of rules hosted on several shards and therefore suppressed (the
+    designated shard fired them); always 0 outside sharded mode.  See
+    :attr:`repro.api.ReactiveNode.stats` for the full key-by-key guide.
     """
 
     events_processed: int = 0
@@ -107,6 +140,7 @@ class EngineStats:
     candidates_considered: int = 0
     index_probes: int = 0
     matcher_calls: int = 0
+    firings_deduped: int = 0
     # Mirrored from the node's inbox by ReactiveNode.stats (the facade is
     # the one place that sees both halves); 0 for a bare engine.
     inbox_depth: int = 0
@@ -117,10 +151,22 @@ class EngineStats:
 class EngineConfig:
     """Everything configurable about one node's engine, in one value.
 
+    This is the single reference for every knob; pass it as
+    ``sim.reactive_node(uri, config=EngineConfig(...))`` or directly to
+    :class:`ReactiveEngine`.
+
+    **Semantics**
+
     - ``consumption`` — event instance consumption policy applied to every
-      rule's evaluator (see :mod:`repro.events.consumption`);
-    - ``event_views`` — a non-recursive deductive program deriving further
-      event terms from each incoming event (Thesis 9);
+      rule's evaluator: ``"unrestricted"`` (default), ``"chronicle"``, or
+      ``"recent"`` (see :mod:`repro.events.consumption`).
+    - ``event_views`` — a non-recursive deductive :class:`Program`
+      deriving further event terms from each incoming event (Thesis 9);
+      rules can subscribe to the derived labels.
+
+    **Dispatch pipeline** (all modes are observationally equivalent; only
+    the candidate counts in :class:`EngineStats` change)
+
     - ``indexed_dispatch`` — route events to rules through the label index
       (the default).  ``False`` restores the broadcast baseline where every
       event visits every rule's evaluator; kept as an ablation switch for
@@ -131,6 +177,9 @@ class EngineConfig:
       their whole bucket (the default).  ``False`` stops the net at the
       root label — the E15 ablation, i.e. pre-discrimination behaviour.
       Only meaningful with ``indexed_dispatch=True``.
+
+    **Delivery and scheduling**
+
     - ``sync_delivery`` — ``True`` dispatches events inline on the
       sender's stack instead of through the node's queued inbox (see the
       delivery model in :mod:`repro.web.node`; the ablation switch for the
@@ -139,11 +188,32 @@ class EngineConfig:
       queues).
     - ``inbox_batch`` — cap on events one inbox drain processes before
       re-yielding to the scheduler (``None`` = leave the node's setting
-      alone; a fresh node drains its whole backlog at once).
+      alone; a fresh node drains its whole backlog at once).  With
+      ``shards > 1`` the same value caps how many events each *shard*
+      consumes per router drain — the fairness knob that stops one
+      backlogged shard from starving the others.
     - ``coalesced_wakeups`` — at an absence-deadline wake-up, advance only
       the evaluators that own a deadline at that instant (the default).
       ``False`` restores the broadcast baseline where every active rule's
       evaluator is advanced at every wake-up; the E14 ablation switch.
+
+    **Scale-out**
+
+    - ``shards`` — number of engine shards behind one
+      :class:`~repro.api.ReactiveNode` (default 1: a single engine, the
+      exact pre-sharding code path).  With N > 1 the facade builds a
+      :class:`~repro.sharding.ShardRouter` that partitions installed rules
+      across N engines by root label (splitting one hot label along its
+      discriminator-attribute axis), gives each shard its own FIFO inbox,
+      and drains them from the scheduler in global arrival order —
+      answers and firing order are identical to ``shards=1`` (the E16
+      experiment; property-tested).  One caveat, mirroring the
+      sync-delivery note above: with ``sync_delivery=True`` a mid-action
+      ``raise_local`` that finds replica copies still queued defers like
+      a backlog, so intra-instant firing interleaving can differ from
+      ``shards=1`` (answers and firing counts still agree).  Only the
+      facade interprets this field: a bare :class:`ReactiveEngine`
+      rejects N > 1.
     """
 
     consumption: str = "unrestricted"
@@ -153,6 +223,7 @@ class EngineConfig:
     sync_delivery: bool | None = None
     inbox_batch: int | None = None
     coalesced_wakeups: bool = True
+    shards: int = 1
 
     def __post_init__(self) -> None:
         # Fail at construction, not at first install; ConsumptionPolicy is
@@ -160,6 +231,8 @@ class EngineConfig:
         ConsumptionPolicy(self.consumption)
         if self.inbox_batch is not None and self.inbox_batch < 1:
             raise RuleError(f"inbox_batch must be >= 1, got {self.inbox_batch}")
+        if self.shards < 1:
+            raise RuleError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass(frozen=True)
@@ -169,6 +242,29 @@ class Procedure:
     name: str
     params: tuple[str, ...]
     action: object
+
+
+def derive_events(program: "Program | None", event: Event,
+                  source_uri: str) -> list[Event]:
+    """Expand one event through a deductive event-view program (Thesis 9).
+
+    Shared by the single engine and the shard router: on a sharded node
+    derivation must happen *before* routing (a derived event's label may
+    live on a different shard than the triggering event's), so the router
+    calls this once per incoming event and routes every derived event like
+    a fresh arrival.
+    """
+    if program is None:
+        return []
+    base = TermBase([event.term])
+    closed = forward_chain(program, base)
+    out = []
+    for fact in closed:
+        if canonical_str(fact) == canonical_str(event.term):
+            continue
+        out.append(make_event(fact, event.time, source=source_uri,
+                              occurrence=event.occurrence))
+    return out
 
 
 @dataclass
@@ -267,13 +363,21 @@ class ReactiveEngine:
 
     def __init__(self, node: WebNode, event_views: "Program | None" = None,
                  consumption: str = "unrestricted",
-                 config: "EngineConfig | None" = None) -> None:
+                 config: "EngineConfig | None" = None, *,
+                 attach: bool = True) -> None:
         if config is None:
             config = EngineConfig(consumption=consumption, event_views=event_views)
         elif event_views is not None or consumption != "unrestricted":
             raise RuleError(
                 "pass consumption/event_views through EngineConfig when "
                 "config= is given (mixing both is ambiguous)"
+            )
+        if config.shards != 1:
+            raise RuleError(
+                f"a bare ReactiveEngine is exactly one shard; shards="
+                f"{config.shards} is interpreted by the ReactiveNode facade "
+                "(sim.reactive_node(uri, config=...)), which puts a "
+                "ShardRouter in front of the engines"
             )
         if config.event_views is not None and config.event_views.is_recursive():
             raise RecursionRejected(
@@ -315,12 +419,21 @@ class ReactiveEngine:
         # wake-up only the owners are advanced (coalesced mode), so idle
         # rules pay nothing for other rules' deadlines.
         self._deadline_owners: dict[float, set[object]] = {}
-        # evaluator -> (installation sequence, rule); rebuilt in refresh.
-        # Lets _on_time order and advance just the owners without scanning
-        # the whole active table, and drops stale (uninstalled) owners.
-        self._eval_entry: dict[object, tuple[int, ECARule]] = {}
+        # evaluator -> (installation sequence, rule name, rule); rebuilt in
+        # refresh.  Lets _on_time order and advance just the owners without
+        # scanning the whole active table, drops stale (uninstalled)
+        # owners, and gives the shard router the name it keys global
+        # installation order by.
+        self._eval_entry: dict[object, tuple[int, str, ECARule]] = {}
         self._web_views: dict[str, object] = {}  # uri -> BackwardEvaluator
-        node.on_event(self.handle_event)
+        # Sharding seams (see the module docstring): the router replaces
+        # `wakeup_via` to merge deadlines across shards and `installer` to
+        # route INSTALL/UNINSTALL actions through re-partitioning.  Both
+        # default to plain single-engine behaviour.
+        self.wakeup_via = None  # callable(deadline) | None
+        self.installer = self
+        if attach:
+            node.on_event(self.handle_event)
 
     # -- rule management ------------------------------------------------------
 
@@ -434,8 +547,8 @@ class ReactiveEngine:
         index: dict[str, list[tuple[int, ECARule, object, frozenset]]] = {}
         wildcard: list[tuple[int, ECARule, object, frozenset]] = []
         self._eval_entry = {}
-        for seq, (rule, evaluator) in enumerate(active.values()):
-            self._eval_entry[evaluator] = (seq, rule)
+        for seq, (name, (rule, evaluator)) in enumerate(active.items()):
+            self._eval_entry[evaluator] = (seq, name, rule)
             interest = evaluator.interest()
             if interest.by_label is None:
                 wildcard.append((seq, rule, evaluator, frozenset()))
@@ -462,6 +575,22 @@ class ReactiveEngine:
     def rules(self) -> list[str]:
         """Names of the currently active rules."""
         return list(self._active)
+
+    def sync_rules(self, named_rules) -> None:
+        """Replace the whole rule base with *named_rules* in one step.
+
+        *named_rules* is an ordered iterable of ``(name, rule)`` pairs —
+        the shard router's hook for re-partitioning: it computes each
+        shard's slice (qualified rule-set names included) and pushes it
+        here wholesale.  Evaluators of rules that stay installed keep
+        their partial-match state (:meth:`refresh` matches them by rule
+        object identity); the installation order of the pairs becomes the
+        shard's firing order, so the router hands every shard its slice in
+        *global* installation order.
+        """
+        self._single_rules = dict(named_rules)
+        self._rulesets = []
+        self.refresh()
 
     def define_procedure(self, name: str, params: tuple[str, ...], action) -> None:
         """Register a named action procedure (Thesis 9)."""
@@ -504,31 +633,37 @@ class ReactiveEngine:
 
     # -- event handling ----------------------------------------------------------
 
-    def handle_event(self, event: Event) -> None:
-        """Node inbox entry point."""
+    def handle_event(self, event: Event, fire: bool = True,
+                     exclude: frozenset = frozenset()) -> None:
+        """Node inbox entry point.
+
+        ``fire=False`` is the shard router's replica mode: evaluators
+        advance exactly as usual (replica state must track the designated
+        shard's state), but answers are suppressed and counted in
+        ``stats.firings_deduped`` instead of executing actions — the
+        designated shard fires them exactly once.  ``exclude`` names rules
+        the event must stay invisible to: rules installed *while* the
+        event was mid-flight across shards (the single engine's dispatch
+        snapshot hides an in-progress event from rules it installs; the
+        router reproduces that by tagging the event's remaining copies).
+        """
         self.stats.events_processed += 1
-        self._dispatch(event)
+        self._dispatch(event, fire, exclude)
         for derived in self._derive_events(event):
             self.stats.derived_events += 1
-            self._dispatch(derived)
+            self._dispatch(derived, fire, exclude)
         self._schedule_wakeups()
 
     def _derive_events(self, event: Event) -> list[Event]:
-        if self._event_views is None:
-            return []
-        base = TermBase([event.term])
-        closed = forward_chain(self._event_views, base)
-        out = []
-        for fact in closed:
-            if canonical_str(fact) == canonical_str(event.term):
-                continue
-            out.append(make_event(fact, event.time, source=self.node.uri,
-                                  occurrence=event.occurrence))
-        return out
+        return derive_events(self._event_views, event, self.node.uri)
 
-    def _dispatch(self, event: Event) -> None:
+    def _dispatch(self, event: Event, fire: bool = True,
+                  exclude: frozenset = frozenset()) -> None:
         stats = self.stats
         entries = self._interested(event)
+        if exclude:
+            entries = [(rule, evaluator) for rule, evaluator in entries
+                       if self._eval_entry[evaluator][1] not in exclude]
         stats.candidates_considered += len(entries)
         for rule, evaluator in entries:
             self._touched.add(evaluator)
@@ -537,6 +672,9 @@ class ReactiveEngine:
             stats.matcher_calls += matcher_call_count() - before
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
+            if not fire:
+                stats.firings_deduped += len(answers)
+                continue
             for answer in answers:
                 self._fire(rule, answer.bindings)
 
@@ -577,20 +715,35 @@ class ReactiveEngine:
                  if ev in self._eval_entry),
                 key=lambda entry: entry[0],
             )
-            items = [(rule, ev) for _seq, rule, ev in batch]
+            items = [(rule, ev) for _seq, _name, rule, ev in batch]
         else:
             items = list(self._active.values())
         for rule, evaluator in items:
-            self._touched.add(evaluator)
-            self.stats.evaluator_advances += 1
-            before = matcher_call_count()
-            answers = evaluator.advance_time(when)
-            self.stats.matcher_calls += matcher_call_count() - before
-            if rule.firing == "first" and len(answers) > 1:
-                answers = answers[:1]
-            for answer in answers:
-                self._fire(rule, answer.bindings)
+            self.advance_evaluator(when, rule, evaluator)
         self._schedule_wakeups()
+
+    def advance_evaluator(self, when: float, rule: ECARule, evaluator,
+                          fire: bool = True) -> None:
+        """Advance one evaluator to *when*, firing (or deduping) answers.
+
+        The wake-up work unit: `_on_time` applies it to every expiring
+        local rule; the shard router applies it across shards in global
+        installation order, with ``fire=False`` on all but the rule's
+        designated shard so absence answers act exactly once.  The caller
+        is responsible for the follow-up :meth:`_schedule_wakeups`.
+        """
+        self._touched.add(evaluator)
+        self.stats.evaluator_advances += 1
+        before = matcher_call_count()
+        answers = evaluator.advance_time(when)
+        self.stats.matcher_calls += matcher_call_count() - before
+        if rule.firing == "first" and len(answers) > 1:
+            answers = answers[:1]
+        if not fire:
+            self.stats.firings_deduped += len(answers)
+            return
+        for answer in answers:
+            self._fire(rule, answer.bindings)
 
     def _schedule_wakeups(self) -> None:
         for evaluator in self._touched:
@@ -600,7 +753,11 @@ class ReactiveEngine:
             owners = self._deadline_owners.get(deadline)
             if owners is None:
                 owners = self._deadline_owners[deadline] = set()
-                self.node.clock.at(deadline, lambda d=deadline: self._on_time(d))
+                if self.wakeup_via is not None:
+                    self.wakeup_via(deadline)
+                else:
+                    self.node.clock.at(deadline,
+                                       lambda d=deadline: self._on_time(d))
             owners.add(evaluator)
         self._touched.clear()
 
@@ -671,7 +828,9 @@ class ReactiveEngine:
             from repro.core.meta import term_to_rule
 
             rule = term_to_rule(act.build_term(action.rule_term, bindings))
-            self.install(rule)
+            # Through the installer seam: on a sharded node the router
+            # re-partitions instead of installing into this shard only.
+            self.installer.install(rule)
             return
         if isinstance(action, act.UninstallRule):
             name = action.name
@@ -680,7 +839,7 @@ class ReactiveEngine:
                 if not isinstance(value, str):
                     raise ActionError(f"rule-name variable {name.name!r} unbound")
                 name = value
-            self.uninstall(name)
+            self.installer.uninstall(name)
             return
         if isinstance(action, act.PyAction):
             try:

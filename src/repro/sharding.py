@@ -1,0 +1,812 @@
+"""Sharded reactive nodes: one facade, N engine shards (Thesis 12).
+
+The paper's scalability thesis demands that reactive rules keep up with
+Web-sized event traffic.  A single :class:`~repro.core.engine.ReactiveEngine`
+eventually saturates no matter how good its dispatch index is, so this
+module partitions one node's *rule base* across N independent engine
+shards while keeping the node observationally identical to the
+single-engine baseline — same answers, same firing order, property-tested
+(`tests/properties/test_shard_equivalence.py`, experiment E16).
+
+How rules are partitioned
+-------------------------
+
+The router reuses the discrimination net's partition keys
+(:func:`repro.events.queries.query_interest`):
+
+1. **Root label** — each label is assigned a *home shard* greedily
+   (heaviest label first, least-loaded shard), so disjoint-label rule
+   fleets spread evenly and every event of a label finds all its rules on
+   one shard.
+2. **(label, constant) axis** — when one *hot* label alone outweighs a
+   fair share of the rule base (more rules than ``total / shards``) and
+   its rules discriminate on a shared attribute axis (the same axis the
+   in-engine net of PR 3 sub-indexes, e.g. ``stock[sym: "ACME"]``), that
+   label is *split*: each constant value gets its own shard, so even a
+   single-label fleet scales out.  Splitting uses attribute axes only —
+   an event exhibits an attribute unambiguously or not at all, so routing
+   can never under-deliver (constant-child axes can be ambiguous on the
+   event side and stay on one shard).
+
+Rules whose interest spans shards are **replicated** with firing dedup:
+
+- wildcard rules (label variables, ``desc``) live on every shard;
+- multi-label rules whose labels have different home shards live on each
+  of those homes;
+- residual rules of a split label (no constant on the axis) live on every
+  shard.
+
+Every replica sees the full stream of events its query is interested in
+(the router delivers an event to each shard hosting an interested rule),
+so all replicas hold *identical* evaluator state — but only one shard per
+event is the **firing shard** (``fire=True``); the others advance their
+evaluators with ``fire=False`` and the suppressed answers are counted in
+``EngineStats.firings_deduped``.  Actions therefore execute exactly once,
+interleaved with the firing shard's local rules in global installation
+order.  Absence deadlines are merged the same way: shard engines register
+wake-ups through the router, which advances the owning evaluators across
+all shards in global installation order and fires each rule only on its
+designated (lowest) shard.
+
+Delivery model
+--------------
+
+Each shard owns a FIFO inbox.  The node's inbox handler is the router: it
+stamps each incoming event with a global arrival sequence number, expands
+deductive event views once (so derived events route like fresh arrivals),
+and enqueues ``(seq, event, fire?)`` into every interested shard's inbox.
+A single drain callback per instant then *merges* the shard inboxes in
+arrival order — always popping the globally oldest pending event — which
+is what makes N shards bit-compatible with one engine.
+``EngineConfig(inbox_batch=k)`` is the fairness knob: one drain lets each
+shard consume at most *k* events before the router re-yields to the
+scheduler, so a backlogged shard cannot starve the others within an
+instant (events at later instants are handled by later drains as usual).
+
+``shards=1`` never constructs a router at all: the facade wires the node
+straight to one engine, bit-for-bit the pre-sharding code path.
+
+Under queued delivery (the default) the equivalence is exact.  With
+``sync_delivery=True`` the router inlines the hand-off and the drain, so
+nested raises stay nested — except when replica copies of the in-flight
+event are still queued, where the raised event defers like a backlog
+(inline dispatch never jumps a queue, same as :class:`WebNode`): firings
+and answers still match ``shards=1``, intra-instant interleaving may not.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import zlib
+from collections import deque
+from dataclasses import fields, replace
+
+from repro.core.engine import (
+    EngineConfig,
+    EngineStats,
+    ReactiveEngine,
+    derive_events,
+)
+from repro.core.rules import ECARule
+from repro.core.rulesets import RuleSet
+from repro.errors import RecursionRejected, RuleError
+from repro.events.incremental import IncrementalEvaluator
+from repro.events.model import Event
+from repro.events.queries import EventInterest, query_interest
+from repro.terms.ast import canonical_str
+
+__all__ = ["ShardRouter", "shard_of"]
+
+
+def shard_of(label: str, n_shards: int) -> int:
+    """Deterministic shard for routing keys no installed rule pins down.
+
+    Used for events whose label (or split-axis value) no rule claims:
+    they can only reach wildcard / residual replicas, which live on every
+    shard, so any *stable* choice keeps exactly-once firing; a CRC spreads
+    such traffic instead of hammering shard 0.  (``zlib.crc32``, not
+    ``hash``: reproducible across processes regardless of hash seed.)
+    """
+    return zlib.crc32(label.encode("utf-8")) % n_shards
+
+
+class _Plan:
+    """One deterministic partitioning of the rule base (pure data)."""
+
+    def __init__(self) -> None:
+        self.order: dict[str, int] = {}          # name -> global install seq
+        self.placement: dict[str, tuple[int, ...]] = {}
+        self.time_primary: dict[str, int] = {}   # name -> firing shard at wake-ups
+        self.home: dict[str, int] = {}           # unsplit label -> shard
+        self.split: "tuple[str, str, dict] | None" = None  # (label, axis, value->shard)
+        self.needs: dict[str, frozenset[int]] = {}  # label -> shards needing a copy
+        self.has_wildcard = False
+
+
+class ShardRouter:
+    """Partitions one node's rules over N engines; routes and drains events.
+
+    Created by the :class:`~repro.api.ReactiveNode` facade when
+    ``EngineConfig(shards=N)`` has N > 1.  Implements the same rule- and
+    procedure-management surface as :class:`ReactiveEngine`
+    (``install_all`` / ``uninstall`` / ``rules`` / ``define_procedure`` /
+    ``define_web_views``), so the facade delegates blindly; the engines
+    stay reachable as :attr:`engines` for inspection.
+    """
+
+    def __init__(self, node, config: EngineConfig) -> None:
+        if config.shards < 2:
+            raise RuleError(
+                f"ShardRouter needs shards >= 2, got {config.shards} "
+                "(shards=1 is the plain single-engine path)"
+            )
+        if config.event_views is not None and config.event_views.is_recursive():
+            raise RecursionRejected(
+                "event-level deductive views must be non-recursive (Thesis 9)"
+            )
+        self.node = node
+        self.config = config
+        self.n_shards = config.shards
+        # Shards get the per-engine knobs only: node-level delivery is
+        # applied once below, event views are expanded here (a derived
+        # event's label may live on a different shard), and shards=1 so
+        # each engine is a plain single shard.
+        shard_config = replace(config, shards=1, event_views=None,
+                               sync_delivery=None, inbox_batch=None)
+        self.engines = tuple(
+            ReactiveEngine(node, config=shard_config, attach=False)
+            for _ in range(self.n_shards)
+        )
+        for engine in self.engines:
+            engine.wakeup_via = self._request_wakeup
+            engine.installer = self
+        if config.sync_delivery is not None:
+            node.configure_delivery(sync_delivery=config.sync_delivery)
+        if config.inbox_batch is not None:
+            node.configure_delivery(inbox_batch=config.inbox_batch)
+        self._event_views = config.event_views
+        self._coalesced = config.coalesced_wakeups
+        self._inbox_batch = config.inbox_batch
+        self.derived_events = 0
+        self.inbox_drains = 0
+        self.inbox_peaks = [0] * self.n_shards
+        self._inboxes = tuple(deque() for _ in range(self.n_shards))
+        self._seq = itertools.count()
+        self._started_seq = -1  # highest seq whose first copy was processed
+        self._dispatch_depth = 0  # shards mid-dispatch/advance (nested: sync)
+        self._drain_scheduled = False
+        self._pending_wakeups: set[float] = set()
+        # Same rule-base bookkeeping shape as ReactiveEngine, so install /
+        # uninstall semantics and error messages stay in lock-step.
+        self._single_rules: dict[str, ECARule] = {}
+        self._rulesets: list[RuleSet] = []
+        self._named: list[tuple[str, ECARule]] = []
+        self._validated: dict[str, ECARule] = {}
+        self._plan = _Plan()
+        node.on_event(self.handle_event)
+
+    # -- rule management ------------------------------------------------------
+
+    def install(self, item: "ECARule | RuleSet") -> None:
+        """Install a rule or a whole rule set (re-partitions)."""
+        self.install_all((item,))
+
+    def install_all(self, items, procedures=()) -> None:
+        """Install many rules / rule sets (and procedures) in one batch.
+
+        Same contract as :meth:`ReactiveEngine.install_all`: atomic — a
+        rejected item restores the previous rule base on every shard
+        before the error propagates, and no procedure is defined.
+        """
+        procedures = tuple(procedures)
+        pending: set[str] = set()
+        for name, _params, _action in procedures:
+            if name in self.engines[0]._procedures or name in pending:
+                raise RuleError(f"procedure {name!r} already defined")
+            pending.add(name)
+        saved_rules = dict(self._single_rules)
+        saved_sets = list(self._rulesets)
+        try:
+            for item in items:
+                if isinstance(item, RuleSet):
+                    self._rulesets.append(item)
+                elif isinstance(item, ECARule):
+                    if item.name in self._single_rules:
+                        raise RuleError(f"rule {item.name!r} already installed")
+                    self._single_rules[item.name] = item
+                else:
+                    raise RuleError(f"cannot install {item!r}")
+            self._reroute()
+        except Exception:
+            self._single_rules = saved_rules
+            self._rulesets = saved_sets
+            self._reroute()
+            raise
+        for name, params, action in procedures:
+            self.define_procedure(name, tuple(params), action)
+
+    def uninstall(self, item: "str | ECARule | RuleSet") -> None:
+        """Remove an installed rule or rule set, by object or by name.
+
+        Mirrors :meth:`ReactiveEngine.uninstall` (same resolution branches
+        and error messages); the re-partition drops the rule from *every*
+        shard it was routed or replicated to.
+        """
+        if isinstance(item, RuleSet):
+            if not any(existing is item for existing in self._rulesets):
+                raise RuleError(
+                    f"rule set {item.name!r} is not installed ({self._summary()})"
+                )
+            self._rulesets = [rs for rs in self._rulesets if rs is not item]
+        elif isinstance(item, ECARule):
+            # Structural equality, not identity (meta round-trips compare equal).
+            if self._single_rules.get(item.name) != item:
+                raise RuleError(
+                    f"rule {item.name!r} is not installed ({self._summary()})"
+                )
+            del self._single_rules[item.name]
+        elif isinstance(item, str):
+            if item in self._single_rules:
+                del self._single_rules[item]
+            else:
+                named_sets = [rs for rs in self._rulesets if rs.name == item]
+                if not named_sets:
+                    raise RuleError(
+                        f"no installed rule or rule set {item!r} ({self._summary()})"
+                    )
+                self._rulesets.remove(named_sets[0])
+        else:
+            raise RuleError(f"cannot uninstall {item!r}")
+        self._reroute()
+
+    def rules(self) -> list[str]:
+        """Names of the active rules, in global installation order."""
+        return [name for name, _rule in self._named]
+
+    def refresh(self) -> None:
+        """Recompute the partitioning (e.g. after toggling a rule set)."""
+        self._reroute()
+
+    def define_procedure(self, name: str, params: tuple[str, ...], action) -> None:
+        """Register a procedure on every shard (any shard's rule may CALL it)."""
+        for engine in self.engines:
+            engine.define_procedure(name, params, action)
+
+    def define_web_views(self, uri: str, program) -> None:
+        """Attach deductive views on every shard (conditions query them)."""
+        for engine in self.engines:
+            engine.define_web_views(uri, program)
+
+    def _summary(self) -> str:
+        rules = ", ".join(sorted(self._single_rules)) or "none"
+        sets = ", ".join(ruleset.name for ruleset in self._rulesets) or "none"
+        return f"installed rules: {rules}; installed rule sets: {sets}"
+
+    # -- partitioning ---------------------------------------------------------
+
+    def _decompose(self) -> list[tuple[str, ECARule]]:
+        """Flatten installed items to (name, rule) in the engine's order.
+
+        :meth:`ReactiveEngine.refresh` activates all single rules first
+        (in installation order) and then every rule set's qualified rules
+        (in rule-set installation order) — shards=1 firing order follows
+        it, so the router's global order must match exactly, not the raw
+        install interleaving.
+        """
+        named: list[tuple[str, ECARule]] = list(self._single_rules.items())
+        seen: set[str] = set(self._single_rules)
+        for ruleset in self._rulesets:
+            for qualified, rule, _owner in ruleset.qualified():
+                if qualified in seen:
+                    raise RuleError(f"duplicate rule name {qualified!r}")
+                seen.add(qualified)
+                named.append((qualified, rule))
+        return named
+
+    def _reroute(self) -> None:
+        """Re-partition the rule base and re-route queued events."""
+        named = self._decompose()
+        # Validate new rules' event queries *before* mutating any shard, so
+        # install_all's restore path never faces a half-synced fleet.
+        for name, rule in named:
+            if self._validated.get(name) is not rule:
+                IncrementalEvaluator(rule.event)
+        new_names = frozenset(
+            name for name, _rule in named if name not in self._plan.order
+        )
+        # Rebalancing moves evaluators between shards, which is only sound
+        # when every replica has consumed its whole stream — i.e. when no
+        # event is in flight.  A re-partition triggered by a firing rule
+        # (install mid-dispatch or mid-wake-up: `_dispatching`, with the
+        # engine's entries snapshot still running over not-yet-advanced
+        # evaluators) or while copies of an event are still queued
+        # therefore freezes existing placements and only *adds* new rules,
+        # whose fresh evaluators are safe anywhere.
+        plan = self._compute_plan(
+            named, frozen=self._dispatch_depth > 0 or any(self._inboxes)
+        )
+        self._apply_plan(named, plan)
+        self._named = named
+        self._plan = plan
+        self._validated = dict(named)
+        self._requeue_pending(new_names)
+
+    def _compute_plan(self, named, frozen: bool = False) -> _Plan:
+        """Pure, deterministic placement of *named* over the shards.
+
+        ``frozen=True`` is the in-flight variant: surviving rules keep
+        their current shards (no evaluator ever moves under a partially
+        delivered event) and only new rules are placed, onto the existing
+        label-home / split tables.
+        """
+        plan = _Plan()
+        interests: dict[str, EventInterest] = {}
+        label_rules: dict[str, list[str]] = {}
+        for seq, (name, rule) in enumerate(named):
+            plan.order[name] = seq
+            interest = interests[name] = query_interest(rule.event)
+            if interest.by_label is None:
+                plan.has_wildcard = True
+                continue
+            for label in sorted(interest.labels):
+                label_rules.setdefault(label, []).append(name)
+        if frozen:
+            self._place_frozen(named, plan, interests)
+        else:
+            self._place_fresh(named, plan, interests, label_rules)
+
+        # Which shards must *see* each label's events (beyond the firing
+        # shard): every shard hosting an interested rule — except
+        # single-label rules pinning the split axis, whose events the
+        # value table already routes to exactly their shard.
+        split_label = plan.split[0] if plan.split is not None else None
+        split_axis = plan.split[1] if plan.split is not None else None
+        needs: dict[str, set[int]] = {label: set() for label in label_rules}
+        for name, _rule in named:
+            interest = interests[name]
+            if interest.by_label is None:
+                continue  # wildcards live everywhere; delivery covers all shards
+            for label in interest.labels:
+                if (label == split_label
+                        and interest.labels == frozenset((label,))
+                        and _axis_value(interest, label, split_axis) is not None):
+                    continue
+                needs[label].update(plan.placement[name])
+        plan.needs = {label: frozenset(shards) for label, shards in needs.items()}
+        return plan
+
+    def _place_fresh(self, named, plan: _Plan, interests, label_rules) -> None:
+        """Full rebalance (quiescent inboxes): greedy homes + hot split."""
+        n = self.n_shards
+        # The hot-label split: one label holding more than a fair share of
+        # the rule base, all its rules single-label, discriminating on a
+        # shared attribute axis with at least two constants.
+        split_label = split_axis = None
+        total = sum(len(names) for names in label_rules.values())
+        if label_rules:
+            hot = max(sorted(label_rules), key=lambda lab: len(label_rules[lab]))
+            hot_names = label_rules[hot]
+            all_single = all(
+                interests[nm].labels == frozenset((hot,)) for nm in hot_names
+            )
+            if len(hot_names) >= 2 and len(hot_names) * n > total and all_single:
+                axis = self._pick_axis(hot, hot_names, interests)
+                if axis is not None:
+                    split_label, split_axis = hot, axis
+
+        loads = [0] * n
+        if split_label is not None:
+            by_value: dict = {}
+            residual = []
+            for nm in label_rules[split_label]:
+                value = _axis_value(interests[nm], split_label, split_axis)
+                if value is None:
+                    residual.append(nm)
+                else:
+                    by_value.setdefault(value, []).append(nm)
+            value_shard: dict = {}
+            for value in sorted(by_value,
+                                key=lambda v: (-len(by_value[v]), canonical_str(v))):
+                shard = min(range(n), key=lambda i: (loads[i], i))
+                value_shard[value] = shard
+                loads[shard] += len(by_value[value])
+            plan.split = (split_label, split_axis, value_shard)
+            loads = [load + len(residual) for load in loads]
+
+        for label in sorted(
+            (lab for lab in label_rules if lab != split_label),
+            key=lambda lab: (-len(label_rules[lab]), lab),
+        ):
+            shard = min(range(n), key=lambda i: (loads[i], i))
+            plan.home[label] = shard
+            loads[shard] += len(label_rules[label])
+
+        for name, _rule in named:
+            interest = interests[name]
+            if interest.by_label is None:
+                plan.placement[name] = tuple(range(n))
+            elif plan.split is not None and interest.labels == frozenset((split_label,)):
+                value = _axis_value(interest, split_label, split_axis)
+                if value is not None:
+                    plan.placement[name] = (plan.split[2][value],)
+                else:  # residual: must see every event of the split label
+                    plan.placement[name] = tuple(range(n))
+            else:
+                plan.placement[name] = tuple(sorted(
+                    {plan.home[label] for label in interest.labels}
+                ))
+            plan.time_primary[name] = plan.placement[name][0]
+
+    def _place_frozen(self, named, plan: _Plan, interests) -> None:
+        """In-flight re-partition: nothing moves, new rules slot in.
+
+        Surviving rules keep their exact shard sets (their evaluators may
+        be mid-stream: some replicas have consumed the in-flight event,
+        others still hold its queued copy, so migrating or copying any of
+        them would fork state).  New rules have no state, so any placement
+        is sound; they go onto the existing home/split tables, extending
+        them greedily where a label or axis value is new.
+        """
+        n = self.n_shards
+        old = self._plan
+        plan.home = dict(old.home)
+        if old.split is not None:
+            plan.split = (old.split[0], old.split[1], dict(old.split[2]))
+        split_label = plan.split[0] if plan.split is not None else None
+        split_axis = plan.split[1] if plan.split is not None else None
+        loads = [0] * n
+        surviving: dict[str, tuple[int, ...]] = {}
+        for name, rule in named:
+            if self._validated.get(name) is rule and name in old.placement:
+                surviving[name] = old.placement[name]
+                for si in surviving[name]:
+                    loads[si] += 1
+        for name, _rule in named:
+            placement = surviving.get(name)
+            if placement is None:
+                interest = interests[name]
+                if interest.by_label is None:
+                    placement = tuple(range(n))
+                elif split_label in interest.labels:
+                    if interest.labels == frozenset((split_label,)):
+                        value = _axis_value(interest, split_label, split_axis)
+                        if value is None:  # residual: sees the whole label
+                            placement = tuple(range(n))
+                        else:
+                            shard = plan.split[2].get(value)
+                            if shard is None:
+                                shard = min(range(n), key=lambda i: (loads[i], i))
+                                plan.split[2][value] = shard
+                            placement = (shard,)
+                    else:
+                        # A spanning rule on a split label must be able to
+                        # fire on any of the label's per-value fire shards.
+                        placement = tuple(range(n))
+                else:
+                    shards = set()
+                    for label in sorted(interest.labels):
+                        home = plan.home.get(label)
+                        if home is None:
+                            home = min(range(n), key=lambda i: (loads[i], i))
+                            plan.home[label] = home
+                        shards.add(home)
+                    placement = tuple(sorted(shards))
+                for si in placement:
+                    loads[si] += 1
+            plan.placement[name] = placement
+            plan.time_primary[name] = placement[0]
+
+    @staticmethod
+    def _pick_axis(label, names, interests) -> "str | None":
+        """The most selective shared *attribute* axis of one label's rules.
+
+        Same tie-breaking as :meth:`_LabelBucket.build` (rule count, then
+        distinct values, then name), restricted to ``attr`` discriminators:
+        an event carries an attribute value unambiguously or not at all,
+        so attr-routing can never under-deliver across shards.
+        """
+        counts: dict[str, int] = {}
+        values: dict[str, set] = {}
+        for nm in names:
+            for disc in interests[nm].discriminators(label):
+                if disc.kind != "attr":
+                    continue
+                counts[disc.key] = counts.get(disc.key, 0) + 1
+                values.setdefault(disc.key, set()).add(disc.value)
+        viable = [key for key in counts if counts[key] >= 2 and len(values[key]) >= 2]
+        if not viable:
+            return None
+        return max(viable, key=lambda key: (counts[key], len(values[key]), key))
+
+    def _apply_plan(self, named, plan: _Plan) -> None:
+        """Push each shard its slice, migrating evaluator state.
+
+        A rule that stays installed keeps its evaluators: replicas hold
+        identical state (they see identical relevant streams), so a shard
+        gaining the rule takes a displaced evaluator when one is free and
+        a deep copy of a surviving one otherwise.  Incoming evaluators are
+        marked touched so pending absence deadlines re-register on their
+        new shard.
+        """
+        current: dict[str, dict[int, tuple]] = {}
+        for si, engine in enumerate(self.engines):
+            for name, (rule, evaluator) in engine._active.items():
+                current.setdefault(name, {})[si] = (rule, evaluator)
+        seeds: list[dict] = [dict() for _ in range(self.n_shards)]
+        arrivals: list[list] = [[] for _ in range(self.n_shards)]
+        for name, rule in named:
+            have = {
+                si: evaluator
+                for si, (old_rule, evaluator) in current.get(name, {}).items()
+                if old_rule is rule
+            }
+            if not have:
+                continue  # new rule: every shard builds a fresh evaluator
+            targets = plan.placement[name]
+            spare = deque(evaluator for si, evaluator in sorted(have.items())
+                          if si not in targets)
+            donor = have[min(have)]
+            for si in targets:
+                if si in have:
+                    continue  # refresh keeps it by identity
+                evaluator = spare.popleft() if spare else copy.deepcopy(donor)
+                seeds[si][name] = (rule, evaluator)
+                arrivals[si].append(evaluator)
+        for si, engine in enumerate(self.engines):
+            engine._active.update(seeds[si])
+            engine.sync_rules(
+                (name, rule) for name, rule in named
+                if si in plan.placement[name]
+            )
+            if arrivals[si]:
+                engine._touched.update(arrivals[si])
+                engine._schedule_wakeups()
+
+    # -- event routing --------------------------------------------------------
+
+    def handle_event(self, event: Event) -> None:
+        """Node inbox entry point: route the event and its derivations."""
+        self._route(event)
+        for derived in derive_events(self._event_views, event, self.node.uri):
+            self.derived_events += 1
+            self._route(derived)
+
+    def _route(self, event: Event) -> None:
+        # The same rule WebNode._deliver applies: inline dispatch never
+        # jumps a backlog.  Queued entries here include replica copies of
+        # the event being dispatched right now — draining them nested
+        # would hand replicas the in-flight and the raised event in
+        # opposite orders on different shards, and a cross-shard rule
+        # could then complete on two firing copies (double fire).  With a
+        # backlog the raised event defers exactly like the single engine's
+        # non-empty-inbox case: same firings, intra-instant interleaving
+        # may differ (the sync-mode caveat the engine module documents).
+        backlog = any(self._inboxes)
+        self._enqueue(next(self._seq), event)
+        if self.node.sync_delivery and not backlog:
+            # Inline hand-off: the single engine dispatches a sync-raised
+            # event nested inside the raising action, so the router drains
+            # immediately (re-entrant: _dispatch_depth keeps the frozen
+            # guard up through the nesting) instead of deferring.
+            self._drain()
+        elif not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.node.clock.soon(self._drain)
+
+    def _enqueue(self, seq: int, event: Event) -> None:
+        fire = self._fire_shard(event.term)
+        if self._plan.has_wildcard:
+            shards = range(self.n_shards)  # wildcard replicas see everything
+        else:
+            needs = self._plan.needs.get(event.term.label, frozenset())
+            shards = sorted(needs | {fire})
+        for si in shards:
+            box = self._inboxes[si]
+            box.append((seq, event, si == fire, frozenset()))
+            if len(box) > self.inbox_peaks[si]:
+                self.inbox_peaks[si] = len(box)
+
+    def _fire_shard(self, term) -> int:
+        """The one shard that executes actions for this event.
+
+        All rules the event can fire live there (the label's home — or,
+        for a split label, the shard owning the event's axis value, with
+        residual replicas everywhere), so local installation order is
+        global firing order.
+        """
+        label = term.label
+        split = self._plan.split
+        if split is not None and label == split[0]:
+            _label, axis, value_shard = split
+            value = term.attr(axis)
+            if value is None:
+                return shard_of(label, self.n_shards)
+            shard = value_shard.get(value)
+            if shard is not None:
+                return shard
+            return shard_of(f"{label}={value}", self.n_shards)
+        home = self._plan.home.get(label)
+        if home is not None:
+            return home
+        return shard_of(label, self.n_shards)
+
+    def _requeue_pending(self, new_names: frozenset) -> None:
+        """Re-route queued events after a re-partition.
+
+        A rule installed mid-run must see the events still queued when it
+        arrived (the single engine's inbox guarantees exactly that), so
+        *fully pending* events — no copy processed yet — are collapsed
+        back to one event per sequence number and re-enqueued under the
+        new tables.  An event whose processing already *started* (its
+        firing copy may be consumed) keeps its remaining copies verbatim,
+        tagged so rules installed by this re-partition never observe it —
+        the same snapshot semantics the single engine's mid-dispatch
+        install has, and the guarantee that nothing fires twice.
+        """
+        started: list[list] = [[] for _ in range(self.n_shards)]
+        fresh: dict[int, Event] = {}
+        for si, box in enumerate(self._inboxes):
+            while box:
+                seq, event, fire, exclude = box.popleft()
+                if seq <= self._started_seq:
+                    started[si].append((seq, event, fire, exclude | new_names))
+                else:
+                    fresh[seq] = event
+        if not fresh and not any(started):
+            return
+        # Per-shard seq order is preserved: started entries predate every
+        # fresh one, and _enqueue appends fresh seqs in ascending order.
+        for si, entries in enumerate(started):
+            self._inboxes[si].extend(entries)
+        for seq in sorted(fresh):
+            self._enqueue(seq, fresh[seq])
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.node.clock.soon(self._drain)
+
+    def _drain(self) -> None:
+        """Merge-drain the shard inboxes in global arrival order.
+
+        Always pops the globally oldest pending event (copies of one event
+        share a sequence number; ties resolve lowest shard first), which
+        is what keeps N-shard firing order identical to one engine.  With
+        ``inbox_batch=k`` each shard consumes at most *k* events per
+        drain; when the oldest event's shard is out of budget the router
+        re-yields, so fairness never reorders.
+        """
+        self._drain_scheduled = False
+        self.inbox_drains += 1
+        budgets = [self._inbox_batch] * self.n_shards  # None = unbounded
+        while True:
+            best, best_seq = -1, None
+            for si in range(self.n_shards):
+                box = self._inboxes[si]
+                if box and (best_seq is None or box[0][0] < best_seq):
+                    best, best_seq = si, box[0][0]
+            if best < 0:
+                break
+            if budgets[best] == 0:
+                break  # oldest shard over budget: yield to the scheduler
+            if budgets[best] is not None:
+                budgets[best] -= 1
+            seq, event, fire, exclude = self._inboxes[best].popleft()
+            if seq > self._started_seq:
+                self._started_seq = seq
+            self._dispatch_depth += 1
+            try:
+                self.engines[best].handle_event(event, fire=fire,
+                                                exclude=exclude)
+            finally:
+                self._dispatch_depth -= 1
+        if any(self._inboxes) and not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.node.clock.soon(self._drain)
+
+    # -- wake-ups -------------------------------------------------------------
+
+    def _request_wakeup(self, deadline: float) -> None:
+        """Shard engines register absence deadlines here (one callback per
+        distinct instant across the whole fleet)."""
+        if deadline not in self._pending_wakeups:
+            self._pending_wakeups.add(deadline)
+            self.node.clock.at(deadline, lambda d=deadline: self._on_time(d))
+
+    def _on_time(self, when: float) -> None:
+        """Advance expiring evaluators across shards in global rule order.
+
+        Each engine's deadline owners are pulled and merged by global
+        installation sequence (replicas of one rule sort adjacently, by
+        shard), so absence answers at a shared deadline fire exactly as a
+        single engine would; only each rule's designated shard fires, the
+        other replicas dedup.  ``coalesced_wakeups=False`` advances every
+        active evaluator on every shard instead — the E14 ablation.
+        """
+        self._pending_wakeups.discard(when)
+        order = self._plan.order
+        merged = []
+        seen: set[int] = set()
+        for si, engine in enumerate(self.engines):
+            owners = engine._deadline_owners.pop(when, set())
+            if self._coalesced:
+                candidates = owners
+            else:
+                candidates = [evaluator
+                              for _rule, evaluator in engine._active.values()]
+            for evaluator in candidates:
+                # An in-flight re-partition may have moved the evaluator
+                # since it registered this deadline: redirect to its
+                # current host engine; truly uninstalled owners drop.
+                host_idx, host = si, engine
+                if evaluator not in host._eval_entry:
+                    for sj, other in enumerate(self.engines):
+                        if evaluator in other._eval_entry:
+                            host_idx, host = sj, other
+                            break
+                    else:
+                        continue
+                if id(evaluator) in seen:
+                    continue  # already collected via its own registration
+                seen.add(id(evaluator))
+                _local_seq, name, rule = host._eval_entry[evaluator]
+                merged.append((order[name], host_idx, name, rule,
+                               evaluator, host))
+        merged.sort(key=lambda row: (row[0], row[1]))
+        advanced: dict = {}
+        time_primary = self._plan.time_primary
+        self._dispatch_depth += 1  # installs from absence firings must freeze
+        try:
+            for _gseq, si, name, rule, evaluator, engine in merged:
+                engine.advance_evaluator(when, rule, evaluator,
+                                         fire=(si == time_primary[name]))
+                advanced[engine] = None
+        finally:
+            self._dispatch_depth -= 1
+        for engine in advanced:
+            engine.stats.wakeups += 1
+            engine._schedule_wakeups()
+
+    # -- introspection --------------------------------------------------------
+
+    def placement(self) -> dict[str, tuple[int, ...]]:
+        """Rule name -> shard indices it is installed on (copy)."""
+        return dict(self._plan.placement)
+
+    def aggregate_stats(self) -> EngineStats:
+        """Sum of all shard counters, plus router-level derived events.
+
+        Replication inflates the per-delivery counters relative to one
+        engine (``events_processed`` counts each shard's copy) — that is
+        the point: the aggregate measures total fleet work, while
+        ``firings_deduped`` shows how much of it was replica upkeep.
+        """
+        total = EngineStats()
+        for engine in self.engines:
+            for field_ in fields(EngineStats):
+                setattr(total, field_.name,
+                        getattr(total, field_.name) + getattr(engine.stats, field_.name))
+        total.derived_events += self.derived_events
+        return total
+
+    def shard_stats(self) -> tuple[EngineStats, ...]:
+        """Per-shard counters with that shard's inbox depth/peak mirrored in."""
+        return tuple(
+            replace(engine.stats,
+                    inbox_depth=len(self._inboxes[si]),
+                    inbox_peak=self.inbox_peaks[si])
+            for si, engine in enumerate(self.engines)
+        )
+
+
+def _axis_value(interest: EventInterest, label: str, axis: str):
+    """The constant *interest* pins on (label, axis), or None (residual).
+
+    Mirrors ``_LabelBucket.build``'s choice when a rule somehow pins
+    several constants on one axis: the canonically smallest.
+    """
+    on_axis = sorted(
+        (disc for disc in interest.discriminators(label)
+         if disc.kind == "attr" and disc.key == axis),
+        key=lambda disc: canonical_str(disc.value),
+    )
+    return on_axis[0].value if on_axis else None

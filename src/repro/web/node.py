@@ -41,6 +41,17 @@ callbacks, never a delay), and ``inbox_depth`` / ``inbox_peak`` expose
 queue depth for backpressure accounting.  ``sync_delivery=True`` restores
 the old inline dispatch; the engine keeps it available as the
 :class:`~repro.core.engine.EngineConfig` ablation for experiment E14.
+
+On a *sharded* node (``EngineConfig(shards=N)``) this inbox is the first
+of two queue layers: the node's registered handler is a
+:class:`~repro.sharding.ShardRouter`, which fans each drained event out
+to per-shard FIFO inboxes and merge-drains those in global arrival order.
+The node-level contract above is unchanged — arrival stamping, FIFO
+order, and backpressure accounting happen here; the router only adds the
+partitioning.  (``sync_delivery=True`` stays inline end-to-end: the
+router drains the shard inboxes immediately inside the hand-off, so a
+sync-raised event is processed nested inside the raising action exactly
+as a single engine would.)
 """
 
 from __future__ import annotations

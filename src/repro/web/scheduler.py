@@ -5,6 +5,13 @@ timestamps, message latencies, polling intervals, and absence deadlines.
 Callbacks scheduled for the same instant run in scheduling order, which
 makes whole-system runs fully deterministic and reproducible — a
 prerequisite for the benchmark harness.
+
+Two layers lean on the same-instant FIFO guarantee of :meth:`Scheduler.soon`:
+node inbox drains (queued delivery processes a backlog at the enqueue
+instant, so timestamps never shift) and the shard router's merge drains
+(:mod:`repro.sharding`), whose re-yields between fairness batches must
+land *after* everything already queued for the instant — that ordering is
+what keeps batched sharded runs identical to unbatched ones.
 """
 
 from __future__ import annotations

@@ -1,0 +1,43 @@
+"""The documentation's code blocks must run (README.md, docs/*.md).
+
+Mirrors the CI docs job (``tools/run_doc_examples.py``) inside tier-1, so
+a doc-breaking change fails the plain test suite too, not only CI.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from run_doc_examples import default_files, run_file  # noqa: E402
+
+
+@pytest.mark.parametrize("path", default_files(ROOT),
+                         ids=lambda p: p.name)
+def test_doc_examples_run(path):
+    assert path.exists(), f"{path} is missing"
+    # At least one block per documented file: a fence-regex mismatch must
+    # not silently turn the docs check into a no-op.  (run_file raises on
+    # a failing block.)
+    if path.name in ("README.md", "ARCHITECTURE.md"):
+        assert run_file(path) >= 1
+    else:
+        run_file(path)
+
+
+def test_docs_are_linked_together():
+    """README links the docs; the docs link the benchmarks guide."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/BENCHMARKS.md" in readme
+    architecture = (ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "BENCHMARKS.md" in architecture
+
+
+def test_quickstart_blocks_exist():
+    """At least one runnable quickstart block in the README."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert readme.count("```python") >= 2

@@ -1,0 +1,66 @@
+"""Execute every ``python`` code block in the Markdown documentation.
+
+The docs CI job runs this so README/docs examples cannot rot: each
+fenced block marked ```` ```python ```` is compiled and executed in its
+own fresh namespace (blocks must be self-contained; use ```` ```text ````
+for shell snippets and non-runnable fragments).
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_examples.py [files...]
+
+With no arguments, checks ``README.md`` and every ``docs/*.md`` relative
+to the repository root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+BLOCK = re.compile(r"^```python\n(.*?)^```", re.S | re.M)
+
+
+def default_files(root: Path) -> list[Path]:
+    return [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+
+
+def run_file(path: Path) -> int:
+    """Execute each python block in *path*; the number of blocks run."""
+    text = path.read_text(encoding="utf-8")
+    count = 0
+    for match in BLOCK.finditer(text):
+        count += 1
+        source = match.group(1)
+        line = text[: match.start()].count("\n") + 2  # after the fence
+        location = f"{path}:{line} (block {count})"
+        try:
+            code = compile(source, location, "exec")
+            exec(code, {"__name__": f"doc_example_{count}"})  # noqa: S102
+        except Exception:
+            print(f"FAILED {location}", file=sys.stderr)
+            raise
+        print(f"ok     {location}")
+    return count
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(arg) for arg in argv] or default_files(root)
+    total = 0
+    for path in files:
+        if not path.exists():
+            print(f"FAILED {path}: no such file", file=sys.stderr)
+            return 1
+        total += run_file(path)
+    if total == 0:
+        print("FAILED: no ```python blocks found — wrong paths?",
+              file=sys.stderr)
+        return 1
+    print(f"{total} documentation example(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
