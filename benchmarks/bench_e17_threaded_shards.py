@@ -1,0 +1,214 @@
+"""E17: threaded shard execution — epoch/barrier workers vs inline drains.
+
+PR 5 moves the shard engines of a sharded :class:`ReactiveNode` onto real
+worker threads (``EngineConfig(executor="threads")``,
+:mod:`repro.runtime`): every drain becomes an epoch — snapshot the
+per-shard inbox segments, advance all shards in parallel on pinned
+threads, join at a barrier, fire the collected answers serially in global
+order.  Both executors are observationally identical (property-tested in
+``tests/properties/test_shard_equivalence.py``); what E17 measures is the
+*cost of the coordination*:
+
+- ``<executor> sN ev/s`` — end-to-end wall-clock throughput through node
+  inbox → router → shard engines at N shards;
+- ``thr/inl s4`` — the threads/inline throughput ratio at 4 shards
+  (>1 means the epoch protocol pays for itself on that workload);
+- ``barrier overhead us/epoch`` — (threads wall − inline wall) divided
+  by the epochs taken: the per-barrier price of the snapshot, the thread
+  hand-off, and the join.
+
+Workloads:
+
+- *hot*: one label split across shards on its ``sym`` attribute, cheap
+  single-child events — the adversarial case where per-event work is
+  tiny and the barrier dominates;
+- *weighted*: the same split but with CPU-weighted matching — every
+  event carries a wide unordered payload and every rule's compiled
+  matcher probes several children, with multiple rules per symbol — the
+  case the epoch protocol is built for, where per-shard match batches
+  are the bulk of the wall-clock.
+
+Honesty note: under CPython's GIL, pure-Python matcher work does not run
+truly concurrently, so ``thr/inl`` hovers near (and usually below) 1.0;
+the table quantifies the barrier price rather than claiming a speedup.
+The epoch/barrier seam is exactly where free-threaded builds, or
+matchers that release the GIL, turn the same numbers into real scaling —
+see docs/BENCHMARKS.md.
+
+Firing counts must be identical across every cell.  Emits
+``BENCH_e17.json`` for CI tracking (skipped under ``--smoke``); the
+inline/threads ablation pair is guarded by ``require_columns``.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+from _harness import parse_cli, pick, print_table, require_columns, smoke_mode, write_json
+
+from repro import EngineConfig, Simulation
+from repro.core import eca
+from repro.core.actions import PyAction
+from repro.events import EAtom
+from repro.terms import Data, Var, q
+
+N_EVENTS = 2000
+RULE_GRID = (48, 96)
+SHARD_GRID = (1, 2, 4)
+EXECUTORS = ("inline", "threads")
+SYMBOLS = 24         # distinct split-axis values (rules_per_sym share each)
+BURST = 40           # same-instant events per burst, as in E14/E16
+WIDE_CHILDREN = 8    # payload width of the weighted workload's events
+
+NOOP = PyAction(lambda n, b: None, "noop")
+
+
+def build_node(n_rules: int, shards: int, executor: str, workload: str):
+    sim = Simulation(latency=0.0)
+    node = sim.reactive_node(
+        "http://bench.example",
+        config=EngineConfig(shards=shards, executor=executor))
+    if workload == "hot":
+        rules = [
+            eca(f"r{i}", EAtom(q("stock", q("price", Var("P")),
+                                 sym=f"SYM-{i % SYMBOLS}")), NOOP)
+            for i in range(n_rules)
+        ]
+    else:  # weighted: several constrained children per pattern
+        rules = [
+            eca(f"r{i}",
+                EAtom(q("stock",
+                        q("price", Var("P")), q("vol", Var("V")),
+                        q("bid", Var("B")), q("ask", Var("A")),
+                        sym=f"SYM-{i % SYMBOLS}")),
+                NOOP)
+            for i in range(n_rules)
+        ]
+    node.install(*rules)
+    return sim, node
+
+
+def event_term(j: int, workload: str) -> Data:
+    attrs = (("sym", f"SYM-{j % SYMBOLS}"),)
+    if workload == "hot":
+        return Data("stock", (Data("price", (float(j),)),), False, attrs)
+    children = tuple(
+        Data(label, (float(j + k),))
+        for k, label in enumerate(
+            ("price", "vol", "bid", "ask", "last", "open", "high", "low")
+        )
+    )[:WIDE_CHILDREN]
+    return Data("stock", children, False, attrs)
+
+
+def run_once(n_rules: int, shards: int, executor: str, workload: str,
+             n_events: int) -> dict:
+    sim, node = build_node(n_rules, shards, executor, workload)
+    for j in range(n_events):
+        term = event_term(j, workload)
+        sim.scheduler.at(float(j // BURST), lambda t=term: node.raise_local(t))
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    stats = node.stats
+    return {
+        "rate": n_events / elapsed,
+        "elapsed": elapsed,
+        "firings": stats.rule_firings,
+        "epochs": stats.epochs,
+        "barrier_wait_s": stats.barrier_wait_s,
+        "executor_reported": stats["executor"],
+    }
+
+
+def table() -> list[dict]:
+    rows = []
+    n_events = pick(N_EVENTS, 40)
+    for workload in ("hot", "weighted"):
+        for n_rules in pick(RULE_GRID, (12,)):
+            results = {}
+            for executor in EXECUTORS:
+                for shards in SHARD_GRID:
+                    if executor == "threads" and shards == 1:
+                        continue  # no fleet to drive: shards=1 is inline
+                    results[(executor, shards)] = run_once(
+                        n_rules, shards, executor, workload, n_events)
+            firings = {r["firings"] for r in results.values()}
+            assert len(firings) == 1, (
+                f"executors disagree on {workload}/{n_rules}: "
+                f"{ {k: r['firings'] for k, r in results.items()} }"
+            )
+            row = {
+                "workload": workload,
+                "rules": n_rules,
+                "firings": results[("inline", 1)]["firings"],
+            }
+            for shards in SHARD_GRID:
+                row[f"inline s{shards} ev/s"] = results[("inline", shards)]["rate"]
+            for shards in SHARD_GRID[1:]:
+                row[f"threads s{shards} ev/s"] = \
+                    results[("threads", shards)]["rate"]
+            threaded = results[("threads", 4)]
+            inline = results[("inline", 4)]
+            row["thr/inl s4"] = threaded["rate"] / inline["rate"]
+            epochs = max(1, threaded["epochs"])
+            row["barrier overhead us/epoch"] = \
+                (threaded["elapsed"] - inline["elapsed"]) / epochs * 1e6
+            row["epochs s4"] = threaded["epochs"]
+            rows.append(row)
+    return require_columns(
+        "e17", rows,
+        ("inline s4 ev/s", "threads s4 ev/s", "thr/inl s4",
+         "barrier overhead us/epoch"),
+    )
+
+
+def test_e17_threaded_firings_match_inline():
+    inline = run_once(48, 4, "inline", "weighted", 400)
+    threaded = run_once(48, 4, "threads", "weighted", 400)
+    # 48 rules over 24 symbols = 2 rules match every event.
+    assert inline["firings"] == threaded["firings"] == 800
+    assert threaded["executor_reported"] == "threads"
+    assert inline["executor_reported"] == "inline"
+    assert threaded["epochs"] > 0
+    assert inline["epochs"] == 0
+
+
+def test_e17_threaded_throughput(benchmark):
+    def run():
+        run_once(48, 4, "threads", "weighted", 400)
+
+    benchmark(run)
+
+
+def main() -> None:
+    parse_cli()
+    rows = table()
+    n_events = pick(N_EVENTS, 40)
+    print_table(
+        f"E17 — threaded shard execution: inline vs epoch/barrier workers "
+        f"({n_events} events)",
+        rows,
+        "identical firings on every cell; threads pay one barrier per "
+        "drain (quantified per epoch) and track inline throughput under "
+        "the GIL — the seam real parallel matchers scale through",
+    )
+    path = write_json("BENCH_e17.json", {
+        "experiment": "e17_threaded_shards",
+        "n_events": N_EVENTS,
+        "burst": BURST,
+        "shard_grid": list(SHARD_GRID),
+        "executors": list(EXECUTORS),
+        "rows": rows,
+    })
+    print(f"\nwrote {path}" if path else "\n(smoke mode: no JSON written)")
+    if not smoke_mode():
+        # The protocol must stay in the same performance class inline is
+        # in — a barrier that cost an order of magnitude would show here.
+        assert all(r["thr/inl s4"] > 0.1 for r in rows), (
+            "threaded execution fell out of inline's performance class"
+        )
+
+
+if __name__ == "__main__":
+    main()

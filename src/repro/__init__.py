@@ -45,7 +45,7 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Bindings",

@@ -53,7 +53,11 @@ engine: rules are partitioned by root label (one hot label may be split
 along its discriminator-attribute axis), each shard drains its own FIFO
 inbox, and answers and firing order stay identical to ``shards=1``.  The
 facade surface is unchanged; :attr:`ReactiveNode.shards` and
-:attr:`ReactiveNode.shard_stats` expose the fleet.
+:attr:`ReactiveNode.shard_stats` expose the fleet.  Adding
+``executor="threads"`` moves each shard's event matching onto a pinned
+worker thread (:mod:`repro.runtime`) behind an epoch/barrier protocol —
+still observationally identical; :attr:`ReactiveNode.executor` (and
+``stats["executor"]``) reports which layer is driving.
 
 The old explicit wiring (``ReactiveEngine(sim.node(uri))``) keeps working;
 the facade is sugar over it, not a replacement.
@@ -197,6 +201,17 @@ class ReactiveNode:
         return (self.engine,)
 
     @property
+    def executor(self) -> str:
+        """The *effective* execution layer: ``"threads"`` when a sharded
+        fleet is driven by per-shard worker threads, else ``"inline"``
+        (an unsharded node always runs inline — there is no fleet to
+        drive — as does a sharded node under ``sync_delivery=True``).
+        Also available as ``stats["executor"]``."""
+        if self.router is not None:
+            return self.router.executor_name
+        return "inline"
+
+    @property
     def stats(self) -> EngineStats:
         """A consistent snapshot of the node's counters.
 
@@ -223,7 +238,13 @@ class ReactiveNode:
           hosted on several shards and suppressed there (the designated
           shard fired them); 0 unless ``shards > 1``;
         - ``inbox_depth`` / ``inbox_peak`` — *gauges*: the node inbox's
-          current and peak backlog (backpressure).
+          current and peak backlog (backpressure);
+        - ``executor`` — the effective execution layer (``"inline"`` or
+          ``"threads"``; dict-style access works too:
+          ``node.stats["executor"]``); with threads, ``epochs`` counts
+          barrier round-trips and ``barrier_wait_s`` the wall-clock
+          seconds the scheduler thread spent joining workers (both 0
+          inline).
 
         On a sharded node the snapshot sums all shards (see
         :meth:`~repro.sharding.ShardRouter.aggregate_stats`); per-shard

@@ -88,7 +88,8 @@ None of this affects a directly-constructed engine: with the default
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, fields
 
 from repro.core import actions as act
 from repro.core import conditions as cond
@@ -125,6 +126,12 @@ class EngineStats:
     of rules hosted on several shards and therefore suppressed (the
     designated shard fired them); always 0 outside sharded mode.  See
     :attr:`repro.api.ReactiveNode.stats` for the full key-by-key guide.
+
+    ``executor`` names the execution layer that produced the snapshot
+    (``"inline"`` or ``"threads"``); with threads, ``epochs`` counts
+    barrier round-trips and ``barrier_wait_s`` the coordinator's
+    wall-clock seconds spent inside them (both 0 inline).  Keys are also
+    readable dict-style — ``stats["executor"]`` — for report scripts.
     """
 
     events_processed: int = 0
@@ -145,6 +152,20 @@ class EngineStats:
     # the one place that sees both halves); 0 for a bare engine.
     inbox_depth: int = 0
     inbox_peak: int = 0
+    # Execution-layer descriptors, stamped by the router/facade snapshot
+    # (never summed like the counters above).
+    executor: str = "inline"
+    epochs: int = 0
+    barrier_wait_s: float = 0.0
+
+    def __getitem__(self, key: str):
+        """Dict-style read access (``stats["executor"]``) for reports."""
+        if key not in _ENGINE_STATS_FIELDS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+
+_ENGINE_STATS_FIELDS = frozenset(field_.name for field_ in fields(EngineStats))
 
 
 @dataclass(frozen=True)
@@ -214,6 +235,24 @@ class EngineConfig:
       ``shards=1`` (answers and firing counts still agree).  Only the
       facade interprets this field: a bare :class:`ReactiveEngine`
       rejects N > 1.
+    - ``executor`` — how the shard fleet is driven: ``"inline"`` (default)
+      merge-drains every shard on the scheduler thread, bit-for-bit the
+      pre-threading path; ``"threads"`` gives each shard a pinned worker
+      thread (:mod:`repro.runtime`): a drain snapshots the per-shard
+      inbox segments for the instant, the workers advance their
+      evaluators in parallel collecting would-be firings, and a barrier
+      joins them before the answers fire serially in global (arrival,
+      installation) order — answers and firing order match ``"inline"``
+      (property-tested, E17).  Two scoping rules: the knob only engages
+      on a sharded node (``shards=1`` has no fleet to drive), and
+      ``sync_delivery=True`` falls back to the inline executor (a nested
+      sync hand-off runs on the raising stack by definition).  One
+      threaded-mode caveat: a rule installed *by a fired action* joins
+      from the next event onward — events that shared the installing
+      event's epoch were already matched when the action ran (the inline
+      executor lets the tail of the same drain reach the new rule).
+      The environment variable ``REPRO_DEFAULT_EXECUTOR`` overrides the
+      default — the CI matrix leg that re-runs tier-1 threaded sets it.
     """
 
     consumption: str = "unrestricted"
@@ -224,6 +263,9 @@ class EngineConfig:
     inbox_batch: int | None = None
     coalesced_wakeups: bool = True
     shards: int = 1
+    executor: str = field(
+        default_factory=lambda: os.environ.get("REPRO_DEFAULT_EXECUTOR", "inline")
+    )
 
     def __post_init__(self) -> None:
         # Fail at construction, not at first install; ConsumptionPolicy is
@@ -233,6 +275,11 @@ class EngineConfig:
             raise RuleError(f"inbox_batch must be >= 1, got {self.inbox_batch}")
         if self.shards < 1:
             raise RuleError(f"shards must be >= 1, got {self.shards}")
+        if self.executor not in ("inline", "threads"):
+            raise RuleError(
+                f"unknown executor {self.executor!r} "
+                "(expected 'inline' or 'threads')"
+            )
 
 
 @dataclass(frozen=True)
@@ -432,6 +479,12 @@ class ReactiveEngine:
         # default to plain single-engine behaviour.
         self.wakeup_via = None  # callable(deadline) | None
         self.installer = self
+        # Threaded-executor seam: when a worker thread drives this shard it
+        # plants a list here and answers are *collected* as (rule, bindings)
+        # instead of fired, and wake-up scheduling is deferred — the router
+        # fires the merged answers and schedules wake-ups at the barrier,
+        # on the scheduler thread (see repro.runtime).  None = fire inline.
+        self.collector = None  # list[(ECARule, Bindings)] | None
         if attach:
             node.on_event(self.handle_event)
 
@@ -628,7 +681,11 @@ class ReactiveEngine:
                     self.evaluator = None
 
         state = _ViewState(self.node)
-        self.node.resources.watch(state.invalidate)
+        # immediate=True: the view cache must track *uncommitted* state too
+        # (conditions inside an atomic sequence query through it), and must
+        # be invalidated again when a rollback restores earlier content —
+        # transactional (buffered) delivery would leave it stale both ways.
+        self.node.resources.watch(state.invalidate, immediate=True)
         self._web_views[uri] = state
 
     # -- event handling ----------------------------------------------------------
@@ -652,7 +709,10 @@ class ReactiveEngine:
         for derived in self._derive_events(event):
             self.stats.derived_events += 1
             self._dispatch(derived, fire, exclude)
-        self._schedule_wakeups()
+        if self.collector is None:
+            self._schedule_wakeups()
+        # Collect mode: _touched accumulates; the router runs
+        # _schedule_wakeups at the barrier, on the scheduler thread.
 
     def _derive_events(self, event: Event) -> list[Event]:
         return derive_events(self._event_views, event, self.node.uri)
@@ -676,7 +736,10 @@ class ReactiveEngine:
                 stats.firings_deduped += len(answers)
                 continue
             for answer in answers:
-                self._fire(rule, answer.bindings)
+                if self.collector is not None:
+                    self.collector.append((rule, answer.bindings))
+                else:
+                    self._fire(rule, answer.bindings)
 
     def _interested(self, event: Event) -> list[tuple[ECARule, object]]:
         """Snapshot of the rules whose queries can be affected by *event*.
@@ -743,7 +806,10 @@ class ReactiveEngine:
             self.stats.firings_deduped += len(answers)
             return
         for answer in answers:
-            self._fire(rule, answer.bindings)
+            if self.collector is not None:
+                self.collector.append((rule, answer.bindings))
+            else:
+                self._fire(rule, answer.bindings)
 
     def _schedule_wakeups(self) -> None:
         for evaluator in self._touched:

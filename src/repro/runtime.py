@@ -1,0 +1,173 @@
+"""Threaded shard execution: a worker pool with an epoch/barrier protocol.
+
+PR 4 left every shard of a sharded :class:`~repro.api.ReactiveNode` running
+on the scheduler's thread; this module is the seam the ROADMAP named next:
+"move shard engines onto real threads — the inbox seam is now per-shard, so
+only the shared resource store and clock need coordination."
+
+The execution model is *parallel match, sequential act*:
+
+1. **Snapshot** — the router's drain callback computes, on the scheduler
+   thread, exactly the per-shard inbox segments the inline merge-drain
+   would have popped this drain (same global-arrival order, same
+   ``inbox_batch`` budgets), so the epoch's work set is deterministic.
+2. **Epoch** — :meth:`ShardWorkerPool.run_epoch` hands each shard's
+   segment to that shard's dedicated :class:`ShardWorker` thread.  Workers
+   advance their own engine's evaluators (the per-event matching work —
+   the hot path) and *collect* the answers they would have fired, tagged
+   with the event's global sequence number.  A worker touches only its own
+   shard's state, so no engine-level locking is needed.
+3. **Barrier** — the scheduler thread blocks until every worker reports
+   done (simulated time cannot advance while a shard is mid-drain), then
+   merges the collected answers in ``(arrival seq, installation order)``
+   order and fires them — condition evaluation, action execution,
+   INSTALL/UNINSTALL re-partitions, wake-up registration — serially on
+   the scheduler thread.  Shared mutable state (the resource store, the
+   network, the clock) is therefore only ever written from one thread at
+   a time, and firing order is bit-identical to the inline executor.
+
+Workers are *pinned*: worker *i* only ever runs jobs for shard *i*, so an
+engine's state is handed between exactly two threads (worker and
+coordinator), always separated by the queue synchronisation of an epoch —
+no torn reads.  Threads start lazily at the first epoch and are reclaimed
+by :meth:`ShardWorkerPool.shutdown` (the router arms a ``weakref.finalize``
+so abandoned nodes do not leak threads).
+
+A failing job does not tear the barrier down: the coordinator still joins
+every worker before re-raising the lowest-shard error, so the fleet is
+quiescent when the exception propagates.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Sequence
+
+from repro.errors import WebError
+
+__all__ = ["ShardWorker", "ShardWorkerPool"]
+
+_STOP = object()  # sentinel job: the worker thread exits its loop
+
+
+class ShardWorker(threading.Thread):
+    """One daemon thread permanently pinned to one shard index.
+
+    Jobs arrive through a private queue; every completion (successful or
+    not) is reported to the pool's shared done-queue so the coordinator
+    can count the barrier down without polling.
+    """
+
+    def __init__(self, index: int, name: str,
+                 done: "queue.SimpleQueue") -> None:
+        super().__init__(name=name, daemon=True)
+        self.index = index
+        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._done = done
+
+    def submit(self, job) -> None:
+        self._jobs.put(job)
+
+    def run(self) -> None:  # pragma: no cover - exercised via the pool
+        while True:
+            job = self._jobs.get()
+            if job is _STOP:
+                return
+            error = None
+            try:
+                job()
+            except BaseException as exc:  # noqa: BLE001 - reported at the barrier
+                error = exc
+            self._done.put((self.index, error))
+
+
+class ShardWorkerPool:
+    """N pinned workers plus the epoch/barrier protocol that drives them.
+
+    Counters (read between epochs — the coordinator owns them):
+
+    - :attr:`epochs` — barrier round-trips taken;
+    - :attr:`jobs_run` — shard jobs executed across all epochs;
+    - :attr:`barrier_wait_s` — wall-clock seconds the coordinator spent
+      blocked from releasing the workers to joining the last one; the
+      per-epoch quotient is the protocol's overhead floor, the number
+      ``BENCH_e17.json`` tracks.
+    """
+
+    def __init__(self, n_workers: int, name: str = "shards") -> None:
+        if n_workers < 1:
+            raise WebError(f"a worker pool needs >= 1 worker, got {n_workers}")
+        self.n_workers = n_workers
+        self.name = name
+        self._workers: "list[ShardWorker] | None" = None  # started lazily
+        self._done: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._closed = False
+        self.epochs = 0
+        self.jobs_run = 0
+        self.barrier_wait_s = 0.0
+
+    @property
+    def started(self) -> bool:
+        """True once worker threads exist (the first epoch starts them)."""
+        return self._workers is not None
+
+    def _ensure_started(self) -> None:
+        if self._workers is None:
+            self._workers = [
+                ShardWorker(i, f"{self.name}[{i}]", self._done)
+                for i in range(self.n_workers)
+            ]
+            for worker in self._workers:
+                worker.start()
+
+    def run_epoch(self, jobs: Sequence["Callable[[], None] | None"]) -> None:
+        """Run one job per shard concurrently; return after ALL finish.
+
+        *jobs* is indexed by shard; ``None`` means the shard is idle this
+        epoch.  The call blocks the calling (scheduler) thread until every
+        released worker has reported back — the barrier — and only then
+        re-raises the lowest-indexed job error, if any, so a failure never
+        leaves a worker still mutating shard state behind the caller's
+        back.
+        """
+        if self._closed:
+            raise WebError(f"worker pool {self.name!r} is shut down")
+        if len(jobs) != self.n_workers:
+            raise WebError(
+                f"epoch needs one job slot per worker: got {len(jobs)} "
+                f"slots for {self.n_workers} workers"
+            )
+        active = [index for index, job in enumerate(jobs) if job is not None]
+        if not active:
+            return
+        self._ensure_started()
+        released = time.perf_counter()
+        for index in active:
+            self._workers[index].submit(jobs[index])
+        errors: dict[int, BaseException] = {}
+        for _ in active:
+            index, error = self._done.get()
+            if error is not None:
+                errors[index] = error
+        self.epochs += 1
+        self.jobs_run += len(active)
+        self.barrier_wait_s += time.perf_counter() - released
+        if errors:
+            raise errors[min(errors)]
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent; armed via weakref.finalize).
+
+        Joins with a timeout as a backstop — workers are daemon threads, so
+        a wedged job cannot hang interpreter exit.
+        """
+        self._closed = True
+        workers, self._workers = self._workers, None
+        if not workers:
+            return
+        for worker in workers:
+            worker.submit(_STOP)
+        for worker in workers:
+            worker.join(timeout=1.0)

@@ -72,12 +72,41 @@ nested raises stay nested — except when replica copies of the in-flight
 event are still queued, where the raised event defers like a backlog
 (inline dispatch never jumps a queue, same as :class:`WebNode`): firings
 and answers still match ``shards=1``, intra-instant interleaving may not.
+
+Execution layer
+---------------
+
+``EngineConfig(executor=...)`` selects how the fleet is *driven*:
+
+- ``"inline"`` (default): the merge-drain above runs every shard on the
+  scheduler thread — the exact pre-threading path.
+- ``"threads"``: each shard gets a pinned worker thread
+  (:class:`repro.runtime.ShardWorkerPool`) and every drain becomes an
+  *epoch*: the scheduler callback snapshots, per shard, exactly the inbox
+  segment the inline merge would have popped (same global-arrival order,
+  same ``inbox_batch`` budgets), releases the workers to advance their
+  own engines' evaluators in parallel — answers are *collected*, not
+  fired — and joins them at a barrier before firing the merged answers
+  serially in global ``(arrival seq, installation order)`` order.
+  Simulated time cannot advance mid-epoch (the drain callback blocks in
+  the join), conditions and actions only ever run on the scheduler
+  thread, and cross-shard effects — wake-up registration, dedup
+  counting, ``INSTALL``/``UNINSTALL`` re-partitions — are applied at the
+  barrier, so answers and firing order are identical to ``"inline"``
+  (property-tested, experiment E17).  ``sync_delivery=True`` forces the
+  inline driver: a nested sync hand-off runs on the raising stack by
+  definition.  The one visibility caveat is documented on
+  :class:`~repro.core.engine.EngineConfig`: a rule installed by a fired
+  action joins from the next event onward, because the events sharing
+  the installing event's epoch were already matched when the action ran.
 """
 
 from __future__ import annotations
 
 import copy
+import heapq
 import itertools
+import weakref
 import zlib
 from collections import deque
 from dataclasses import fields, replace
@@ -94,6 +123,7 @@ from repro.errors import RecursionRejected, RuleError
 from repro.events.incremental import IncrementalEvaluator
 from repro.events.model import Event
 from repro.events.queries import EventInterest, query_interest
+from repro.runtime import ShardWorkerPool
 from repro.terms.ast import canonical_str
 
 __all__ = ["ShardRouter", "shard_of"]
@@ -168,6 +198,21 @@ class ShardRouter:
         self._event_views = config.event_views
         self._coalesced = config.coalesced_wakeups
         self._inbox_batch = config.inbox_batch
+        # Execution layer: "threads" pins one worker thread to each shard
+        # and turns every drain into a snapshot/epoch/barrier round-trip
+        # (see the module docstring).  Sync delivery is inherently inline
+        # (the nested hand-off runs on the raising stack), so it keeps the
+        # inline driver.  Worker threads start lazily at the first epoch;
+        # the finalizer reclaims them when the router is garbage-collected
+        # so short-lived nodes (tests, benchmarks) never leak threads.
+        if config.executor == "threads" and config.sync_delivery is not True:
+            self.pool: "ShardWorkerPool | None" = ShardWorkerPool(
+                self.n_shards, name=f"{node.uri}#shard"
+            )
+            self._pool_finalizer = weakref.finalize(self, self.pool.shutdown)
+        else:
+            self.pool = None
+        self.executor_name = "threads" if self.pool is not None else "inline"
         self.derived_events = 0
         self.inbox_drains = 0
         self.inbox_peaks = [0] * self.n_shards
@@ -666,6 +711,24 @@ class ShardRouter:
             self.node.clock.soon(self._drain)
 
     def _drain(self) -> None:
+        """Drain the shard inboxes for this instant (inline or threaded).
+
+        Both executors process the same events in the same observable
+        order; they differ only in *which thread* advances each shard's
+        evaluators.  Leftovers (fairness budgets) re-yield to the
+        scheduler at the same instant either way.
+        """
+        self._drain_scheduled = False
+        self.inbox_drains += 1
+        if self.pool is not None and not self.node.sync_delivery:
+            self._drain_threaded()
+        else:
+            self._drain_inline()
+        if any(self._inboxes) and not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.node.clock.soon(self._drain)
+
+    def _drain_inline(self) -> None:
         """Merge-drain the shard inboxes in global arrival order.
 
         Always pops the globally oldest pending event (copies of one event
@@ -675,8 +738,6 @@ class ShardRouter:
         drain; when the oldest event's shard is out of budget the router
         re-yields, so fairness never reorders.
         """
-        self._drain_scheduled = False
-        self.inbox_drains += 1
         budgets = [self._inbox_batch] * self.n_shards  # None = unbounded
         while True:
             best, best_seq = -1, None
@@ -699,9 +760,153 @@ class ShardRouter:
                                                 exclude=exclude)
             finally:
                 self._dispatch_depth -= 1
-        if any(self._inboxes) and not self._drain_scheduled:
-            self._drain_scheduled = True
-            self.node.clock.soon(self._drain)
+
+    # -- threaded execution (epoch/barrier, see repro.runtime) ----------------
+
+    def _snapshot_segments(self):
+        """Pop, per shard, exactly the entries the inline merge would pop.
+
+        Replays the merge-drain's selection rule — globally oldest seq
+        first, stop when the oldest shard's ``inbox_batch`` budget is
+        spent — but keeps the popped entries grouped by shard, each
+        segment in its own FIFO order.  Returns ``(segments, top_seq)``
+        where *top_seq* is the highest sequence number popped (None when
+        the inboxes were empty).
+        """
+        budgets = [self._inbox_batch] * self.n_shards  # None = unbounded
+        segments: list[list] = [[] for _ in range(self.n_shards)]
+        top = None
+        while True:
+            best, best_seq = -1, None
+            for si in range(self.n_shards):
+                box = self._inboxes[si]
+                if box and (best_seq is None or box[0][0] < best_seq):
+                    best, best_seq = si, box[0][0]
+            if best < 0 or budgets[best] == 0:
+                break
+            if budgets[best] is not None:
+                budgets[best] -= 1
+            segments[best].append(self._inboxes[best].popleft())
+            top = best_seq
+        return segments, top
+
+    def _segment_job(self, si: int, segment: list, out: list,
+                     failed_at: list):
+        """The per-worker epoch job: advance shard *si* over its segment.
+
+        Runs on the shard's pinned worker thread.  The engine's
+        ``collector`` seam turns every would-be firing into a collected
+        ``(seq, k, shard, rule, bindings)`` row — *k* is the answer's
+        position within its event, so the barrier can restore the exact
+        inline firing order — and defers wake-up scheduling (the clock is
+        not thread-safe) to the barrier.  Replica deliveries
+        (``fire=False``) count their dedup suppressions engine-locally,
+        exactly as inline.  An engine exception records the failing
+        position in ``failed_at[si]`` before propagating, so the barrier
+        can still fire everything that logically precedes the failure —
+        including the failing event's *own* already-collected answers
+        (inline fires each evaluator's answers as the dispatch loop
+        reaches it, so answers produced before the raise have fired).
+        """
+        engine = self.engines[si]
+
+        def job() -> None:
+            for seq, event, fire, exclude in segment:
+                collected: list = []
+                engine.collector = collected
+                try:
+                    engine.handle_event(event, fire=fire, exclude=exclude)
+                except BaseException:
+                    failed_at[si] = seq
+                    raise
+                finally:
+                    engine.collector = None
+                    # Flush even on failure: the pre-raise answers of the
+                    # failing event are part of the inline prefix.
+                    for k, (rule, bindings) in enumerate(collected):
+                        out.append((seq, k, si, rule, bindings))
+
+        return job
+
+    def _drain_threaded(self) -> None:
+        """One epoch: snapshot → parallel advance → barrier → serial fire.
+
+        The scheduler thread blocks in :meth:`ShardWorkerPool.run_epoch`
+        until every worker finishes, so simulated time never advances
+        while a shard is mid-drain; all firing (conditions, actions,
+        re-partitions) then happens back on this thread.
+        """
+        segments, top = self._snapshot_segments()
+        if top is None:
+            return
+        if top > self._started_seq:
+            self._started_seq = top
+        buffers: list[list] = [[] for _ in range(self.n_shards)]
+        failed_at: list = [None] * self.n_shards
+        jobs = [
+            self._segment_job(si, segment, buffers[si], failed_at)
+            if segment else None
+            for si, segment in enumerate(segments)
+        ]
+        self._dispatch_depth += 1  # barrier installs must freeze placements
+        try:
+            try:
+                self.pool.run_epoch(jobs)
+            except BaseException:
+                # A shard failed mid-match.  Inline would have fired
+                # everything preceding the failure before raising — every
+                # earlier event, tie-broken copies of the failing event on
+                # lower shards, and the failing event's own pre-raise
+                # answers; do the same with the collected prefix, then
+                # propagate.
+                failures = [(seq, si) for si, seq in enumerate(failed_at)
+                            if seq is not None]
+                if failures:
+                    self._fire_merged(buffers, before=min(failures))
+                raise
+            self._fire_merged(buffers)
+        finally:
+            self._dispatch_depth -= 1
+            # Wake-up registration deferred from the workers: touched
+            # evaluators accumulated per engine; register on this thread.
+            for engine in self.engines:
+                if engine._touched:
+                    engine._schedule_wakeups()
+
+    def _fire_merged(self, buffers: list, before=None) -> None:
+        """Fire collected answers in global ``(arrival, install)`` order.
+
+        Each worker's buffer is already sorted by ``(seq, k)`` and only
+        one shard fires per event, so a k-way merge restores the exact
+        inline sequence.  If a fired action *uninstalls* a rule, answers
+        that rule collected for later events are skipped — inline, those
+        events would have dispatched after the uninstall and never
+        reached it (answers for the same event still fire: dispatch
+        snapshots survive an uninstall inline too).  ``before`` is the
+        error path's failure point, a ``(seq, shard)`` pair: rows of
+        earlier events fire, rows of the failing event fire only when
+        their shard processed it no later than the failing shard did in
+        the inline tie-break (lowest shard first) — i.e. the exact inline
+        pre-failure prefix.
+        """
+        removed: dict[str, int] = {}  # rule name -> seq it disappeared at
+        names_before = self._named
+        for seq, _k, si, rule, bindings in heapq.merge(
+                *buffers, key=lambda row: row[:3]):
+            if before is not None:
+                fseq, fsi = before
+                if seq > fseq or (seq == fseq and si > fsi):
+                    break  # rows of one seq share a shard: prefix is contiguous
+            dropped_at = removed.get(rule.name)
+            if dropped_at is not None and seq > dropped_at:
+                continue
+            self.engines[si]._fire(rule, bindings)
+            if self._named is not names_before:
+                survivors = {name for name, _rule in self._named}
+                for name, _old in names_before:
+                    if name not in survivors:
+                        removed.setdefault(name, seq)
+                names_before = self._named
 
     # -- wake-ups -------------------------------------------------------------
 
@@ -721,8 +926,29 @@ class ShardRouter:
         single engine would; only each rule's designated shard fires, the
         other replicas dedup.  ``coalesced_wakeups=False`` advances every
         active evaluator on every shard instead — the E14 ablation.
+
+        With the threaded executor the advances run as an epoch (each
+        engine's slice on its own worker, answers collected) and the
+        merged answers fire at the barrier in the same global order the
+        inline path interleaves them.
         """
         self._pending_wakeups.discard(when)
+        merged = self._due_rows(when)
+        if self.pool is not None and not self.node.sync_delivery:
+            advanced = self._advance_threaded(when, merged)
+        else:
+            advanced = self._advance_inline(when, merged)
+        for engine in advanced:
+            engine.stats.wakeups += 1
+            engine._schedule_wakeups()
+
+    def _due_rows(self, when: float) -> list:
+        """The evaluators to advance at *when*, in global firing order.
+
+        Rows are ``(global install seq, host shard, name, rule, evaluator,
+        host engine)``, sorted by (seq, shard) — the order the inline path
+        advances and fires them in.
+        """
         order = self._plan.order
         merged = []
         seen: set[int] = set()
@@ -752,6 +978,9 @@ class ShardRouter:
                 merged.append((order[name], host_idx, name, rule,
                                evaluator, host))
         merged.sort(key=lambda row: (row[0], row[1]))
+        return merged
+
+    def _advance_inline(self, when: float, merged: list) -> dict:
         advanced: dict = {}
         time_primary = self._plan.time_primary
         self._dispatch_depth += 1  # installs from absence firings must freeze
@@ -762,9 +991,72 @@ class ShardRouter:
                 advanced[engine] = None
         finally:
             self._dispatch_depth -= 1
-        for engine in advanced:
-            engine.stats.wakeups += 1
-            engine._schedule_wakeups()
+        return advanced
+
+    def _advance_job(self, si: int, when: float, rows: list, out: list,
+                     failed_at: list):
+        """Per-worker wake-up job: advance shard *si*'s due evaluators.
+
+        *rows* carries each evaluator's position in the merged global
+        order so the barrier can interleave the collected absence answers
+        exactly as the inline path fires them; a failing advance records
+        its position in ``failed_at[si]`` (the error path fires the
+        preceding prefix, as inline would have).
+        """
+        engine = self.engines[si]
+
+        def job() -> None:
+            for row_idx, rule, evaluator, fire in rows:
+                collected: list = []
+                engine.collector = collected
+                try:
+                    engine.advance_evaluator(when, rule, evaluator, fire=fire)
+                except BaseException:
+                    failed_at[si] = row_idx
+                    raise
+                finally:
+                    engine.collector = None
+                for k, (r, b) in enumerate(collected):
+                    out.append((row_idx, k, si, r, b))
+
+        return job
+
+    def _advance_threaded(self, when: float, merged: list) -> dict:
+        advanced: dict = {}
+        time_primary = self._plan.time_primary
+        per_shard: list[list] = [[] for _ in range(self.n_shards)]
+        buffers: list[list] = [[] for _ in range(self.n_shards)]
+        failed_at: list = [None] * self.n_shards
+        for row_idx, (_gseq, si, name, rule, evaluator, host) in enumerate(merged):
+            per_shard[si].append((row_idx, rule, evaluator,
+                                  si == time_primary[name]))
+            advanced[host] = None
+        jobs = [
+            self._advance_job(si, when, rows, buffers[si], failed_at)
+            if rows else None
+            for si, rows in enumerate(per_shard)
+        ]
+
+        def fire_rows(before=None):
+            for row_idx, _k, si, rule, bindings in heapq.merge(
+                    *buffers, key=lambda row: row[:3]):
+                if before is not None and row_idx >= before:
+                    break
+                self.engines[si]._fire(rule, bindings)
+
+        self._dispatch_depth += 1  # installs from absence firings must freeze
+        try:
+            try:
+                self.pool.run_epoch(jobs)
+            except BaseException:
+                failures = [idx for idx in failed_at if idx is not None]
+                if failures:
+                    fire_rows(before=min(failures))
+                raise
+            fire_rows()
+        finally:
+            self._dispatch_depth -= 1
+        return advanced
 
     # -- introspection --------------------------------------------------------
 
@@ -779,13 +1071,24 @@ class ShardRouter:
         engine (``events_processed`` counts each shard's copy) — that is
         the point: the aggregate measures total fleet work, while
         ``firings_deduped`` shows how much of it was replica upkeep.
+
+        Safe to call from the scheduler thread at any time: with the
+        threaded executor, workers only run while the scheduler thread is
+        blocked inside an epoch's barrier, so reads from here never race
+        a worker's writes.
         """
         total = EngineStats()
         for engine in self.engines:
             for field_ in fields(EngineStats):
-                setattr(total, field_.name,
-                        getattr(total, field_.name) + getattr(engine.stats, field_.name))
+                value = getattr(engine.stats, field_.name)
+                if isinstance(value, (int, float)):
+                    setattr(total, field_.name,
+                            getattr(total, field_.name) + value)
         total.derived_events += self.derived_events
+        total.executor = self.executor_name
+        if self.pool is not None:
+            total.epochs = self.pool.epochs
+            total.barrier_wait_s = self.pool.barrier_wait_s
         return total
 
     def shard_stats(self) -> tuple[EngineStats, ...]:
@@ -793,7 +1096,8 @@ class ShardRouter:
         return tuple(
             replace(engine.stats,
                     inbox_depth=len(self._inboxes[si]),
-                    inbox_peak=self.inbox_peaks[si])
+                    inbox_peak=self.inbox_peaks[si],
+                    executor=self.executor_name)
             for si, engine in enumerate(self.engines)
         )
 

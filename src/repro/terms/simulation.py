@@ -33,14 +33,19 @@ Two entry points evaluate a pattern:
   all.  The closure returns exactly what ``match`` returns (the property
   suite fuzzes the equivalence).
 
-Both entry points bump a module-level call counter
-(:func:`matcher_call_count`) that engines snapshot around evaluator calls
-to attribute matching work to dispatch (``EngineStats.matcher_calls``).
+Both entry points bump a call counter (:func:`matcher_call_count`) that
+engines snapshot around evaluator calls to attribute matching work to
+dispatch (``EngineStats.matcher_calls``).  The counter is *thread-local*:
+with the threaded shard executor (``EngineConfig(executor="threads")``)
+several workers match concurrently, and each engine's before/after delta
+must see only its own worker's calls — a shared global would double-count
+across shards and tear under concurrent increments.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from functools import lru_cache
 from typing import Callable, Iterator
 
@@ -64,16 +69,24 @@ from repro.terms.ast import (
 )
 
 
-_matcher_calls = 0
+class _MatcherCounter(threading.local):
+    """Per-thread matcher-call tally (fresh zero in every worker thread)."""
+
+    def __init__(self) -> None:
+        self.n = 0
+
+
+_matcher_calls = _MatcherCounter()
 
 
 def matcher_call_count() -> int:
-    """Total matcher invocations (interpreted and compiled) this process.
+    """Total matcher invocations (interpreted and compiled) on this thread.
 
-    Monotonic; engines snapshot it around evaluator calls to compute the
-    per-dispatch delta for ``EngineStats.matcher_calls``.
+    Monotonic per thread; engines snapshot it around evaluator calls to
+    compute the per-dispatch delta for ``EngineStats.matcher_calls`` —
+    thread-local so concurrent shard workers never see each other's calls.
     """
-    return _matcher_calls
+    return _matcher_calls.n
 
 
 def match(query: Query, data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
@@ -81,15 +94,13 @@ def match(query: Query, data: Child, bindings: Bindings = EMPTY_BINDINGS) -> lis
 
     The result is deduplicated and order-stable (first-derivation order).
     """
-    global _matcher_calls
-    _matcher_calls += 1
+    _matcher_calls.n += 1
     return _collect(query, data, bindings)
 
 
 def matches(query: Query, data: Child, bindings: Bindings = EMPTY_BINDINGS) -> bool:
     """Return True if *query* matches *data* at least one way."""
-    global _matcher_calls
-    _matcher_calls += 1
+    _matcher_calls.n += 1
     for _ in _match(query, data, bindings):
         return True
     return False
@@ -492,8 +503,7 @@ def _compiled_pair(query: Query):
 def _build_matchers(query: Query):
     if is_scalar(query):
         def match_scalar(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
-            global _matcher_calls
-            _matcher_calls += 1
+            _matcher_calls.n += 1
             if is_scalar(data) and values_equal(query, data):  # type: ignore[arg-type]
                 return [bindings]
             return []
@@ -502,8 +512,7 @@ def _build_matchers(query: Query):
 
     if isinstance(query, Data):
         def match_ground(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
-            global _matcher_calls
-            _matcher_calls += 1
+            _matcher_calls.n += 1
             return [bindings] if values_equal(query, data) else []
         return match_ground, lambda data, bindings=EMPTY_BINDINGS: bool(
             match_ground(data, bindings))
@@ -512,13 +521,11 @@ def _build_matchers(query: Query):
         return _compile_qterm(query)
 
     def match_fallback(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
-        global _matcher_calls
-        _matcher_calls += 1
+        _matcher_calls.n += 1
         return _collect(query, data, bindings)
 
     def matches_fallback(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> bool:
-        global _matcher_calls
-        _matcher_calls += 1
+        _matcher_calls.n += 1
         for _ in _match(query, data, bindings):
             return True
         return False
@@ -600,8 +607,7 @@ def _compile_qterm(query: QTerm):
         scalars = scalar_children
 
         def match_compiled(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
-            global _matcher_calls
-            _matcher_calls += 1
+            _matcher_calls.n += 1
             if not isinstance(data, Data) or data.label != label:
                 return []
             b = bindings
@@ -665,15 +671,13 @@ def _compile_qterm(query: QTerm):
         return guard_children and not guards_hold(data)
 
     def match_guarded(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> list[Bindings]:
-        global _matcher_calls
-        _matcher_calls += 1
+        _matcher_calls.n += 1
         if guards_reject(data):
             return []
         return _collect(query, data, bindings)
 
     def matches_guarded(data: Child, bindings: Bindings = EMPTY_BINDINGS) -> bool:
-        global _matcher_calls
-        _matcher_calls += 1
+        _matcher_calls.n += 1
         if guards_reject(data):
             return False
         for _ in _match(query, data, bindings):

@@ -9,6 +9,16 @@ actions and available directly::
     with Transaction(store) as tx:
         store.put(uri, new_root)
         ...                      # any exception rolls everything back
+
+Atomicity extends to *observers*: opening a transaction switches each
+store into notification-buffering mode, so resource watchers (polling
+baselines, Thesis-10 identity monitors) hear about the transaction's
+puts/deletes only when it commits — in update order — and hear nothing at
+all when it rolls back.  Without the buffering, a watcher could react to
+an intermediate state of an update that officially never happened (a
+phantom ``resource-changed``), violating Thesis 8.  Transactions nest:
+an inner rollback discards only the inner scope's notifications, and
+everything flushes at the outermost commit.
 """
 
 from __future__ import annotations
@@ -29,25 +39,50 @@ class Transaction:
             raise TransactionError("a transaction needs at least one store")
         self._stores = stores
         self._snapshots = [store.snapshot() for store in stores]
+        # Buffer watcher notifications until the outcome is known; the
+        # marks let a nested rollback discard only its own scope.
+        self._marks = [store._begin_buffering() for store in stores]
         self._finished = False
         self.committed = False
 
     def commit(self) -> None:
-        """Make the changes permanent."""
+        """Make the changes permanent (flushes buffered notifications
+        when this is the outermost transaction on each store)."""
         self._check_open()
         self._finished = True
         self.committed = True
+        for store, mark in zip(self._stores, self._marks):
+            store._end_buffering(mark, commit=True)
 
     def rollback(self) -> None:
-        """Restore every store to its snapshot."""
+        """Restore every store to its snapshot; watchers hear nothing of
+        the rolled-back changes (their buffered notifications are
+        discarded — the transaction never happened)."""
         self._check_open()
         for store, snapshot in zip(self._stores, self._snapshots):
             store.restore(snapshot)
         self._finished = True
+        for store, mark in zip(self._stores, self._marks):
+            store._end_buffering(mark, commit=False)
 
     def _check_open(self) -> None:
         if self._finished:
             raise TransactionError("transaction already finished")
+
+    def __del__(self) -> None:
+        # An abandoned transaction (never committed nor rolled back) must
+        # not leave its stores buffering watcher notifications forever —
+        # release the scopes, discarding this scope's notifications, like
+        # a rollback would (the documents themselves are left as-is:
+        # deciding the data outcome is the caller's job, silencing every
+        # future watcher is not).
+        if getattr(self, "_finished", True):
+            return
+        try:
+            for store, mark in zip(self._stores, self._marks):
+                store._end_buffering(mark, commit=False)
+        except Exception:
+            pass  # interpreter teardown: never raise from __del__
 
     def __enter__(self) -> "Transaction":
         return self

@@ -11,6 +11,7 @@ per receiver, so benchmarks can report exactly what the theses predict.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from urllib.parse import urlparse
 
@@ -45,18 +46,37 @@ class Message:
 
 @dataclass
 class TrafficStats:
-    """Counters the push-vs-poll and choreography experiments report."""
+    """Counters the push-vs-poll and choreography experiments report.
+
+    ``rtt_charged`` accounts the simulated request/response latency of
+    synchronous GETs (two latencies per fetch) — surfaced here (and thus
+    via ``Simulation.stats``) instead of living as an ad-hoc attribute on
+    the network.  Mutation is serialised by an internal lock so the
+    counters stay coherent alongside the threaded shard executor's other
+    shared-state locking (actions normally run on the scheduler thread,
+    but the traffic ledger is shared by every node and layer).
+    """
 
     messages: int = 0
     bytes: int = 0
+    rtt_charged: float = 0.0
     sent_by: dict = field(default_factory=dict)
     received_by: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, message: Message) -> None:
-        self.messages += 1
-        self.bytes += message.size
-        self.sent_by[message.src] = self.sent_by.get(message.src, 0) + 1
-        self.received_by[message.dst] = self.received_by.get(message.dst, 0) + 1
+        with self._lock:
+            self.messages += 1
+            self.bytes += message.size
+            self.sent_by[message.src] = self.sent_by.get(message.src, 0) + 1
+            self.received_by[message.dst] = \
+                self.received_by.get(message.dst, 0) + 1
+
+    def charge_rtt(self, latency: float) -> None:
+        """Account one request/response round trip of simulated latency."""
+        with self._lock:
+            self.rtt_charged += 2 * latency
 
     def hotspot(self) -> tuple[str, int]:
         """The busiest node (by messages handled) — the E2 bottleneck metric."""
@@ -166,4 +186,10 @@ class Network:
 
     def charge_rtt(self) -> None:
         """Account one request/response round trip of simulated latency."""
-        self.rtt_charged = getattr(self, "rtt_charged", 0.0) + 2 * self.latency
+        self.stats.charge_rtt(self.latency)
+
+    @property
+    def rtt_charged(self) -> float:
+        """Total simulated round-trip latency charged (mirrors
+        ``stats.rtt_charged``; kept for callers of the old attribute)."""
+        return self.stats.rtt_charged

@@ -52,6 +52,14 @@ partitioning.  (``sync_delivery=True`` stays inline end-to-end: the
 router drains the shard inboxes immediately inside the hand-off, so a
 sync-raised event is processed nested inside the raising action exactly
 as a single engine would.)
+
+With ``executor="threads"`` the router's drain additionally becomes an
+epoch: per-shard worker threads advance the shard engines in parallel
+while the scheduler thread blocks at a barrier, then fire the collected
+answers serially (see :mod:`repro.runtime`).  Nothing changes at this
+layer — the node inbox, timestamps, and handler contract are identical,
+and all node/resource/network mutation still happens on the scheduler
+thread.
 """
 
 from __future__ import annotations

@@ -39,6 +39,13 @@ class PollingWatcher:
         self.on_change = on_change
         self.polls = 0
         self.changes_detected = 0
+        #: Ground-truth changes polling provably never saw: recorded via
+        #: :meth:`record_change` but still undetected one full poll
+        #: interval later (an A→B→A flip between polls, or a change
+        #: folded into the first poll's baseline).  The E3 "polling
+        #: misses changes" cost, now measured instead of silently
+        #: corrupting the delay metric below.
+        self.changes_missed = 0
         self.detection_delays: list[float] = []
         self._last_seen: str | None = None
         self._change_times: list[float] = []
@@ -63,6 +70,17 @@ class PollingWatcher:
             return
         self.changes_detected += 1
         now = self.node.now
+        # A recorded change older than one full interval was already
+        # visible to the *previous* poll; if it went undetected there, the
+        # poll saw no fingerprint difference (an A→B→A flip between
+        # polls, or a pre-baseline change) and this detection cannot be
+        # attributed to it.  Without the expiry those stale entries
+        # inflate the next unrelated detection's delay; with it they are
+        # counted as what they are — changes polling missed.
+        stale_before = now - self.interval
+        while self._change_times and self._change_times[0] < stale_before:
+            self._change_times.pop(0)
+            self.changes_missed += 1
         while self._change_times and self._change_times[0] <= now:
             self.detection_delays.append(now - self._change_times.pop(0))
         if self.on_change is not None:

@@ -12,12 +12,21 @@ instant, so timestamps never shift) and the shard router's merge drains
 (:mod:`repro.sharding`), whose re-yields between fairness batches must
 land *after* everything already queued for the instant — that ordering is
 what keeps batched sharded runs identical to unbatched ones.
+
+The scheduler itself is **single-threaded by contract**: with the
+threaded shard executor (``EngineConfig(executor="threads")``) worker
+threads advance evaluators in parallel, but everything that touches the
+clock — firing, wake-up registration, message delivery — happens on the
+owning thread at the epoch barrier.  :meth:`Scheduler.at` enforces the
+contract (it raises when called from a foreign thread) so a coordination
+bug surfaces as a loud error instead of a heap race.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from typing import Callable
 
 from repro.errors import WebError
@@ -31,9 +40,26 @@ class Scheduler:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self.executed = 0
+        # The thread that owns this clock: bound lazily at the first
+        # schedule and re-bound to whichever thread drives
+        # run()/run_until() — so serial construct-here-drive-there use
+        # stays legal.  Shard worker threads must never schedule directly
+        # (the router defers their wake-ups to the barrier), and they are
+        # exactly what this guard catches: workers only ever exist while
+        # the owning thread is blocked inside a run loop it just bound.
+        self._owner: "int | None" = None
 
     def at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule *callback* at absolute simulated time *time*."""
+        ident = threading.get_ident()
+        if self._owner is None:
+            self._owner = ident
+        elif ident != self._owner:
+            raise WebError(
+                "scheduler is single-threaded: schedule from the owning "
+                "(simulation) thread; shard workers must defer effects to "
+                "the epoch barrier (repro.runtime)"
+            )
         if time < self.now:
             raise WebError(f"cannot schedule in the past: {time} < {self.now}")
         heapq.heappush(self._queue, (time, next(self._sequence), callback))
@@ -70,6 +96,7 @@ class Scheduler:
 
     def run_until(self, end: float) -> None:
         """Run all callbacks scheduled up to and including time *end*."""
+        self._owner = threading.get_ident()  # the driving thread owns the clock
         while self._queue and self._queue[0][0] <= end:
             time, _, callback = heapq.heappop(self._queue)
             self.now = time
@@ -79,6 +106,7 @@ class Scheduler:
 
     def run(self, max_callbacks: int = 1_000_000) -> None:
         """Run until the queue drains (bounded against runaway loops)."""
+        self._owner = threading.get_ident()  # the driving thread owns the clock
         remaining = max_callbacks
         while self._queue:
             if remaining <= 0:

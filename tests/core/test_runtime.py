@@ -1,0 +1,313 @@
+"""The threaded shard executor: worker pool, barrier, and clock affinity."""
+
+import threading
+
+import pytest
+
+from repro import EngineConfig, Simulation
+from repro.core import eca
+from repro.core.actions import PyAction, UninstallRule
+from repro.errors import RuleError, WebError
+from repro.events import EAtom
+from repro.runtime import ShardWorkerPool
+from repro.terms import Var, d, q
+from repro.web import Scheduler
+
+
+class TestShardWorkerPool:
+    def test_jobs_run_pinned_and_in_parallel_threads(self):
+        pool = ShardWorkerPool(3, name="t")
+        thread_ids = [None] * 3
+
+        def job(i):
+            def run():
+                thread_ids[i] = threading.get_ident()
+            return run
+
+        pool.run_epoch([job(0), job(1), job(2)])
+        pool.run_epoch([job(0), None, None])
+        assert all(tid is not None for tid in thread_ids)
+        assert len(set(thread_ids)) == 3            # one thread per shard
+        assert thread_ids[0] != threading.get_ident()  # off the caller
+        assert pool.epochs == 2
+        assert pool.jobs_run == 4
+        pool.shutdown()
+
+    def test_pinning_is_stable_across_epochs(self):
+        pool = ShardWorkerPool(2, name="t")
+        seen = {0: set(), 1: set()}
+        for _ in range(3):
+            pool.run_epoch([
+                lambda: seen[0].add(threading.get_ident()),
+                lambda: seen[1].add(threading.get_ident()),
+            ])
+        assert len(seen[0]) == 1 and len(seen[1]) == 1
+        assert seen[0] != seen[1]
+        pool.shutdown()
+
+    def test_barrier_joins_everyone_before_error_propagates(self):
+        pool = ShardWorkerPool(3, name="t")
+        finished = []
+
+        def slow_ok():
+            finished.append("ok")
+
+        def boom():
+            raise ValueError("shard 1 exploded")
+
+        with pytest.raises(ValueError, match="shard 1 exploded"):
+            pool.run_epoch([slow_ok, boom, slow_ok])
+        # Both healthy jobs completed: the barrier held despite the error.
+        assert finished == ["ok", "ok"]
+        pool.shutdown()
+
+    def test_lowest_shard_error_wins(self):
+        pool = ShardWorkerPool(2, name="t")
+
+        def fail(msg):
+            def run():
+                raise RuntimeError(msg)
+            return run
+
+        with pytest.raises(RuntimeError, match="zero"):
+            pool.run_epoch([fail("zero"), fail("one")])
+        pool.shutdown()
+
+    def test_lazy_start_and_idempotent_shutdown(self):
+        pool = ShardWorkerPool(2, name="t")
+        assert not pool.started           # no threads until the first epoch
+        pool.run_epoch([None, None])      # all-idle epoch: still no threads
+        assert not pool.started
+        pool.run_epoch([lambda: None, None])
+        assert pool.started
+        pool.shutdown()
+        pool.shutdown()                   # idempotent
+        with pytest.raises(WebError, match="shut down"):
+            pool.run_epoch([lambda: None, None])
+
+    def test_job_slot_count_must_match(self):
+        pool = ShardWorkerPool(2, name="t")
+        with pytest.raises(WebError, match="one job slot per worker"):
+            pool.run_epoch([lambda: None])
+        pool.shutdown()
+
+
+class TestSchedulerThreadAffinity:
+    def test_foreign_thread_schedule_is_rejected(self):
+        scheduler = Scheduler()
+        scheduler.at(1.0, lambda: None)  # binds ownership to this thread
+        caught = []
+
+        def schedule_from_worker():
+            try:
+                scheduler.at(2.0, lambda: None)
+            except WebError as exc:
+                caught.append(str(exc))
+
+        thread = threading.Thread(target=schedule_from_worker)
+        thread.start()
+        thread.join()
+        assert caught and "single-threaded" in caught[0]
+        scheduler.at(3.0, lambda: None)  # the owner may, of course
+
+    def test_worker_pool_jobs_cannot_touch_the_clock(self):
+        scheduler = Scheduler()
+        scheduler.at(1.0, lambda: None)  # bound to this thread
+        pool = ShardWorkerPool(1, name="t")
+        with pytest.raises(WebError, match="single-threaded"):
+            pool.run_epoch([lambda: scheduler.at(2.0, lambda: None)])
+        pool.shutdown()
+
+    def test_serial_cross_thread_driving_stays_legal(self):
+        """A simulation built on one thread and *driven* from another is
+        still single-threaded use: run() re-binds clock ownership to the
+        driving thread."""
+        sim = Simulation(latency=0.05)
+        a = sim.node("http://a.example")
+        b = sim.node("http://b.example")
+        failures = []
+
+        def drive():
+            try:
+                a.raise_event("http://b.example", d("ping", 1))
+                sim.run()
+            except Exception as exc:  # noqa: BLE001 - reported to the test
+                failures.append(exc)
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        thread.join()
+        assert failures == []
+        assert b.events_received == 1
+
+
+class TestExecutorConfig:
+    def test_executor_validated_at_construction(self):
+        with pytest.raises(RuleError, match="unknown executor"):
+            EngineConfig(executor="fibers")
+
+    def test_env_var_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFAULT_EXECUTOR", "threads")
+        assert EngineConfig().executor == "threads"
+        monkeypatch.delenv("REPRO_DEFAULT_EXECUTOR")
+        assert EngineConfig().executor == "inline"
+
+    def test_unsharded_node_is_always_inline(self):
+        sim = Simulation(latency=0.0)
+        node = sim.reactive_node("http://t.example",
+                                 config=EngineConfig(executor="threads"))
+        assert node.executor == "inline"
+        assert node.stats["executor"] == "inline"
+
+    def test_sync_delivery_falls_back_to_inline(self):
+        sim = Simulation(latency=0.0)
+        node = sim.reactive_node(
+            "http://t.example",
+            config=EngineConfig(shards=2, executor="threads",
+                                sync_delivery=True))
+        assert node.executor == "inline"
+        assert node.router.pool is None
+
+    def test_threaded_node_reports_and_counts_epochs(self):
+        sim = Simulation(latency=0.0)
+        node = sim.reactive_node(
+            "http://t.example",
+            config=EngineConfig(shards=2, executor="threads"))
+        assert node.executor == "threads"
+        fired = []
+        node.install(
+            eca("a", EAtom(q("a", Var("V"))),
+                PyAction(lambda n, b: fired.append("a"), "rec")),
+            eca("b", EAtom(q("b", Var("V"))),
+                PyAction(lambda n, b: fired.append("b"), "rec")),
+        )
+        for i in range(3):
+            node.raise_local(d("a", i))
+            node.raise_local(d("b", i))
+        sim.run()
+        assert fired == ["a", "b"] * 3
+        stats = node.stats
+        assert stats["executor"] == "threads"
+        assert stats.epochs > 0
+        assert stats.barrier_wait_s >= 0.0
+        assert stats.rule_firings == 6
+        assert all(s.executor == "threads" for s in node.shard_stats)
+
+
+class TestThreadedSemantics:
+    def _run(self, **config_kwargs):
+        sim = Simulation(latency=0.0)
+        node = sim.reactive_node("http://t.example",
+                                 config=EngineConfig(**config_kwargs))
+        fired = []
+        node.install(
+            eca("killer", EAtom(q("kill", Var("V"))),
+                UninstallRule("victim")),
+            eca("victim", EAtom(q("x", Var("V"))),
+                PyAction(lambda n, b: fired.append("victim"), "rec")),
+            eca("bystander", EAtom(q("x", Var("V"))),
+                PyAction(lambda n, b: fired.append("bystander"), "rec")),
+        )
+        # Same instant, one epoch: x, kill, x — the second x must not
+        # reach the victim (the kill fired between them).
+        sim.scheduler.at(1.0, lambda: node.raise_local(d("x", 1)))
+        sim.scheduler.at(1.0, lambda: node.raise_local(d("kill", 0)))
+        sim.scheduler.at(1.0, lambda: node.raise_local(d("x", 2)))
+        sim.run()
+        return fired
+
+    def test_mid_epoch_uninstall_skips_later_collected_answers(self):
+        inline = self._run(shards=3)
+        threaded = self._run(shards=3, executor="threads")
+        single = self._run()
+        assert single == ["victim", "bystander", "bystander"]
+        assert inline == single
+        assert threaded == single
+
+    def test_failing_shard_still_fires_the_pre_failure_prefix(self):
+        """A matcher error on one shard mid-epoch must not swallow the
+        firings of events that logically precede it — inline fires them
+        before the error propagates, and so must the barrier."""
+        from repro.errors import QueryError
+        from repro.terms import Compare
+
+        def run(**config_kwargs):
+            sim = Simulation(latency=0.0)
+            node = sim.reactive_node("http://t.example",
+                                     config=EngineConfig(**config_kwargs))
+            fired = []
+            node.install(
+                eca("ok", EAtom(q("a", Var("V"))),
+                    PyAction(lambda n, b: fired.append("ok"), "rec")),
+                # Matching this query raises QueryError (unbound rhs).
+                eca("boom", EAtom(q("b", q("v", Compare(">", Var("U"))))),
+                    PyAction(lambda n, b: fired.append("boom"), "rec")),
+            )
+            sim.scheduler.at(1.0, lambda: node.raise_local(d("a", 1)))
+            sim.scheduler.at(1.0, lambda: node.raise_local(d("b", d("v", 5))))
+            error = None
+            try:
+                sim.run()
+            except QueryError as exc:
+                error = exc
+            return fired, error is not None
+
+        single = run()
+        assert single == (["ok"], True)
+        assert run(shards=2) == single
+        assert run(shards=2, executor="threads") == single
+
+    def test_failing_event_own_earlier_answers_still_fire(self):
+        """Within the failing event itself, answers collected before the
+        raise are part of the inline prefix: inline fires each
+        evaluator's answers as the dispatch loop reaches it, so a rule
+        installed *before* the raising one has already fired."""
+        from repro.errors import QueryError
+        from repro.terms import Compare
+
+        def run(**config_kwargs):
+            sim = Simulation(latency=0.0)
+            node = sim.reactive_node("http://t.example",
+                                     config=EngineConfig(**config_kwargs))
+            fired = []
+            node.install(
+                eca("ok", EAtom(q("b", Var("V"))),
+                    PyAction(lambda n, b: fired.append("ok"), "rec")),
+                # Same label, installed after "ok": matching raises.
+                eca("boom", EAtom(q("b", q("v", Compare(">", Var("U"))))),
+                    PyAction(lambda n, b: fired.append("boom"), "rec")),
+            )
+            sim.scheduler.at(1.0, lambda: node.raise_local(d("b", d("v", 5))))
+            error = None
+            try:
+                sim.run()
+            except QueryError as exc:
+                error = exc
+            return fired, error is not None
+
+        single = run()
+        assert single == (["ok"], True)
+        assert run(shards=2) == single
+        assert run(shards=2, executor="threads") == single
+
+    def test_matcher_call_attribution_matches_inline(self):
+        """The thread-local matcher counter must attribute per-shard
+        matcher work exactly as the inline executor does."""
+        def run(executor):
+            sim = Simulation(latency=0.0)
+            node = sim.reactive_node(
+                "http://t.example",
+                config=EngineConfig(shards=2, executor=executor))
+            node.install(
+                eca("a", EAtom(q("a", q("v", Var("V")))),
+                    PyAction(lambda n, b: None, "noop")),
+                eca("b", EAtom(q("b", q("v", Var("V")))),
+                    PyAction(lambda n, b: None, "noop")),
+            )
+            for i in range(5):
+                node.raise_local(d("a", d("v", i)))
+                node.raise_local(d("b", d("v", i)))
+            sim.run()
+            return [s.matcher_calls for s in node.shard_stats]
+
+        assert run("threads") == run("inline")

@@ -142,6 +142,32 @@ def test_sharded_broadcast_wakeups_equal_coalesced(specs, stream):
     assert broadcast == coalesced
 
 
+def _run_fleet_with_mid_run_install(specs, stream, extra_rules, **config_kwargs):
+    sim = Simulation(latency=0.0)
+    node = sim.reactive_node("http://p.example",
+                             config=EngineConfig(**config_kwargs))
+    fired = []
+    node.install(*(
+        _build_rule(index, spec, fired)
+        for index, spec in enumerate(specs)
+    ))
+    cut = len(stream) // 2
+    clock = 0.0
+    for step, (delta, label, symbol, payload) in enumerate(stream):
+        clock += delta
+        term = _event_term(label, symbol, payload)
+        sim.scheduler.at(clock, lambda t=term: node.raise_local(t))
+        if step == cut:
+            # Installing disjoint-label rules mid-run forces a
+            # re-partition while evaluators hold partial matches.
+            sim.scheduler.at(clock, lambda: node.install(*(
+                _build_rule(100 + i, ("atom", f"mid-{i}", None), fired)
+                for i in range(extra_rules)
+            )))
+    sim.run()
+    return fired
+
+
 @given(RULE_SPECS, STREAMS, st.integers(min_value=0, max_value=5))
 @settings(max_examples=40, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
@@ -149,30 +175,39 @@ def test_mid_run_install_preserves_equivalence(specs, stream, extra_rules):
     """Repartitioning mid-run (evaluator migration) must stay equivalent."""
     if not stream:
         return
-    cut = len(stream) // 2
+    run = _run_fleet_with_mid_run_install
+    assert run(specs, stream, extra_rules, shards=4) == \
+        run(specs, stream, extra_rules)
 
-    def run(**config_kwargs):
-        sim = Simulation(latency=0.0)
-        node = sim.reactive_node("http://p.example",
-                                 config=EngineConfig(**config_kwargs))
-        fired = []
-        node.install(*(
-            _build_rule(index, spec, fired)
-            for index, spec in enumerate(specs)
-        ))
-        clock = 0.0
-        for step, (delta, label, symbol, payload) in enumerate(stream):
-            clock += delta
-            term = _event_term(label, symbol, payload)
-            sim.scheduler.at(clock, lambda t=term: node.raise_local(t))
-            if step == cut:
-                # Installing disjoint-label rules mid-run forces a
-                # re-partition while evaluators hold partial matches.
-                sim.scheduler.at(clock, lambda: node.install(*(
-                    _build_rule(100 + i, ("atom", f"mid-{i}", None), fired)
-                    for i in range(extra_rules)
-                )))
-        sim.run()
-        return fired
 
-    assert run(shards=4) == run()
+@given(RULE_SPECS, STREAMS, st.sampled_from([2, 4]),
+       st.sampled_from([None, 1, 2]))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_threaded_executor_equals_single_engine(specs, stream, n_shards, batch):
+    """The E17 property: per-shard worker threads with the epoch/barrier
+    protocol must reproduce the single inline engine's answers AND firing
+    order exactly — across shard counts and fairness batching."""
+    single, single_firings = _run_fleet(specs, stream)
+    kwargs = {"shards": n_shards, "executor": "threads"}
+    if batch is not None:
+        kwargs["inbox_batch"] = batch
+    threaded, threaded_firings = _run_fleet(specs, stream, **kwargs)
+    assert threaded_firings == single_firings
+    assert threaded == single
+
+
+@given(RULE_SPECS, STREAMS, st.sampled_from([2, 4]),
+       st.integers(min_value=0, max_value=5))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_threaded_mid_run_install_preserves_equivalence(
+        specs, stream, n_shards, extra_rules):
+    """Mid-run installs (frozen re-partition, evaluator migration) under
+    the threaded executor must match the inline single engine."""
+    if not stream:
+        return
+    run = _run_fleet_with_mid_run_install
+    assert run(specs, stream, extra_rules,
+               shards=n_shards, executor="threads") == \
+        run(specs, stream, extra_rules)

@@ -275,3 +275,71 @@ class TestPolling:
         sim.scheduler.at(7.0, lambda: source.put("http://src.example/doc", d("doc", 2)))
         sim.run_until(20.0)
         assert watcher.changes_detected == 1  # one detection for two changes
+
+    def test_aba_change_is_counted_missed_not_misattributed(self):
+        """Regression: an A→B→A flip between polls is undetectable by
+        fingerprint comparison, but its ``record_change`` timestamps used
+        to linger and inflate the *next* unrelated detection's delay.
+        They must instead expire (one full interval unseen) into
+        ``changes_missed``."""
+        sim, source, watcher_node = self._setup()
+        uri = "http://src.example/doc"
+        watcher = PollingWatcher(watcher_node, uri, interval=1.0, until=10.0)
+        original = d("doc", 0)
+
+        def change_to(term):
+            source.put(uri, term)
+            watcher.record_change(sim.now)
+
+        # Between polls 1.0 and 2.0: A -> B -> A (net: nothing to see).
+        sim.scheduler.at(1.2, lambda: change_to(d("doc", 1)))
+        sim.scheduler.at(1.4, lambda: change_to(original))
+        # A genuinely new value later; detected by the poll at 6.0.
+        sim.scheduler.at(5.5, lambda: change_to(d("doc", 2)))
+        sim.run_until(10.0)
+        assert watcher.changes_detected == 1
+        assert watcher.changes_missed == 2          # the ABA pair
+        # The detection's delay reflects only its own change (6.0 - 5.5),
+        # not the stale ABA timestamps (which would read 4.8 and 4.6).
+        assert watcher.detection_delays == [pytest.approx(0.5)]
+
+    def test_fresh_changes_within_one_interval_all_attributed(self):
+        """Several changes since the previous poll are all within one
+        interval: every one contributes a delay, none expires."""
+        sim, source, watcher_node = self._setup()
+        uri = "http://src.example/doc"
+        watcher = PollingWatcher(watcher_node, uri, interval=5.0, until=20.0)
+
+        def change_to(i):
+            source.put(uri, d("doc", i))
+            watcher.record_change(sim.now)
+
+        sim.scheduler.at(6.0, lambda: change_to(1))
+        sim.scheduler.at(9.0, lambda: change_to(2))
+        sim.run_until(20.0)
+        assert watcher.changes_detected == 1
+        assert watcher.changes_missed == 0
+        assert watcher.detection_delays == [pytest.approx(4.0),
+                                            pytest.approx(1.0)]
+
+
+class TestTrafficAccounting:
+    def test_rtt_charged_initialised_and_surfaced(self):
+        """Regression: ``rtt_charged`` was lazily created via getattr on
+        the network; it must exist from construction and be readable
+        through ``Simulation.stats``."""
+        sim = Simulation(latency=0.1)
+        assert sim.network.rtt_charged == 0.0
+        assert sim.stats.rtt_charged == 0.0
+
+    def test_fetch_charges_one_round_trip(self):
+        sim = Simulation(latency=0.1)
+        source = sim.node("http://src.example")
+        sink = sim.node("http://sink.example")
+        source.put("http://src.example/doc", d("doc", 1))
+        sink.get("http://src.example/doc")
+        assert sim.stats.rtt_charged == pytest.approx(0.2)
+        sink.get("http://src.example/doc")
+        assert sim.stats.rtt_charged == pytest.approx(0.4)
+        # The old attribute spelling still reads the same ledger.
+        assert sim.network.rtt_charged == pytest.approx(0.4)
