@@ -30,6 +30,7 @@ See ``examples/quickstart.py`` for a complete runnable scenario.
 
 from repro import errors
 from repro.api import EngineConfig, ReactiveNode, RuleBuilder, rule
+from repro.ingest import IngestConfig, IngestGateway, IngestStats
 from repro.sharding import ShardRouter
 from repro.terms import (
     Bindings,
@@ -45,12 +46,15 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Bindings",
     "Data",
     "EngineConfig",
+    "IngestConfig",
+    "IngestGateway",
+    "IngestStats",
     "ReactiveNode",
     "RuleBuilder",
     "ShardRouter",

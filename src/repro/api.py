@@ -19,8 +19,13 @@ hand-wire a :class:`~repro.web.node.WebNode` to a
 
 :class:`ReactiveNode` bundles rule management (``install`` / ``uninstall``
 / ``define_procedure`` / ``define_web_views``), messaging (``raise_event``
-/ ``raise_local``), resource access (``get`` / ``put``) and the engine's
-``stats`` behind one facade.  Anywhere a term or rule is expected, a
+/ ``raise_local``), resource access (``get`` / ``put`` / ``delete``) and
+the engine's ``stats`` behind one facade.  With
+``EngineConfig(ingest=IngestConfig(...))`` the facade also fronts the
+ingestion tier (:mod:`repro.ingest`): :attr:`ReactiveNode.ingest` is the
+admission gateway, :meth:`ReactiveNode.loopback` hands out in-process
+clients, and the engine ``stats`` snapshot mirrors the front door's
+admission counters and enqueue-to-fire latency percentiles.  Anywhere a term or rule is expected, a
 surface-syntax string is accepted and parsed.
 
 For building rules programmatically there is a fluent builder that lowers
@@ -182,6 +187,16 @@ class ReactiveNode:
             self.engine = ReactiveEngine(node, config=config)
             self.router = None
             self._impl = self.engine
+        # The ingestion gateway registers its latency hook *after* the
+        # engine/router, so it observes each event post-firing — that is
+        # what makes its latency reading "enqueue to fire".
+        if config is not None and config.ingest is not None:
+            from repro.ingest.admission import IngestGateway
+
+            self.ingest: "IngestGateway | None" = IngestGateway(
+                node, config.ingest)
+        else:
+            self.ingest = None
 
     # -- identity ------------------------------------------------------------
 
@@ -246,6 +261,15 @@ class ReactiveNode:
           seconds the scheduler thread spent joining workers (both 0
           inline).
 
+        With an ingestion gateway configured (``EngineConfig(ingest=...)``)
+        the snapshot additionally mirrors the front door's headline
+        numbers — ``ingest_admitted`` / ``ingest_rejected`` /
+        ``ingest_dropped`` / ``ingest_rate_limited`` / ``ingest_malformed``
+        / ``ingest_spilled`` counters and the enqueue-to-fire
+        ``ingest_latency_p50`` / ``p99`` / ``max`` gauges (simulated
+        seconds); the full counter set is at :attr:`ingest_stats`.  All
+        zero without a gateway.
+
         On a sharded node the snapshot sums all shards (see
         :meth:`~repro.sharding.ShardRouter.aggregate_stats`); per-shard
         snapshots — including each shard's own inbox depth/peak — are at
@@ -254,9 +278,31 @@ class ReactiveNode:
         """
         stats = (self.router.aggregate_stats() if self.router is not None
                  else self.engine.stats)
-        return replace(stats,
-                       inbox_depth=self.node.inbox_depth,
-                       inbox_peak=self.node.inbox_peak)
+        stats = replace(stats,
+                        inbox_depth=self.node.inbox_depth,
+                        inbox_peak=self.node.inbox_peak)
+        if self.ingest is not None:
+            ingest = self.ingest.stats
+            stats = replace(
+                stats,
+                ingest_admitted=ingest.admitted,
+                ingest_rejected=ingest.rejected,
+                ingest_dropped=ingest.dropped,
+                ingest_rate_limited=ingest.rate_limited,
+                ingest_malformed=ingest.malformed,
+                ingest_spilled=ingest.spilled,
+                ingest_latency_p50=ingest.latency.percentile(50.0),
+                ingest_latency_p99=ingest.latency.percentile(99.0),
+                ingest_latency_max=ingest.latency.max,
+            )
+        return stats
+
+    @property
+    def ingest_stats(self):
+        """The gateway's full :class:`~repro.ingest.stats.IngestStats`
+        (live object, not a snapshot), or ``None`` without a gateway —
+        configure one with ``EngineConfig(ingest=IngestConfig(...))``."""
+        return self.ingest.stats if self.ingest is not None else None
 
     @property
     def shard_stats(self) -> tuple[EngineStats, ...]:
@@ -356,6 +402,28 @@ class ReactiveNode:
         """Write a local resource (strings are parsed as data terms)."""
         self.node.put(uri, self._term(root))
         return self
+
+    def delete(self, uri: str) -> "ReactiveNode":
+        """Delete a local resource (remote deletes go through events)."""
+        self.node.delete(uri)
+        return self
+
+    # -- ingestion ------------------------------------------------------------
+
+    def loopback(self, sender: str = "", codec: str = "wire"):
+        """An in-process ingestion client bound to this node's gateway.
+
+        Requires ``EngineConfig(ingest=IngestConfig(...))``; see
+        :class:`repro.ingest.transport.LoopbackClient` for the codecs.
+        """
+        from repro.ingest.transport import LoopbackClient
+
+        if self.ingest is None:
+            raise RuleError(
+                f"{self.uri} has no ingestion gateway; configure one with "
+                "EngineConfig(ingest=IngestConfig(...))"
+            )
+        return LoopbackClient(self.ingest, sender=sender, codec=codec)
 
     @staticmethod
     def _term(term: "Data | str") -> Data:

@@ -157,6 +157,20 @@ class EngineStats:
     executor: str = "inline"
     epochs: int = 0
     barrier_wait_s: float = 0.0
+    # Ingestion-tier mirror, stamped by ReactiveNode.stats when a gateway
+    # is configured (EngineConfig.ingest); all zero otherwise.  The full
+    # counter set lives on IngestStats (node.ingest_stats) — these are the
+    # headline numbers reports read from one snapshot: admission outcomes
+    # and enqueue-to-fire latency percentiles in simulated seconds.
+    ingest_admitted: int = 0
+    ingest_rejected: int = 0
+    ingest_dropped: int = 0
+    ingest_rate_limited: int = 0
+    ingest_malformed: int = 0
+    ingest_spilled: int = 0
+    ingest_latency_p50: float = 0.0
+    ingest_latency_p99: float = 0.0
+    ingest_latency_max: float = 0.0
 
     def __getitem__(self, key: str):
         """Dict-style read access (``stats["executor"]``) for reports."""
@@ -253,6 +267,20 @@ class EngineConfig:
       executor lets the tail of the same drain reach the new rule).
       The environment variable ``REPRO_DEFAULT_EXECUTOR`` overrides the
       default — the CI matrix leg that re-runs tier-1 threaded sets it.
+
+    **Ingestion**
+
+    - ``ingest`` — an :class:`~repro.ingest.admission.IngestConfig` puts
+      the ingestion tier's admission controller in front of the node
+      inbox: high-water backpressure with an overflow policy (``reject``
+      / ``drop-oldest`` / ``spill``), per-sender token-bucket rate
+      limiting, weighted-fair service, and enqueue-to-fire latency
+      accounting (see :mod:`repro.ingest`).  The facade exposes the
+      gateway as :attr:`~repro.api.ReactiveNode.ingest` and mirrors its
+      headline counters into :attr:`~repro.api.ReactiveNode.stats`.
+      ``None`` (default) builds no gateway at all — events reach the
+      inbox exactly as before; the E18 ablation.  Only the facade
+      interprets this field, like ``shards``.
     """
 
     consumption: str = "unrestricted"
@@ -266,6 +294,8 @@ class EngineConfig:
     executor: str = field(
         default_factory=lambda: os.environ.get("REPRO_DEFAULT_EXECUTOR", "inline")
     )
+    ingest: "object | None" = None  # IngestConfig; typed loosely to keep
+    # the core layer free of an import from repro.ingest (which imports web)
 
     def __post_init__(self) -> None:
         # Fail at construction, not at first install; ConsumptionPolicy is
@@ -280,6 +310,15 @@ class EngineConfig:
                 f"unknown executor {self.executor!r} "
                 "(expected 'inline' or 'threads')"
             )
+        if self.ingest is not None:
+            # Deferred import: repro.ingest sits above the web layer and
+            # must stay un-imported by core unless the knob is used.
+            from repro.ingest.admission import IngestConfig
+
+            if not isinstance(self.ingest, IngestConfig):
+                raise RuleError(
+                    f"ingest must be an IngestConfig, got {self.ingest!r}"
+                )
 
 
 @dataclass(frozen=True)

@@ -59,6 +59,15 @@ class WebError(ReWebError):
     """Errors from the simulated Web substrate."""
 
 
+class IngestError(WebError):
+    """Errors from the ingestion tier (transport, admission, wire format)."""
+
+
+class FrameError(IngestError):
+    """A wire frame is malformed: truncated or oversized length prefix,
+    undecodable payload, or a payload that is not an event envelope."""
+
+
 class ResourceNotFound(WebError):
     """A GET/update targeted a URI that does not exist."""
 

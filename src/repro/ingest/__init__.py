@@ -1,0 +1,54 @@
+"""The ingestion tier: a measured front door for event streams.
+
+The paper's nodes consume events "pushed" to them, but the seed repo's
+only push path was hand delivery straight into the node inbox — no wire
+format, no backpressure, no answer to "how long did an accepted event
+wait before its rules ran?".  This package adds the tier between the
+outside world and :class:`~repro.web.node.WebNode`:
+
+- :mod:`repro.ingest.wire` — the framed wire protocol (length-prefixed
+  textual envelope terms) with a hard robustness contract;
+- :mod:`repro.ingest.admission` — the admission controller: high-water
+  backpressure with pluggable overflow policies (``reject`` /
+  ``drop-oldest`` / ``spill`` to disk), per-sender token-bucket rate
+  limiting, and a weighted-fair (deficit-round-robin) pump into the node
+  inbox;
+- :mod:`repro.ingest.stats` — admission counters plus deterministic
+  enqueue-to-fire latency percentiles, in simulated seconds;
+- :mod:`repro.ingest.transport` — an in-process loopback client and an
+  asyncio socket server speaking the wire protocol.
+
+Layering: this package sits *beside* the web layer (it imports
+``repro.web``, ``repro.terms``, ``repro.errors``) and knows nothing about
+the rule engine; the engine facade (:class:`repro.api.ReactiveNode`)
+wires a gateway onto a node when ``EngineConfig(ingest=...)`` asks for
+one.  With no gateway configured, nothing here runs — the hand-delivery
+path is untouched.
+"""
+
+from repro.ingest.admission import IngestConfig, IngestGateway
+from repro.ingest.stats import IngestStats, LatencyRecorder
+from repro.ingest.transport import AsyncIngestServer, LoopbackClient
+from repro.ingest.wire import (
+    MAX_FRAME,
+    FrameDecoder,
+    decode_payload,
+    encode_event,
+    frame,
+    unframe,
+)
+
+__all__ = [
+    "IngestConfig",
+    "IngestGateway",
+    "IngestStats",
+    "LatencyRecorder",
+    "AsyncIngestServer",
+    "LoopbackClient",
+    "MAX_FRAME",
+    "FrameDecoder",
+    "decode_payload",
+    "encode_event",
+    "frame",
+    "unframe",
+]

@@ -1,0 +1,165 @@
+"""Ingestion-tier accounting: admission counters and latency tracking.
+
+The front door's contract is *measured*, not assumed: every event offered
+to the gateway ends up in exactly one of the admission counters below, and
+every event that reaches rule processing contributes one enqueue-to-fire
+latency sample.  ``IngestStats`` is the one object benchmarks and the
+:attr:`repro.api.ReactiveNode.stats` facade read.
+
+Latency is measured in *simulated* seconds — from the instant admission
+accepted the event (``admitted_at``) to the instant the node's handlers
+(the rule engine among them) processed it.  Immediate rule firings happen
+inside that handler call at the same simulated instant, so for answers
+that do not involve absence deadlines this is exactly the enqueue-to-fire
+latency; deadline-delayed absence answers fire later *by the semantics of
+the query*, which is a property of the rule, not of the front door, and
+is deliberately not charged to ingestion.  Using the simulated clock
+keeps the numbers deterministic and machine-independent, like every other
+latency the benchmarks report (e.g. E3's push-vs-poll delay).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+
+
+class LatencyRecorder:
+    """Streaming latency samples with deterministic percentile snapshots.
+
+    Keeps every sample by default (exact percentiles; a million floats is
+    ~8 MB).  With ``max_samples`` set it degrades to reservoir sampling —
+    seeded, so two identical runs keep identical reservoirs — while count,
+    mean, and max stay exact.
+    """
+
+    def __init__(self, max_samples: "int | None" = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(0x1A7E)  # deterministic reservoir
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if self.max_samples is None or len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.max_samples:
+            self._samples[slot] = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile (0-100) of the recorded samples.
+
+        Nearest-rank on the sorted samples: deterministic, and exact when
+        no reservoir cap is set.  0.0 with no samples.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """p50/p99/max/mean/count in one dict (the benchmark row shape)."""
+        return {
+            "count": self.count,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class IngestStats:
+    """Counters of one :class:`~repro.ingest.admission.IngestGateway`.
+
+    Admission outcomes (every offered event lands in exactly one):
+
+    - ``admitted`` — accepted into the in-memory admission queues
+      (events that overflowed to disk land in ``spilled`` instead);
+    - ``rejected`` — refused because the backlog stood at the high-water
+      mark under the ``reject`` policy (the sender hears about it: the
+      loopback client returns ``False``, the socket server acks ``-``);
+    - ``dropped`` — admitted earlier but evicted as the *oldest* queued
+      event to make room under the ``drop-oldest`` policy;
+    - ``rate_limited`` — refused because the sender's token bucket was
+      empty (counted separately from ``rejected``: it is the sender's
+      rate, not the node's backlog, that said no);
+    - ``malformed`` — wire-level rejects: frames that failed to decode
+      into an event envelope (truncated/oversized frames, undecodable
+      text, non-envelope payloads).  Counted here and raised as
+      :class:`~repro.errors.FrameError`; the transport answers the client
+      and keeps serving.
+
+    Overflow-to-disk bookkeeping:
+
+    - ``spilled`` — events written to the spill file at admission because
+      the in-memory backlog stood at the high-water mark (``spill``
+      policy);
+    - ``spill_replayed`` — spilled events read back and queued once the
+      backlog drained (equals ``spilled`` after a run completes).
+
+    Service accounting:
+
+    - ``delivered`` — events the pump moved into the node inbox;
+    - ``fired`` — events whose enqueue-to-fire latency was recorded (the
+      node's handlers ran; equals ``delivered`` once the scheduler has
+      drained);
+    - ``pump_rounds`` — weighted-fair dequeue rounds taken;
+    - ``senders_tracked`` / ``senders_expired`` — live per-sender state
+      (queues, token buckets) and how many idle senders the expiry timer
+      reclaimed (:meth:`repro.web.scheduler.Scheduler.recur`);
+    - ``backlog`` / ``backlog_peak`` — gauge: events queued at the front
+      door (excluding spilled-to-disk) now, and the high-water reading.
+
+    ``latency`` is the enqueue-to-fire :class:`LatencyRecorder`; read
+    percentiles via ``stats.latency.percentile(99)`` or the
+    ``latency.snapshot()`` dict.  Dict-style access works for the counter
+    fields (``stats["admitted"]``), mirroring ``EngineStats``.
+    """
+
+    admitted: int = 0
+    rejected: int = 0
+    dropped: int = 0
+    rate_limited: int = 0
+    malformed: int = 0
+    spilled: int = 0
+    spill_replayed: int = 0
+    delivered: int = 0
+    fired: int = 0
+    pump_rounds: int = 0
+    senders_tracked: int = 0
+    senders_expired: int = 0
+    backlog: int = 0
+    backlog_peak: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def __getitem__(self, key: str):
+        if key not in _INGEST_STATS_FIELDS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    @property
+    def shed(self) -> int:
+        """Everything load management turned away: rejected + dropped +
+        rate-limited (spilled events are deferred, not shed)."""
+        return self.rejected + self.dropped + self.rate_limited
+
+
+_INGEST_STATS_FIELDS = frozenset(field_.name for field_ in fields(IngestStats))

@@ -1,0 +1,183 @@
+"""Transports: how event frames reach the admission controller.
+
+Two front doors share one :class:`~repro.ingest.admission.IngestGateway`:
+
+- :class:`LoopbackClient` — an in-process client for benchmarks, tests,
+  and docs.  With the default ``codec="wire"`` every event is *actually*
+  encoded to framed bytes and decoded back (the full serialise → frame →
+  unframe → parse path a socket client would exercise), so loopback
+  numbers include wire-format cost; ``codec="object"`` skips the bytes
+  and offers the term directly — the ablation that isolates codec
+  overhead in ``benchmarks/bench_e18_ingestion.py``.
+- :class:`AsyncIngestServer` — a real asyncio socket server speaking the
+  framed protocol of :mod:`repro.ingest.wire`.  Each accepted frame is
+  offered to the gateway and (optionally) acknowledged with one byte:
+  ``+`` admitted, ``-`` refused by load management (rejected or
+  rate-limited), ``!`` malformed.  Malformed *payloads* (undecodable
+  text, non-envelope terms) are counted and answered without dropping
+  the connection; malformed *framing* (an oversized length prefix, a
+  stream truncated mid-frame) is unrecoverable — the counter is bumped
+  and the connection closed — but the server itself keeps serving.
+
+Clock note: the server accepts bytes in real time, but admission stamps
+and pump scheduling use the node's *simulated* clock.  Events offered
+while the scheduler is parked simply queue at the instant ``node.now``;
+the next :meth:`~repro.web.node.Simulation.run` pumps them through the
+inbox and fires rules.  Tests drive this as: serve traffic with asyncio,
+then ``sim.run()`` to observe the firings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import FrameError
+from repro.ingest import wire
+from repro.ingest.admission import IngestGateway
+from repro.terms.ast import Data
+from repro.terms.parser import parse_data
+
+
+class LoopbackClient:
+    """An in-process sender bound to one gateway (see module docstring)."""
+
+    def __init__(self, gateway: IngestGateway, sender: str = "",
+                 codec: str = "wire") -> None:
+        if codec not in ("wire", "object"):
+            raise FrameError(f"unknown loopback codec {codec!r} "
+                             "(expected 'wire' or 'object')")
+        self.gateway = gateway
+        self.sender = sender
+        self.codec = codec
+
+    def send(self, term: "Data | str", *, sent_at: "float | None" = None) -> bool:
+        """Offer one event term; True iff admission accepted it.
+
+        Surface-syntax strings are parsed, like everywhere on the facade.
+        """
+        if isinstance(term, str):
+            term = parse_data(term)
+        gateway = self.gateway
+        if self.codec == "object":
+            return gateway.offer(term, sender=self.sender, sent_at=sent_at)
+        node = gateway.node
+        data = wire.encode_event(
+            term,
+            sender=self.sender,
+            sent_at=sent_at if sent_at is not None else node.now,
+            message_id=node.network.next_message_id(),
+            max_frame=gateway.config.max_frame,
+        )
+        admitted = True
+        for payload in wire.unframe(data, gateway.config.max_frame):
+            admitted = gateway.offer_payload(payload) and admitted
+        return admitted
+
+
+class AsyncIngestServer:
+    """A framed-protocol asyncio server in front of one gateway.
+
+    >>> server = AsyncIngestServer(gateway)          # doctest: +SKIP
+    >>> host, port = await server.start()            # doctest: +SKIP
+    ... # clients connect and stream frames; acks flow back
+    >>> await server.stop()                          # doctest: +SKIP
+    """
+
+    def __init__(self, gateway: IngestGateway, host: str = "127.0.0.1",
+                 port: int = 0, *, ack: bool = True) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.ack = ack
+        self.connections = 0
+        self._server: "asyncio.base_events.Server | None" = None
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        gateway = self.gateway
+        decoder = wire.FrameDecoder(gateway.config.max_frame)
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    try:
+                        decoder.finish()  # truncated / broken framing?
+                    except FrameError:
+                        gateway.count_malformed()
+                        await self._answer(writer, b"!")
+                    break
+                try:
+                    payloads = decoder.feed(chunk)
+                except FrameError:
+                    # Framing is broken; the stream cannot resync.  Count,
+                    # answer, close this connection — the server lives on.
+                    gateway.count_malformed()
+                    await self._answer(writer, b"!")
+                    break
+                for payload in payloads:
+                    try:
+                        admitted = gateway.offer_payload(payload)
+                    except FrameError:
+                        # Payload-level garbage: counted by the gateway;
+                        # the framing is intact, so keep the connection.
+                        await self._answer(writer, b"!")
+                        continue
+                    await self._answer(writer, b"+" if admitted else b"-")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # the peer may already be gone
+
+    async def _answer(self, writer: asyncio.StreamWriter, byte: bytes) -> None:
+        if not self.ack:
+            return
+        writer.write(byte)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # ack to a closed peer is best-effort
+
+
+async def send_frames(host: str, port: int, frames: "list[bytes]",
+                      *, expect_acks: bool = True) -> bytes:
+    """Test/demo helper: connect, stream raw *frames*, collect acks.
+
+    Returns the raw ack bytes (one per frame when the server acks and the
+    framing survived; fewer if the server closed the connection early).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    acks = b""
+    try:
+        for chunk in frames:
+            writer.write(chunk)
+        await writer.drain()
+        writer.write_eof()
+        while expect_acks:
+            byte = await reader.read(1)
+            if not byte:
+                break
+            acks += byte
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return acks

@@ -1,11 +1,15 @@
-"""Simulated HTTP: the GET/POST request-response layer.
+"""Simulated HTTP: the request-response layer (GET/POST/PUT/DELETE).
 
 The paper's infrastructure section singles out two HTTP methods: GET
 (retrieve the resource identified by a URI) and POST (send data to a
-resource).  We model exactly those, as term-typed request/response values
-over the simulated network.  Higher layers never craft messages manually —
-they go through :meth:`WebNode.get` and :meth:`WebNode.post` — which is the
-point of Thesis 1: HTTP is the substrate, not the programming model.
+resource); PUT and DELETE complete the uniform interface for resource
+creation and removal.  All four are modelled as term-typed
+request/response values over the simulated network.  Higher layers never
+craft messages manually — they go through :meth:`WebNode.get` /
+:meth:`WebNode.post` / :meth:`WebNode.put` / :meth:`WebNode.delete`, or
+hand a whole :class:`Request` to :meth:`WebNode.handle_request` (the
+ingestion tier's request entry point) — which is the point of Thesis 1:
+HTTP is the substrate, not the programming model.
 """
 
 from __future__ import annotations

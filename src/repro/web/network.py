@@ -11,6 +11,7 @@ per receiver, so benchmarks can report exactly what the theses predict.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
 from urllib.parse import urlparse
@@ -113,6 +114,15 @@ class Network:
         self.broker = broker
         self.stats = TrafficStats()
         self._nodes: dict[str, "object"] = {}
+        # Per-simulation SOAP message ids: every envelope a node of this
+        # network sends draws from here, so ids are dense and start at 1
+        # for each fresh Simulation instead of leaking a process-global
+        # count across instances (see repro.web.soap).
+        self._message_ids = itertools.count(1)
+
+    def next_message_id(self) -> int:
+        """Allocate the next envelope message id of this simulation."""
+        return next(self._message_ids)
 
     def register(self, node) -> None:
         """Attach a node; it becomes addressable by its URI authority."""

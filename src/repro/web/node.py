@@ -67,9 +67,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from repro.errors import WebError
+from repro.errors import ResourceNotFound, WebError
 from repro.events.model import Event, make_event
 from repro.terms.ast import Data
+from repro.web import http
+from repro.web.http import Request, Response
 from repro.web.network import Message, Network, authority
 from repro.web.resources import ResourceStore
 from repro.web.scheduler import Scheduler
@@ -146,20 +148,40 @@ class WebNode:
         if message.kind != "event":
             raise WebError(f"unexpected message kind {message.kind!r} in inbox")
         envelope = Envelope.from_term(message.payload)
-        event = make_event(
+        self.deliver(self.stamp_event(
             envelope.body,
-            self.now,
             source=envelope.sender or message.src,
-            # `is not None`, not truthiness: an event sent at t=0.0 still
-            # occurred when it was sent, not when it arrived.
-            occurrence=(min(envelope.sent_at, self.now)
-                        if envelope.sent_at is not None else self.now),
+            sent_at=envelope.sent_at,
+        ))
+
+    def stamp_event(self, term: Data, *, source: str = "",
+                    sent_at: "float | None" = None) -> Event:
+        """Stamp *term* as an event arriving at this node *now*.
+
+        The first half of the delivery seam the ingestion tier's admission
+        controller builds on (:mod:`repro.ingest`): stamping and enqueueing
+        are separate steps so a gateway can note the event's identity (for
+        enqueue-to-fire latency accounting) before :meth:`deliver` hands it
+        to the inbox.  ``sent_at`` is the sender's clock reading;
+        `is not None`, not truthiness: an event sent at t=0.0 still
+        occurred when it was sent, not when it arrived.
+        """
+        return make_event(
+            term,
+            self.now,
+            source=source or self.uri,
+            occurrence=(min(sent_at, self.now)
+                        if sent_at is not None else self.now),
         )
+
+    def deliver(self, event: Event) -> None:
+        """Enqueue an already-stamped event (second half of the seam)."""
         self._deliver(event)
 
     def raise_event(self, to: str, term: Data) -> None:
         """Push an event message to another node (or to this node itself)."""
-        envelope = Envelope(term, sender=self.uri, sent_at=self.now)
+        envelope = Envelope(term, sender=self.uri, sent_at=self.now,
+                            message_id=self.network.next_message_id())
         self.events_sent += 1
         self.network.send(self.uri, to, envelope.to_term(), "event")
 
@@ -228,6 +250,68 @@ class WebNode:
                 "remote updates are requested via events (Thesis 2)"
             )
         self.resources.put(uri, root)
+
+    def delete(self, uri: str) -> None:
+        """Delete a local resource (remote deletes go through events)."""
+        if authority(uri) != self.uri:
+            raise WebError(
+                f"{self.uri} cannot delete {uri} directly; "
+                "remote updates are requested via events (Thesis 2)"
+            )
+        self.resources.delete(uri)
+
+    def post(self, uri: str, body: Data) -> None:
+        """POST *body* to the resource's owning node, as an event message.
+
+        Thesis 1's reading of POST — "send data to a resource" — is
+        exactly the reactive push: the body travels as an event envelope
+        to the node owning *uri* and lands in its inbox like any other
+        event (rules there decide what the data means for the resource).
+        """
+        self.raise_event(authority(uri), body)
+
+    def handle_request(self, request: Request) -> Response:
+        """Serve one simulated HTTP request against this node.
+
+        The full method set of :class:`repro.web.http.Request`, mapped
+        onto the node's primitives — the entry point the ingestion tier
+        and examples use to exercise GET/POST/PUT/DELETE end to end:
+
+        - ``GET`` reads the resource (access-guarded like
+          :meth:`serve_get`); 404 when absent;
+        - ``PUT`` creates (201) or replaces (204) the resource;
+        - ``DELETE`` removes it (204); 404 when absent;
+        - ``POST`` enqueues the body as a local event (204; 400 without a
+          body — there is nothing to deliver).
+
+        PUT/DELETE against a URI this node does not own are refused with
+        403: remote updates travel as events (Thesis 2), never as direct
+        writes.
+        """
+        if request.method == "GET":
+            try:
+                return Response(http.OK, self.serve_get(request.uri, self.uri))
+            except ResourceNotFound:
+                return Response(http.NOT_FOUND)
+        if request.method == "POST":
+            if request.body is None:
+                return Response(http.BAD_REQUEST)
+            self.deliver(self.stamp_event(request.body))
+            return Response(http.NO_CONTENT)
+        if authority(request.uri) != self.uri:
+            return Response(http.FORBIDDEN)
+        if request.method == "PUT":
+            if request.body is None:
+                return Response(http.BAD_REQUEST)
+            created = request.uri not in self.resources
+            self.resources.put(request.uri, request.body)
+            return Response(http.CREATED if created else http.NO_CONTENT)
+        # DELETE (Request.__post_init__ admits no other method)
+        try:
+            self.resources.delete(request.uri)
+        except ResourceNotFound:
+            return Response(http.NOT_FOUND)
+        return Response(http.NO_CONTENT)
 
 
 class Simulation:

@@ -90,6 +90,26 @@ class Scheduler:
 
         self.after(interval, tick)
 
+    def recur(self, interval: float, callback: Callable[[], bool]) -> None:
+        """Schedule *callback* periodically while it returns truthy.
+
+        Unlike :meth:`every` (which reschedules unconditionally until an
+        absolute ``until`` instant), a recurring task stops itself: the
+        first tick whose callback returns falsy is the last, so a
+        housekeeping timer — the ingestion tier's token-bucket expiry
+        sweep is the canonical user — cannot keep :meth:`run` alive
+        forever once the state it maintains is gone.  Re-arm by calling
+        :meth:`recur` again when there is new state to maintain.
+        """
+        if interval <= 0:
+            raise WebError(f"interval must be positive: {interval}")
+
+        def tick() -> None:
+            if callback():
+                self.after(interval, tick)
+
+        self.after(interval, tick)
+
     def pending(self) -> int:
         """Number of callbacks still queued."""
         return len(self._queue)

@@ -5,6 +5,16 @@ Following the paper's description of SOAP, an envelope has a *header*
 *body* (the application payload).  Envelopes are themselves data terms, so
 they can be queried with the ordinary query language — which is how event
 queries extract both payload data and message metadata.
+
+Message-id scoping: an :class:`Envelope` constructed standalone draws its
+id from a process-global counter (convenient for ad-hoc envelopes and
+doctests), but envelopes created *by a node* (``WebNode.raise_event``,
+the ingestion transport) draw from their simulation's own counter
+(:meth:`repro.web.network.Network.next_message_id`), so ids are dense and
+deterministic per :class:`~repro.web.node.Simulation` — envelope-level
+assertions in one test can never depend on how many messages an earlier
+test happened to send.  :func:`reset_message_ids` re-seeds the global
+default for code that needs determinism without a simulation.
 """
 
 from __future__ import annotations
@@ -16,6 +26,18 @@ from repro.errors import WebError
 from repro.terms.ast import Data
 
 _message_ids = itertools.count(1)
+
+
+def reset_message_ids(start: int = 1) -> None:
+    """Re-seed the process-global id counter standalone envelopes use.
+
+    Simulation-owned envelopes are unaffected (each
+    :class:`~repro.web.network.Network` allocates its own dense sequence);
+    this seam exists for tests and scripts that build bare envelopes and
+    want reproducible ids.
+    """
+    global _message_ids
+    _message_ids = itertools.count(start)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,184 @@
+"""Transport tests: the loopback client and the asyncio socket server.
+
+The socket tests bind 127.0.0.1:0 (an ephemeral port), stream real bytes
+through the framed protocol, then run the simulation to watch the events
+fire — the full client → transport → admission → inbox → rules path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FrameError
+from repro.ingest import (
+    AsyncIngestServer,
+    IngestConfig,
+    IngestGateway,
+    LoopbackClient,
+    encode_event,
+)
+from repro.ingest.transport import send_frames
+from repro.terms import parse_data
+from repro.web.node import Simulation
+
+
+def make_gateway(config=None, collect=None):
+    sim = Simulation()
+    node = sim.node("http://sink.example")
+    if collect is not None:
+        node.on_event(collect)
+    return sim, node, IngestGateway(node, config)
+
+
+class TestLoopbackClient:
+    def test_wire_codec_round_trips_through_bytes(self):
+        seen = []
+        sim, node, gateway = make_gateway(collect=seen.append)
+        client = LoopbackClient(gateway, sender="http://c.example")
+        assert client.send(parse_data('order{ seq[1], note["héllo"] }'))
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].source == "http://c.example"
+        assert seen[0].term.first("note").value == "héllo"
+
+    def test_object_codec_skips_the_wire(self):
+        sim, node, gateway = make_gateway()
+        client = LoopbackClient(gateway, sender="s", codec="object")
+        assert client.send(parse_data("order{ seq[1] }"))
+        assert gateway.stats.admitted == 1
+
+    def test_loopback_reports_refusals(self):
+        sim, node, gateway = make_gateway(
+            IngestConfig(high_water=1, policy="reject"))
+        client = LoopbackClient(gateway, sender="s")
+        assert client.send(parse_data("order{ seq[1] }")) is True
+        assert client.send(parse_data("order{ seq[2] }")) is False
+
+    def test_unknown_codec_rejected(self):
+        sim, node, gateway = make_gateway()
+        with pytest.raises(FrameError):
+            LoopbackClient(gateway, codec="pickle")
+
+    def test_message_ids_come_from_the_simulation(self):
+        # Two fresh simulations must produce the same wire bytes for the
+        # same traffic — ids are per-Simulation, not process-global.
+        def first_frame():
+            sim, node, gateway = make_gateway()
+            LoopbackClient(gateway, sender="s").send(
+                parse_data("order{ seq[1] }"), sent_at=0.0)
+            return gateway.stats.admitted
+
+        assert first_frame() == first_frame() == 1
+
+
+def serve(gateway, coroutine_factory):
+    """Run one async client session against a fresh server."""
+    server = AsyncIngestServer(gateway)
+
+    async def main():
+        host, port = await server.start()
+        try:
+            return await coroutine_factory(host, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestAsyncIngestServer:
+    def test_end_to_end_socket_to_rule_firing(self):
+        seen = []
+        sim, node, gateway = make_gateway(collect=seen.append)
+
+        async def session(host, port):
+            frames = [
+                encode_event(parse_data(f"order{{ seq[{i}] }}"),
+                             sender="http://c.example", sent_at=0.0,
+                             message_id=i + 1)
+                for i in range(3)
+            ]
+            return await send_frames(host, port, frames)
+
+        acks = serve(gateway, session)
+        assert acks == b"+++"
+        sim.run()  # the scheduler pumps what the socket admitted
+        assert [e.term.first("seq").value for e in seen] == [0, 1, 2]
+        assert gateway.stats.fired == 3
+
+    def test_malformed_payload_is_answered_not_fatal(self):
+        sim, node, gateway = make_gateway()
+
+        async def session(host, port):
+            good = encode_event(parse_data("order{ seq[1] }"), sender="s",
+                                sent_at=0.0, message_id=1)
+            bad = b"\x00\x00\x00\x07not{a}("
+            return await send_frames(host, port, [good, bad, good])
+
+        # garbage payload acked '!', later frames still served: the
+        # framing is intact, so the connection survives.
+        assert serve(gateway, session) == b"+!+"
+        assert gateway.stats.malformed == 1
+        assert gateway.stats.admitted == 2
+
+    def test_broken_framing_closes_connection_but_not_server(self):
+        sim, node, gateway = make_gateway()
+
+        async def session(host, port):
+            first = await send_frames(
+                host, port, [(1 << 28).to_bytes(4, "big")])  # huge prefix
+            second = await send_frames(
+                host, port, [encode_event(parse_data("order{ seq[1] }"),
+                                          sender="s", sent_at=0.0,
+                                          message_id=1)])
+            return first, second
+
+        first, second = serve(gateway, session)
+        assert first == b"!"       # connection refused further service
+        assert second == b"+"      # but the server kept listening
+        assert gateway.stats.malformed == 1
+
+    def test_truncated_stream_counts_malformed(self):
+        sim, node, gateway = make_gateway()
+
+        async def session(host, port):
+            return await send_frames(host, port, [b"\x00\x00\x00\x20half"])
+
+        assert serve(gateway, session) == b"!"
+        assert gateway.stats.malformed == 1
+
+    def test_refusals_are_acked_minus(self):
+        sim, node, gateway = make_gateway(
+            IngestConfig(high_water=1, policy="reject"))
+
+        async def session(host, port):
+            frames = [
+                encode_event(parse_data(f"order{{ seq[{i}] }}"), sender="s",
+                             sent_at=0.0, message_id=i + 1)
+                for i in range(3)
+            ]
+            return await send_frames(host, port, frames)
+
+        assert serve(gateway, session) == b"+--"
+        assert gateway.stats.rejected == 2
+
+    def test_many_clients_interleave(self):
+        seen = []
+        sim, node, gateway = make_gateway(collect=seen.append)
+
+        async def session(host, port):
+            async def one_client(i):
+                frames = [
+                    encode_event(parse_data(f"order{{ seq[{i * 10 + j}] }}"),
+                                 sender=f"http://c{i}.example", sent_at=0.0,
+                                 message_id=i * 10 + j + 1)
+                    for j in range(5)
+                ]
+                return await send_frames(host, port, frames)
+
+            return await asyncio.gather(*(one_client(i) for i in range(8)))
+
+        acks = serve(gateway, session)
+        assert all(a == b"+++++" for a in acks)
+        sim.run()
+        assert gateway.stats.fired == 40
+        assert len({e.source for e in seen}) == 8

@@ -1,0 +1,170 @@
+"""The full HTTP method set on WebNode, and message-id scoping.
+
+PR 6 satellites: ``put``/``delete`` complete the uniform interface next
+to ``get``/``post``, ``handle_request`` maps whole
+:class:`~repro.web.http.Request` values onto the node's primitives, and
+envelope message ids are allocated per :class:`Simulation` so one
+simulation's traffic cannot shift another's ids.
+"""
+
+import pytest
+
+from repro.errors import ResourceNotFound, WebError
+from repro.web import Request, Simulation
+from repro.web.http import (
+    BAD_REQUEST,
+    CREATED,
+    FORBIDDEN,
+    NO_CONTENT,
+    NOT_FOUND,
+    OK,
+)
+from repro.terms import parse_data
+from repro.web.soap import Envelope, reset_message_ids
+
+
+class TestPutDelete:
+    def test_put_then_delete_local_resource(self):
+        sim = Simulation()
+        node = sim.node("http://a.example")
+        node.put("http://a.example/doc", parse_data("doc{ v[1] }"))
+        assert node.get("http://a.example/doc").first("v").value == 1
+        node.delete("http://a.example/doc")
+        with pytest.raises(ResourceNotFound):
+            node.get("http://a.example/doc")
+
+    def test_remote_delete_refused(self):
+        sim = Simulation()
+        node = sim.node("http://a.example")
+        sim.node("http://b.example")
+        with pytest.raises(WebError):
+            node.delete("http://b.example/doc")
+
+    def test_delete_missing_raises(self):
+        sim = Simulation()
+        node = sim.node("http://a.example")
+        with pytest.raises(ResourceNotFound):
+            node.delete("http://a.example/ghost")
+
+    def test_post_travels_as_an_event(self):
+        sim = Simulation()
+        a = sim.node("http://a.example")
+        b = sim.node("http://b.example")
+        seen = []
+        b.on_event(seen.append)
+        a.post("http://b.example/orders", parse_data("order{ seq[1] }"))
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].source == "http://a.example"
+
+    def test_facade_delete(self):
+        sim = Simulation()
+        node = sim.reactive_node("http://a.example")
+        node.put("http://a.example/doc", "doc{ }")
+        node.delete("http://a.example/doc")
+        with pytest.raises(ResourceNotFound):
+            node.get("http://a.example/doc")
+
+
+class TestHandleRequest:
+    def node(self):
+        sim = Simulation()
+        return sim, sim.node("http://a.example")
+
+    def test_get_found_and_missing(self):
+        sim, node = self.node()
+        node.put("http://a.example/doc", parse_data("doc{ v[7] }"))
+        ok = node.handle_request(Request("GET", "http://a.example/doc"))
+        assert ok.status == OK and ok.body.first("v").value == 7
+        missing = node.handle_request(Request("GET", "http://a.example/no"))
+        assert missing.status == NOT_FOUND and missing.body is None
+
+    def test_put_creates_then_replaces(self):
+        sim, node = self.node()
+        first = node.handle_request(
+            Request("PUT", "http://a.example/doc", parse_data("doc{ v[1] }")))
+        assert first.status == CREATED
+        second = node.handle_request(
+            Request("PUT", "http://a.example/doc", parse_data("doc{ v[2] }")))
+        assert second.status == NO_CONTENT
+        assert node.get("http://a.example/doc").first("v").value == 2
+
+    def test_put_without_body_is_bad_request(self):
+        sim, node = self.node()
+        response = node.handle_request(Request("PUT", "http://a.example/doc"))
+        assert response.status == BAD_REQUEST
+
+    def test_delete_then_missing(self):
+        sim, node = self.node()
+        node.put("http://a.example/doc", parse_data("doc{ }"))
+        assert node.handle_request(
+            Request("DELETE", "http://a.example/doc")).status == NO_CONTENT
+        assert node.handle_request(
+            Request("DELETE", "http://a.example/doc")).status == NOT_FOUND
+
+    def test_foreign_put_delete_forbidden(self):
+        sim, node = self.node()
+        assert node.handle_request(
+            Request("PUT", "http://b.example/doc",
+                    parse_data("doc{ }"))).status == FORBIDDEN
+        assert node.handle_request(
+            Request("DELETE", "http://b.example/doc")).status == FORBIDDEN
+
+    def test_post_enqueues_a_local_event(self):
+        sim, node = self.node()
+        seen = []
+        node.on_event(seen.append)
+        response = node.handle_request(
+            Request("POST", "http://a.example/orders",
+                    parse_data("order{ seq[1] }")))
+        assert response.status == NO_CONTENT
+        sim.run()
+        assert len(seen) == 1
+
+    def test_post_without_body_is_bad_request(self):
+        sim, node = self.node()
+        assert node.handle_request(
+            Request("POST", "http://a.example/x")).status == BAD_REQUEST
+
+    def test_get_with_body_still_rejected(self):
+        with pytest.raises(WebError):
+            Request("GET", "http://a.example/doc", parse_data("doc{ }"))
+
+
+class _CaptureNode:
+    """A registrable stand-in that records raw network messages."""
+
+    def __init__(self, uri):
+        self.uri = uri
+        self.messages = []
+
+    def receive(self, message):
+        self.messages.append(message)
+
+
+class TestMessageIdScoping:
+    def run_one_simulation(self):
+        sim = Simulation()
+        sender = sim.node("http://send.example")
+        capture = _CaptureNode("http://cap.example")
+        sim.network.register(capture)
+        sender.raise_event("http://cap.example", parse_data("ping{ }"))
+        sender.raise_event("http://cap.example", parse_data("ping{ }"))
+        sim.run()
+        return [
+            message.payload.first("header").first("message-id").value
+            for message in capture.messages
+        ]
+
+    def test_each_simulation_counts_from_one(self):
+        # Regardless of how much traffic an earlier simulation produced,
+        # a fresh one starts at message-id 1 — ids are per-Simulation.
+        assert self.run_one_simulation() == [1, 2]
+        assert self.run_one_simulation() == [1, 2]
+
+    def test_standalone_envelopes_keep_the_global_counter(self):
+        reset_message_ids(10)
+        assert Envelope(parse_data("e{ }")).message_id == 10
+        assert Envelope(parse_data("e{ }")).message_id == 11
+        reset_message_ids()
+        assert Envelope(parse_data("e{ }")).message_id == 1
