@@ -29,7 +29,9 @@ See ``examples/quickstart.py`` for a complete runnable scenario.
 """
 
 from repro import errors
-from repro.api import EngineConfig, ReactiveNode, RuleBuilder, rule
+from repro.api import EngineConfig, NodeStats, ReactiveNode, RuleBuilder, rule
+from repro.errors import ReproError
+from repro.events import TreeEvaluator, register_evaluator, resolve_evaluator
 from repro.ingest import IngestConfig, IngestGateway, IngestStats
 from repro.sharding import ShardRouter
 from repro.terms import (
@@ -46,7 +48,7 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Bindings",
@@ -55,10 +57,13 @@ __all__ = [
     "IngestConfig",
     "IngestGateway",
     "IngestStats",
+    "NodeStats",
     "ReactiveNode",
+    "ReproError",
     "RuleBuilder",
     "ShardRouter",
     "Simulation",
+    "TreeEvaluator",
     "d",
     "errors",
     "match",
@@ -66,6 +71,8 @@ __all__ = [
     "parse_construct",
     "parse_data",
     "parse_query",
+    "register_evaluator",
+    "resolve_evaluator",
     "rule",
     "to_text",
     "u",

@@ -79,6 +79,7 @@ from repro.core.rules import ECARule
 from repro.deductive.rules import Program
 from repro.errors import RuleError
 from repro.events.model import Event
+from repro.events.queries import EWithin
 from repro.lang.parser import (
     parse_action,
     parse_condition,
@@ -88,7 +89,7 @@ from repro.lang.parser import (
 from repro.terms.ast import Data
 from repro.terms.parser import parse_data
 
-__all__ = ["EngineConfig", "ReactiveNode", "RuleBuilder", "rule"]
+__all__ = ["EngineConfig", "NodeStats", "ReactiveNode", "RuleBuilder", "rule"]
 
 
 class RuleBuilder:
@@ -144,6 +145,23 @@ class RuleBuilder:
         self._otherwise = parse_action(action) if isinstance(action, str) else action
         return self
 
+    def within(self, seconds: float) -> "RuleBuilder":
+        """Constrain the event query to a *seconds*-wide sliding window.
+
+        Sugar for wrapping the ``.on(...)`` query in an
+        :class:`~repro.events.queries.EWithin` — required before sequences
+        with negation (the window bounds absence checking and blocker
+        storage).  Call after ``.on``; repeated calls nest (the answers
+        must satisfy every window).
+        """
+        if self._event is None:
+            raise RuleError(
+                f"rule {self._name!r} needs an event query before "
+                ".within(...): call .on(...) first"
+            )
+        self._event = EWithin(self._event, seconds)
+        return self
+
     def firing(self, mode: str) -> "RuleBuilder":
         """Select the firing mode: ``"all"`` (default) or ``"first"``."""
         self._firing = mode
@@ -164,6 +182,46 @@ class RuleBuilder:
 def rule(name: str) -> RuleBuilder:
     """Start building a rule: ``rule("n").on(E).when(C).do(A)``."""
     return RuleBuilder(name)
+
+
+class NodeStats:
+    """Every counter of one node, behind one namespace.
+
+    Three typed sub-views, taken together in one consistent snapshot by
+    :attr:`ReactiveNode.stats`:
+
+    - :attr:`engine` — the node-wide
+      :class:`~repro.core.engine.EngineStats` snapshot (shards summed,
+      node-inbox gauges and ingestion headline counters mirrored in);
+    - :attr:`shards` — per-shard :class:`EngineStats` snapshots, each
+      carrying its own FIFO inbox's depth/peak; length 1 (mirroring the
+      node inbox) when unsharded;
+    - :attr:`ingest` — the ingestion gateway's live
+      :class:`~repro.ingest.stats.IngestStats`, or ``None`` without a
+      gateway.
+
+    Any other attribute or ``["key"]`` access delegates to :attr:`engine`,
+    so ``node.stats.rule_firings`` and ``node.stats["executor"]`` read
+    exactly as before the namespace existed.
+    """
+
+    __slots__ = ("engine", "shards", "ingest")
+
+    def __init__(self, engine: EngineStats, shards: tuple, ingest) -> None:
+        self.engine = engine
+        self.shards = shards
+        self.ingest = ingest
+
+    def __getattr__(self, name: str):
+        return getattr(self.engine, name)
+
+    def __getitem__(self, key: str):
+        return self.engine[key]
+
+    def __repr__(self) -> str:
+        gateway = "" if self.ingest is None else ", ingest"
+        return (f"NodeStats(rule_firings={self.engine.rule_firings}, "
+                f"shards={len(self.shards)}{gateway})")
 
 
 class ReactiveNode:
@@ -227,10 +285,16 @@ class ReactiveNode:
         return "inline"
 
     @property
-    def stats(self) -> EngineStats:
-        """A consistent snapshot of the node's counters.
+    def stats(self) -> NodeStats:
+        """A consistent snapshot of the node's counters (:class:`NodeStats`).
 
-        Keys (all monotone counters unless noted):
+        The snapshot's sub-views are ``stats.engine`` (the node-wide
+        :class:`EngineStats`), ``stats.shards`` (per-shard snapshots) and
+        ``stats.ingest`` (the gateway's live
+        :class:`~repro.ingest.stats.IngestStats`, or ``None``); plain
+        attribute and ``["key"]`` access keep delegating to the engine
+        view.  Keys of the engine view (all monotone counters unless
+        noted):
 
         - ``events_processed`` — events handled by the engine(s); on a
           sharded node every shard's copy of a replicated delivery counts
@@ -267,13 +331,13 @@ class ReactiveNode:
         ``ingest_dropped`` / ``ingest_rate_limited`` / ``ingest_malformed``
         / ``ingest_spilled`` counters and the enqueue-to-fire
         ``ingest_latency_p50`` / ``p99`` / ``max`` gauges (simulated
-        seconds); the full counter set is at :attr:`ingest_stats`.  All
+        seconds); the full counter set is at ``stats.ingest``.  All
         zero without a gateway.
 
-        On a sharded node the snapshot sums all shards (see
+        On a sharded node the engine view sums all shards (see
         :meth:`~repro.sharding.ShardRouter.aggregate_stats`); per-shard
         snapshots — including each shard's own inbox depth/peak — are at
-        :attr:`shard_stats`.  Re-read the property for fresh values; a
+        ``stats.shards``.  Re-read the property for fresh values; a
         single engine's live object stays at ``engine.stats``.
         """
         stats = (self.router.aggregate_stats() if self.router is not None
@@ -281,8 +345,8 @@ class ReactiveNode:
         stats = replace(stats,
                         inbox_depth=self.node.inbox_depth,
                         inbox_peak=self.node.inbox_peak)
-        if self.ingest is not None:
-            ingest = self.ingest.stats
+        ingest = self.ingest.stats if self.ingest is not None else None
+        if ingest is not None:
             stats = replace(
                 stats,
                 ingest_admitted=ingest.admitted,
@@ -295,23 +359,29 @@ class ReactiveNode:
                 ingest_latency_p99=ingest.latency.percentile(99.0),
                 ingest_latency_max=ingest.latency.max,
             )
-        return stats
+        if self.router is not None:
+            shards = self.router.shard_stats()
+        else:
+            shards = (replace(self.engine.stats,
+                              inbox_depth=self.node.inbox_depth,
+                              inbox_peak=self.node.inbox_peak),)
+        return NodeStats(stats, shards, ingest)
 
     @property
     def ingest_stats(self):
-        """The gateway's full :class:`~repro.ingest.stats.IngestStats`
-        (live object, not a snapshot), or ``None`` without a gateway —
-        configure one with ``EngineConfig(ingest=IngestConfig(...))``."""
+        """Deprecated alias for ``stats.ingest``: the gateway's live
+        :class:`~repro.ingest.stats.IngestStats`, or ``None`` without a
+        gateway.  Kept so existing callers and examples keep working;
+        new code should read :attr:`stats` and use its sub-views."""
         return self.ingest.stats if self.ingest is not None else None
 
     @property
     def shard_stats(self) -> tuple[EngineStats, ...]:
-        """Per-shard counter snapshots, one :class:`EngineStats` each.
-
-        Same keys as :attr:`stats`, except ``inbox_depth``/``inbox_peak``
-        mirror that shard's *own* FIFO inbox — the per-shard backpressure
-        signal.  Length 1 (mirroring the node inbox) when unsharded.
-        """
+        """Deprecated alias for ``stats.shards``: per-shard snapshots,
+        one :class:`EngineStats` each, carrying that shard's *own* FIFO
+        inbox gauges.  Length 1 (mirroring the node inbox) when
+        unsharded.  Kept so existing callers and examples keep working;
+        new code should read :attr:`stats` and use its sub-views."""
         if self.router is not None:
             return self.router.shard_stats()
         return (replace(self.engine.stats,

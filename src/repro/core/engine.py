@@ -100,7 +100,7 @@ from repro.deductive.evaluation import forward_chain
 from repro.deductive.rules import Program
 from repro.errors import ActionError, RecursionRejected, RuleError
 from repro.events.consumption import ConsumingEvaluator, ConsumptionPolicy
-from repro.events.incremental import IncrementalEvaluator
+from repro.events.factory import resolve_evaluator
 from repro.events.model import Event, make_event
 from repro.terms.ast import Bindings, Data, canonical_str
 from repro.terms.simulation import matcher_call_count, scalar_key
@@ -195,6 +195,17 @@ class EngineConfig:
     - ``consumption`` — event instance consumption policy applied to every
       rule's evaluator: ``"unrestricted"`` (default), ``"chronicle"``, or
       ``"recent"`` (see :mod:`repro.events.consumption`).
+    - ``evaluator`` — the event-query evaluation mechanism built for each
+      rule: ``"incremental"`` (default; prefix extension), ``"tree"``
+      (join trees with frequency-ordered plans, re-planned from the
+      node's observed per-label event rates on every
+      :meth:`ReactiveEngine.refresh`), or ``"naive"`` (full
+      re-evaluation, the Thesis 6 baseline).  Also accepts a custom
+      :class:`~repro.events.factory.EvaluatorFactory` or a bare
+      ``(query, rates) -> evaluator`` callable; all mechanisms produce
+      identical answers in identical order (property-tested), so the
+      knob only moves cost.  The engine, the shard router, and the
+      facade all build evaluators through this one seam.
     - ``event_views`` — a non-recursive deductive :class:`Program`
       deriving further event terms from each incoming event (Thesis 9);
       rules can subscribe to the derived labels.
@@ -296,11 +307,13 @@ class EngineConfig:
     )
     ingest: "object | None" = None  # IngestConfig; typed loosely to keep
     # the core layer free of an import from repro.ingest (which imports web)
+    evaluator: "str | object" = "incremental"
 
     def __post_init__(self) -> None:
         # Fail at construction, not at first install; ConsumptionPolicy is
         # the single source of truth for valid policy names.
         ConsumptionPolicy(self.consumption)
+        resolve_evaluator(self.evaluator)
         if self.inbox_batch is not None and self.inbox_batch < 1:
             raise RuleError(f"inbox_batch must be >= 1, got {self.inbox_batch}")
         if self.shards < 1:
@@ -473,6 +486,10 @@ class ReactiveEngine:
         self.config = config
         self.stats = EngineStats()
         self.consumption = config.consumption
+        self._factory = resolve_evaluator(config.evaluator)
+        # Observed events per root label (derived events included): the
+        # rate signal rate-aware evaluators seed their join plans from.
+        self._label_rates: dict[str, float] = {}
         self._event_views = config.event_views
         self._indexed = config.indexed_dispatch
         self._discriminating = config.discriminating_index
@@ -629,8 +646,14 @@ class ReactiveEngine:
             current = self._active.get(name)
             if current is not None and current[0] is rule:
                 active[name] = current
+                # Surviving evaluators keep their state but get a chance to
+                # reorder their join plans from the rates seen so far (a
+                # no-op for mechanisms without a plan).
+                replan = getattr(current[1], "replan", None)
+                if replan is not None:
+                    replan(self._label_rates)
             else:
-                evaluator: object = IncrementalEvaluator(rule.event)
+                evaluator: object = self._factory.build(rule.event, self._label_rates)
                 if self.consumption != "unrestricted":
                     evaluator = ConsumingEvaluator(evaluator, self.consumption)
                 active[name] = (rule, evaluator)
@@ -759,6 +782,8 @@ class ReactiveEngine:
     def _dispatch(self, event: Event, fire: bool = True,
                   exclude: frozenset = frozenset()) -> None:
         stats = self.stats
+        label = event.term.label
+        self._label_rates[label] = self._label_rates.get(label, 0.0) + 1.0
         entries = self._interested(event)
         if exclude:
             entries = [(rule, evaluator) for rule, evaluator in entries

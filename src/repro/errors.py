@@ -12,6 +12,11 @@ class ReWebError(Exception):
     """Base class for all errors raised by the ReWeb library."""
 
 
+#: The package-named alias of :class:`ReWebError` — ``except ReproError``
+#: catches every library failure without referencing the historical name.
+ReproError = ReWebError
+
+
 class TermError(ReWebError):
     """Malformed data, query, or construct term."""
 

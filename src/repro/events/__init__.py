@@ -13,15 +13,32 @@ Implements Theses 4-6 of the paper:
   accumulation* (counts and sliding aggregates).
 - **Thesis 6** — data-driven, *incremental* evaluation
   (:class:`IncrementalEvaluator`) versus the query-driven, re-evaluate-the-
-  whole-history baseline (:class:`NaiveEvaluator`).  Both implement the same
-  declarative semantics (:func:`repro.events.naive.answers`), which the
-  property suite checks on random streams.
+  whole-history baseline (:class:`NaiveEvaluator`).  All mechanisms
+  implement the same declarative semantics
+  (:func:`repro.events.naive.answers`), which the property suite checks on
+  random streams.
+
+Three evaluation mechanisms share that semantics, selected per node with
+``EngineConfig(evaluator=...)`` and built through the
+:class:`EvaluatorFactory` seam (:func:`resolve_evaluator` /
+:func:`register_evaluator`): ``"incremental"`` (prefix extension),
+``"tree"`` (:class:`TreeEvaluator` — join trees with frequency-ordered
+plans), and ``"naive"`` (the re-evaluation baseline).
 """
 
+from repro.events.answers import answer_sort_key, dedup_answers
 from repro.events.consumption import ConsumptionPolicy, ConsumingEvaluator
+from repro.events.factory import (
+    EVALUATORS,
+    EvaluatorFactory,
+    ScheduledNaiveEvaluator,
+    register_evaluator,
+    resolve_evaluator,
+)
 from repro.events.incremental import IncrementalEvaluator
 from repro.events.model import Event, EventAnswer
 from repro.events.naive import NaiveEvaluator, answers
+from repro.events.tree import TreeEvaluator
 from repro.events.queries import (
     Discriminator,
     EAggregate,
@@ -51,13 +68,21 @@ __all__ = [
     "ENot",
     "EOr",
     "ESeq",
+    "EVALUATORS",
     "EWithin",
     "Event",
     "EventAnswer",
     "EventInterest",
+    "EvaluatorFactory",
     "IncrementalEvaluator",
     "NaiveEvaluator",
+    "ScheduledNaiveEvaluator",
+    "TreeEvaluator",
+    "answer_sort_key",
     "answers",
+    "dedup_answers",
+    "register_evaluator",
+    "resolve_evaluator",
     "pattern_discriminators",
     "pattern_event_interest",
     "pattern_interest",

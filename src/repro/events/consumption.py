@@ -23,8 +23,8 @@ policy                    behaviour
 from __future__ import annotations
 
 from repro.errors import EventQueryError
+from repro.events.answers import answer_sort_key
 from repro.events.model import EventAnswer
-from repro.events.naive import answer_sort_key
 
 POLICIES = ("unrestricted", "chronicle", "recent", "cumulative")
 
@@ -111,6 +111,16 @@ class ConsumingEvaluator:
 
     def next_deadline(self) -> float | None:
         return self._evaluator.next_deadline()
+
+    def replan(self, rates: "dict[str, float] | None" = None) -> None:
+        """Forward join re-planning to the wrapped evaluator.
+
+        A no-op for mechanisms without a plan to reorder (naive,
+        incremental); the tree evaluator reorders its join leaves.
+        """
+        inner = getattr(self._evaluator, "replan", None)
+        if inner is not None:
+            inner(rates)
 
     def reset(self) -> None:
         self._evaluator.reset()

@@ -25,12 +25,9 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import EventError
+from repro.events.answers import answer_sort_key, dedup_answers, min_deadline
 from repro.events.model import Event, EventAnswer
-from repro.events.naive import (
-    _apply_fn,
-    _predicate_holds,
-    answer_sort_key,
-)
+from repro.events.naive import _apply_fn, _predicate_holds
 from repro.events.queries import (
     EAggregate,
     EAnd,
@@ -621,19 +618,11 @@ def _compile(query, window: float | None) -> _Op:
     raise EventError(f"not an event query: {query!r}")
 
 
-def _dedup(answers_iter) -> list[EventAnswer]:
-    seen: set[EventAnswer] = set()
-    out: list[EventAnswer] = []
-    for answer in answers_iter:
-        if answer not in seen:
-            seen.add(answer)
-            out.append(answer)
-    return out
-
-
-def _min_deadline(ops: list[_Op]) -> float | None:
-    deadlines = [d for op in ops for d in [op.next_deadline()] if d is not None]
-    return min(deadlines) if deadlines else None
+# Shared with the tree evaluator (repro.events.answers); the old private
+# names stay as aliases because the operator classes above are also the
+# building blocks tree.py leans on for non-tree subqueries.
+_dedup = dedup_answers
+_min_deadline = min_deadline
 
 
 class IncrementalEvaluator:

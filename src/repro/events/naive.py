@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import EventError
+from repro.events.answers import answer_sort_key
 from repro.events.model import Event, EventAnswer
 from repro.events.queries import (
     EAggregate,
@@ -50,18 +51,10 @@ from repro.events.queries import (
     query_interest,
     validate_query,
 )
-from repro.terms.ast import Bindings, canonical_str, is_scalar
+from repro.terms.ast import Bindings, is_scalar
 from repro.terms.simulation import compile_matches, compile_pattern
 
-
-def answer_sort_key(answer: EventAnswer) -> tuple:
-    """A deterministic total order over answers (for stable outputs)."""
-    return (
-        answer.end,
-        answer.start,
-        answer.events,
-        tuple((k, canonical_str(v)) for k, v in answer.bindings.items),
-    )
+__all__ = ["NaiveEvaluator", "answer_sort_key", "answers"]
 
 
 def answers(query, history: Sequence[Event], now: float, window: float | None = None

@@ -1,0 +1,703 @@
+"""Tree-based compound-event evaluation with frequency-ordered join plans.
+
+The incremental evaluator (:mod:`repro.events.incremental`) extends
+*prefixes* strictly left to right: a sequence ``a -> b -> c`` keeps every
+``a``-match and every ``a,b``-pair alive for a window, even when ``a`` is
+the frequent member and ``c`` the rare one.  This module evaluates the same
+compositions over a *join tree* instead: each positive member is a leaf
+holding its partial matches in occurrence order, and a left-deep chain of
+join nodes combines them in **frequency order** — rarest leaves first — so
+the intermediate buffers stay proportional to the rare side of the stream.
+
+The pieces, per composition (``ESeq`` or ``EAnd``, ``EWithin`` wrappers
+pass through):
+
+- **leaf nodes** buffer member answers sorted by occurrence (start time),
+  so a join probe is a ``bisect`` into the window, not a scan;
+- **internal nodes** buffer partial matches (merged answer + the original
+  member positions they cover); sequence order is enforced against the
+  nearest covered neighbours of the joined position, which keeps the full
+  chain ordered by induction;
+- **negation** is checked twice: a *first chance* discards partial matches
+  and pending absences as soon as a blocker arrives (only when the check
+  is exact — the blocker pattern shares no variable with a still-missing
+  member), and a *last chance* at emission re-checks under the full
+  bindings, which keeps answers identical to the other mechanisms;
+- **expiry** (:meth:`_TreeOp.gc`) walks the tree after every entry point,
+  pruning buffers and blockers past the window and feeding the engine's
+  ``next_deadline()`` / wake-up contract unchanged;
+- **join plans** order the chain by observed per-leaf selectivity, seeded
+  from the engine's per-label event rates; :meth:`TreeEvaluator.replan`
+  re-derives the internal buffers from the leaf buffers under the new
+  order without emitting or losing anything.
+
+Non-tree subqueries (``EAtom``, ``EOr``, ``ECount``, ``EAggregate``) reuse
+the incremental operators unchanged — the mechanisms differ in *how* they
+join, not in what the algebra means.  The semantics implemented here is
+exactly :func:`repro.events.naive.answers`; the property suite drives all
+three mechanisms over random streams and requires identical batches.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+
+from repro.errors import EventError, QueryError
+from repro.events.answers import answer_sort_key, dedup_answers, min_deadline
+from repro.events.incremental import _compile, _Op
+from repro.events.model import Event, EventAnswer
+from repro.events.queries import (
+    EAnd,
+    ENot,
+    ESeq,
+    EWithin,
+    query_interest,
+    query_vars,
+    validate_query,
+)
+from repro.terms.ast import free_vars
+from repro.terms.simulation import compile_matches
+
+__all__ = ["TreeEvaluator"]
+
+
+# ---------------------------------------------------------------------------
+# Partial matches and occurrence-ordered buffers
+# ---------------------------------------------------------------------------
+
+
+class _PartialMatch:
+    """A join result covering a subset of member positions.
+
+    ``answer`` is the running :class:`EventAnswer` merge (bindings, event
+    ids, temporal hull); ``spans`` maps each covered member position to its
+    original extent — sequence-order and negation-gap checks need the
+    per-member extents, which the hull alone no longer carries.
+    """
+
+    __slots__ = ("answer", "spans")
+
+    def __init__(self, answer: EventAnswer, spans: dict) -> None:
+        self.answer = answer
+        self.spans = spans
+
+
+def _pm_start(pm: _PartialMatch) -> float:
+    return pm.answer.start
+
+
+class _Buffer:
+    """Partial matches kept sorted by hull start (occurrence order)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: list[_PartialMatch] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def insert(self, pm: _PartialMatch) -> None:
+        insort(self.items, pm, key=_pm_start)
+
+    def expire(self, cutoff: float) -> bool:
+        """Drop matches starting before *cutoff*; True if any were dropped."""
+        index = bisect_left(self.items, cutoff, key=_pm_start)
+        if index:
+            del self.items[:index]
+            return True
+        return False
+
+    def tail(self, lo: float) -> list[_PartialMatch]:
+        """The matches with hull start >= *lo* (a window's worth)."""
+        if lo == float("-inf"):
+            return self.items
+        return self.items[bisect_left(self.items, lo, key=_pm_start):]
+
+    def clear(self) -> None:
+        self.items.clear()
+
+
+class _Leaf:
+    """One positive member: its operator plus its occurrence buffer."""
+
+    __slots__ = ("pos", "op", "labels", "vars", "buffer", "seen", "observed")
+
+    def __init__(self, pos: int, query, op: _Op) -> None:
+        self.pos = pos
+        self.op = op
+        self.labels = query_interest(query).labels  # None means any label
+        self.vars = query_vars(query)
+        self.buffer = _Buffer()
+        self.seen: set[EventAnswer] = set()
+        self.observed = 0  # member answers ever admitted (selectivity signal)
+
+    def admit(self, batch: list[EventAnswer]) -> list[_PartialMatch]:
+        """Wrap fresh member answers as single-position partial matches."""
+        fresh = []
+        for answer in batch:
+            if answer in self.seen:
+                continue
+            self.seen.add(answer)
+            self.observed += 1
+            fresh.append(_PartialMatch(answer, {self.pos: (answer.start, answer.end)}))
+        return fresh
+
+
+class _JoinNode:
+    """One step of the left-deep chain: joins the prefix with one leaf.
+
+    ``below`` / ``above`` are the nearest already-covered member positions
+    around ``leaf_pos`` — checking sequence order against just those two
+    keeps the whole covered set ordered.  ``early_gaps`` lists the negation
+    gaps that both close at this node *and* are statically exact here, so a
+    first-chance blocker check may discard the combination outright.
+    """
+
+    __slots__ = ("leaf_pos", "below", "above", "early_gaps", "buffer")
+
+    def __init__(self, leaf_pos: int, below, above, early_gaps: tuple,
+                 buffer: "_Buffer | None") -> None:
+        self.leaf_pos = leaf_pos
+        self.below = below
+        self.above = above
+        self.early_gaps = early_gaps
+        self.buffer = buffer  # None at the top of the chain (emissions)
+
+
+class _PendingMatch:
+    """A complete positive match awaiting its trailing-absence deadline."""
+
+    __slots__ = ("pm", "deadline")
+
+    def __init__(self, pm: _PartialMatch, deadline: float) -> None:
+        self.pm = pm
+        self.deadline = deadline
+
+
+# ---------------------------------------------------------------------------
+# The composition operator
+# ---------------------------------------------------------------------------
+
+
+class _TreeOp(_Op):
+    """Frequency-ordered join of one ``ESeq`` / ``EAnd`` composition."""
+
+    def __init__(self, member_queries: list, ops: list[_Op], is_seq: bool,
+                 negations: dict[int, ENot], trailing: "ENot | None",
+                 window: "float | None") -> None:
+        self._is_seq = is_seq
+        self._negations = negations  # gap g: between positives g and g+1
+        self._trailing = trailing
+        self._window = window
+        self._ops = ops
+        self._leaves = [
+            _Leaf(i, query, op) for i, (query, op) in enumerate(zip(member_queries, ops))
+        ]
+        gaps = list(negations) + ([len(ops) - 1] if trailing is not None else [])
+        self._blockers: dict[int, list[Event]] = {gap: [] for gap in gaps}
+        self._blocker_matchers = {
+            gap: compile_matches(self._pattern_for_gap(gap)) for gap in self._blockers
+        }
+        self._gap_vars = {
+            gap: free_vars(self._pattern_for_gap(gap)) for gap in self._blockers
+        }
+        self._pending: list[_PendingMatch] = []
+        self._plan = list(range(len(ops)))
+        self._chain = self._build_chain(self._plan)
+
+    # -- entry points -------------------------------------------------------
+
+    def on_event(self, event: Event) -> list[EventAnswer]:
+        out: list[EventAnswer] = []
+        if self._blockers:
+            self._store_blockers(event)
+        if self._trailing is not None:
+            self._discard_blocked_pending(event)
+        if self._is_seq:
+            out.extend(self._fire_pending(event.time))
+        out.extend(self._integrate([op.on_event(event) for op in self._ops]))
+        if self._is_seq:
+            # A completion admitted just now may already sit on its deadline
+            # (last positive exactly at start + window): fire it in this
+            # pass, exactly like the incremental evaluator does.
+            out.extend(self._fire_pending(event.time))
+        return dedup_answers(out)
+
+    def on_time(self, now: float) -> list[EventAnswer]:
+        out: list[EventAnswer] = []
+        if self._is_seq:
+            out.extend(self._fire_pending(now))
+        out.extend(self._integrate([op.on_time(now) for op in self._ops]))
+        if self._is_seq:
+            out.extend(self._fire_pending(now))
+        return dedup_answers(out)
+
+    # -- plan construction --------------------------------------------------
+
+    def _build_chain(self, plan: list[int]) -> list[_JoinNode]:
+        n = len(plan)
+        chain: list[_JoinNode] = []
+        covered = {plan[0]}
+        for pos in plan[1:]:
+            below = max((i for i in covered if i < pos), default=None)
+            above = min((i for i in covered if i > pos), default=None)
+            covered.add(pos)
+            early: tuple = ()
+            if self._negations:
+                uncovered_vars = frozenset().union(
+                    *[self._leaves[j].vars for j in range(n) if j not in covered]
+                )
+                # A gap closes here when both its flanks are covered and one
+                # of them is the position just joined; the first-chance check
+                # is exact only when the blocker pattern shares no variable
+                # with a member still missing from the combination.
+                early = tuple(
+                    gap for gap in self._negations
+                    if pos in (gap, gap + 1)
+                    and gap in covered and (gap + 1) in covered
+                    and not (self._gap_vars[gap] & uncovered_vars)
+                )
+            chain.append(_JoinNode(
+                pos, below, above, early,
+                _Buffer() if len(covered) < n else None,
+            ))
+        return chain
+
+    def replan(self, rates: "dict[str, float] | None" = None) -> None:
+        """Reorder the join chain rarest-first; keep all live state.
+
+        Leaves are ranked by how many member answers they have actually
+        produced, falling back to the engine-supplied per-label event
+        *rates* for leaves that have not seen traffic yet.  The internal
+        buffers are re-derived from the (window-bounded) leaf buffers, so
+        re-planning never emits, drops, or duplicates an answer.
+        """
+        rates = rates or {}
+        for op in self._ops:
+            sub = getattr(op, "replan", None)
+            if sub is not None:
+                sub(rates)
+        order = sorted(
+            range(len(self._leaves)),
+            key=lambda i: (self._leaves[i].observed,
+                           self._leaf_rate(self._leaves[i], rates), i),
+        )
+        if order == self._plan:
+            return
+        self._plan = order
+        self._chain = self._build_chain(order)
+        self._rebuild()
+
+    def _leaf_rate(self, leaf: _Leaf, rates: dict) -> float:
+        if not rates:
+            return 0.0
+        if leaf.labels is None:  # wildcard leaf: sees the whole stream
+            return float(sum(rates.values()))
+        return float(sum(rates.get(label, 0.0) for label in leaf.labels))
+
+    def _rebuild(self) -> None:
+        # The leaf buffers and pending matches are authoritative; the chain
+        # buffers are a cache re-derivable from them.  Completions live only
+        # at the (unbuffered) top, so rebuilding cannot re-emit.
+        prefix = self._leaves[self._plan[0]].buffer.items
+        for node in self._chain[:-1]:
+            leaf = self._leaves[node.leaf_pos]
+            combos: list[_PartialMatch] = []
+            for pm in prefix:
+                for other in self._candidates(leaf.buffer, pm):
+                    self._try_join(pm, other, node, combos)
+            combos.sort(key=_pm_start)
+            rebuilt = _Buffer()
+            rebuilt.items = combos
+            node.buffer = rebuilt
+            prefix = combos
+
+    def describe(self) -> dict:
+        """The current join plan, for tests and benchmark introspection."""
+        return {
+            "op": "seq" if self._is_seq else "and",
+            "order": list(self._plan),
+            "members": [getattr(op, "describe", lambda: None)() for op in self._ops],
+        }
+
+    # -- joining ------------------------------------------------------------
+
+    def _integrate(self, member_deltas: list[list[EventAnswer]]) -> list[EventAnswer]:
+        out: list[EventAnswer] = []
+        leaves = self._leaves
+        if len(leaves) == 1:
+            leaf = leaves[0]
+            for answer in member_deltas[0]:
+                leaf.observed += 1
+                self._complete(
+                    _PartialMatch(answer, {0: (answer.start, answer.end)}), out)
+            return out
+        deltas = [leaf.admit(batch) for leaf, batch in zip(leaves, member_deltas)]
+        left_buffer = leaves[self._plan[0]].buffer
+        node_delta = deltas[self._plan[0]]
+        for node in self._chain:
+            leaf = leaves[node.leaf_pos]
+            leaf_delta = deltas[node.leaf_pos]
+            new: list[_PartialMatch] = []
+            for pm in node_delta:
+                for other in self._candidates(leaf.buffer, pm):
+                    self._try_join(pm, other, node, new)
+                for other in leaf_delta:
+                    self._try_join(pm, other, node, new)
+            for other in leaf_delta:
+                for pm in self._candidates(left_buffer, other):
+                    self._try_join(pm, other, node, new)
+            # Commit this step's inputs only after the delta join, so a
+            # combination using deltas on both sides is counted once.
+            for pm in node_delta:
+                left_buffer.insert(pm)
+            for other in leaf_delta:
+                leaf.buffer.insert(other)
+            left_buffer = node.buffer
+            node_delta = new
+        for pm in node_delta:
+            self._complete(pm, out)
+        return out
+
+    def _candidates(self, buffer: _Buffer, pm: _PartialMatch) -> list[_PartialMatch]:
+        if not self._is_seq or self._window is None:
+            return buffer.items
+        # Anything starting a window before this side's end cannot combine
+        # into an in-window answer.  Two ulps of slack: the exact gate in
+        # _try_join decides, the narrowing must never exclude a candidate
+        # the gate would keep.
+        lo = pm.answer.end - self._window
+        lo = math.nextafter(math.nextafter(lo, -math.inf), -math.inf)
+        return buffer.tail(lo)
+
+    def _try_join(self, left: _PartialMatch, right: _PartialMatch,
+                  node: _JoinNode, out: list[_PartialMatch]) -> None:
+        pos = node.leaf_pos
+        span = right.spans[pos]
+        if self._is_seq:
+            # Strict temporal order against the nearest covered neighbours;
+            # the rest of the covered set is ordered by induction.
+            if node.below is not None and left.spans[node.below][1] >= span[0]:
+                return
+            if node.above is not None and span[1] >= left.spans[node.above][0]:
+                return
+        merged = left.answer.merge_with(right.answer)
+        if merged is None:
+            return
+        if self._is_seq and self._window is not None and self._misses_window(
+                merged.start, merged.end):
+            return
+        spans = dict(left.spans)
+        spans[pos] = span
+        if self._is_seq:
+            for gap in node.early_gaps:
+                if self._early_gap_blocked(gap, merged.bindings, spans):
+                    return
+        out.append(_PartialMatch(merged, spans))
+
+    def _complete(self, pm: _PartialMatch, out: list[EventAnswer]) -> None:
+        if not self._is_seq:
+            out.append(pm.answer)
+            return
+        if self._trailing is not None:
+            if self._window is None:
+                raise EventError("trailing ENot needs an enclosing EWithin")
+            self._pending.append(_PendingMatch(pm, pm.spans[0][0] + self._window))
+            return
+        answer = self._emit(pm, pm.spans[len(self._leaves) - 1][1])
+        if answer is not None:
+            out.append(answer)
+
+    # -- negation -----------------------------------------------------------
+
+    def _pattern_for_gap(self, gap: int):
+        if self._trailing is not None and gap == len(self._ops) - 1:
+            return self._trailing.pattern
+        return self._negations[gap].pattern
+
+    def _misses_window(self, start: float, end: float) -> bool:
+        # With a trailing negation the gate is the planted deadline
+        # (start + window, the float the pending entry will carry); without
+        # one the enclosing EWithin filters on end - start.  Mirrors the
+        # incremental _SeqOp ulp-for-ulp.
+        if self._trailing is not None:
+            return end > start + self._window
+        return end - start > self._window
+
+    def _store_blockers(self, event: Event) -> None:
+        for gap, blockers in self._blockers.items():
+            # Unbound variables over-approximate (any candidate is stored);
+            # the precise check happens under the combination bindings.
+            try:
+                candidate = self._blocker_matchers[gap](event.term)
+            except QueryError:
+                candidate = True
+            if candidate:
+                blockers.append(event)
+
+    def _gap_blocked(self, gap: int, bindings, lo: float, hi: float,
+                     inclusive_end: bool) -> bool:
+        matcher = self._blocker_matchers[gap]
+        for event in self._blockers.get(gap, ()):
+            if event.time <= lo:
+                continue
+            if inclusive_end:
+                if event.time > hi:
+                    continue
+            elif event.time >= hi:
+                continue
+            if matcher(event.term, bindings):
+                return True
+        return False
+
+    def _early_gap_blocked(self, gap: int, bindings, spans: dict) -> bool:
+        # First chance: the chain only schedules this check where it is
+        # statically exact, but a pattern can still trip over a variable no
+        # member binds — defer to the last chance rather than guess.
+        lo = spans[gap][1]
+        hi = spans[gap + 1][0]
+        matcher = self._blocker_matchers[gap]
+        for event in self._blockers.get(gap, ()):
+            if event.time <= lo or event.time >= hi:
+                continue
+            try:
+                if matcher(event.term, bindings):
+                    return True
+            except QueryError:
+                return False
+        return False
+
+    def _discard_blocked_pending(self, event: Event) -> None:
+        # First chance for trailing absence: a pending match carries its
+        # full bindings, so a blocker arriving inside (last end, deadline]
+        # settles it immediately instead of at the deadline.
+        if not self._pending:
+            return
+        last = len(self._ops) - 1
+        matcher = self._blocker_matchers[last]
+        keep: list[_PendingMatch] = []
+        for pending in self._pending:
+            lo = pending.pm.spans[last][1]
+            if lo < event.time <= pending.deadline:
+                try:
+                    if matcher(event.term, pending.pm.answer.bindings):
+                        continue
+                except QueryError:
+                    pass
+            keep.append(pending)
+        self._pending = keep
+
+    def _emit(self, pm: _PartialMatch, end: float,
+              span: "float | None" = None) -> "EventAnswer | None":
+        bindings = pm.answer.bindings
+        for gap in self._negations:
+            if self._gap_blocked(gap, bindings, pm.spans[gap][1],
+                                 pm.spans[gap + 1][0], inclusive_end=False):
+                return None
+        ids = tuple(sorted(set(pm.answer.events)))
+        return EventAnswer(bindings, ids, pm.spans[0][0], end, span)
+
+    def _fire_pending(self, now: float) -> list[EventAnswer]:
+        out: list[EventAnswer] = []
+        remaining: list[_PendingMatch] = []
+        last = len(self._ops) - 1
+        for pending in self._pending:
+            if pending.deadline > now:
+                remaining.append(pending)
+                continue
+            if not self._gap_blocked(last, pending.pm.answer.bindings,
+                                     pending.pm.spans[last][1], pending.deadline,
+                                     inclusive_end=True):
+                # The answer's extent is exactly the window: carry it as the
+                # span so EWithin does not recompute end - start (which can
+                # exceed the window by 1 ulp when start + window rounds up).
+                answer = self._emit(pending.pm, pending.deadline, span=self._window)
+                if answer is not None:
+                    out.append(answer)
+        self._pending = remaining
+        return out
+
+    # -- maintenance --------------------------------------------------------
+
+    def gc(self, now: float) -> None:
+        for op in self._ops:
+            op.gc(now)
+        if self._window is None:
+            return
+        # Never prune past an unfired deadline: its blocker check still
+        # needs the window preceding it.
+        horizon = min([now] + [p.deadline for p in self._pending])
+        cutoff = horizon - self._window
+        for leaf in self._leaves:
+            if leaf.buffer.expire(cutoff):
+                leaf.seen = {pm.answer for pm in leaf.buffer.items}
+        for node in self._chain:
+            if node.buffer is not None:
+                node.buffer.expire(cutoff)
+        for gap in self._blockers:
+            self._blockers[gap] = [e for e in self._blockers[gap] if e.time > cutoff]
+
+    def state_size(self) -> int:
+        own = sum(len(leaf.buffer) for leaf in self._leaves)
+        own += sum(len(node.buffer) for node in self._chain if node.buffer is not None)
+        own += sum(len(blockers) for blockers in self._blockers.values())
+        own += len(self._pending)
+        return own + sum(op.state_size() for op in self._ops)
+
+    def next_deadline(self) -> "float | None":
+        own = min((p.deadline for p in self._pending), default=None)
+        children = min_deadline(self._ops)
+        if own is None:
+            return children
+        if children is None:
+            return own
+        return min(own, children)
+
+    def reset(self) -> None:
+        for op in self._ops:
+            op.reset()
+        for leaf in self._leaves:
+            leaf.buffer.clear()
+            leaf.seen.clear()
+        for node in self._chain:
+            if node.buffer is not None:
+                node.buffer.clear()
+        for gap in self._blockers:
+            self._blockers[gap] = []
+        self._pending = []
+
+
+class _TreeWithin(_Op):
+    """``EWithin`` filter that also forwards join re-planning."""
+
+    def __init__(self, member: _Op, window: float) -> None:
+        self._member = member
+        self._window = window
+
+    def on_event(self, event: Event) -> list[EventAnswer]:
+        return [a for a in self._member.on_event(event) if a.span <= self._window]
+
+    def on_time(self, now: float) -> list[EventAnswer]:
+        return [a for a in self._member.on_time(now) if a.span <= self._window]
+
+    def gc(self, now: float) -> None:
+        self._member.gc(now)
+
+    def state_size(self) -> int:
+        return self._member.state_size()
+
+    def next_deadline(self) -> "float | None":
+        return self._member.next_deadline()
+
+    def reset(self) -> None:
+        self._member.reset()
+
+    def replan(self, rates: "dict[str, float] | None" = None) -> None:
+        sub = getattr(self._member, "replan", None)
+        if sub is not None:
+            sub(rates)
+
+    def describe(self):
+        describe = getattr(self._member, "describe", None)
+        return describe() if describe is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Compilation and the public evaluator
+# ---------------------------------------------------------------------------
+
+
+def _build(query, window: "float | None") -> _Op:
+    if isinstance(query, EWithin):
+        return _TreeWithin(_build(query.query, query.window), query.window)
+    if isinstance(query, EAnd):
+        members = list(query.members)
+        ops = [_build(member, window) for member in members]
+        return _TreeOp(members, ops, is_seq=False, negations={}, trailing=None,
+                       window=window)
+    if isinstance(query, ESeq):
+        positives = []
+        negations: dict[int, ENot] = {}
+        index = -1
+        for member in query.members:
+            if isinstance(member, ENot):
+                negations[index] = member
+            else:
+                index += 1
+                positives.append(member)
+        trailing = negations.pop(len(positives) - 1, None)
+        ops = [_build(member, window) for member in positives]
+        return _TreeOp(positives, ops, is_seq=True, negations=negations,
+                       trailing=trailing, window=window)
+    # EAtom / EOr / ECount / EAggregate: the incremental operators already
+    # evaluate these incrementally; trees only change how compositions join.
+    return _compile(query, window)
+
+
+class TreeEvaluator:
+    """Tree-based evaluation of one event query.
+
+    Interface-compatible with
+    :class:`~repro.events.incremental.IncrementalEvaluator` (same answers,
+    same batch order, same ``next_deadline`` contract); additionally
+    supports :meth:`replan` to reorder join chains by member frequency and
+    :meth:`plan` to inspect the current order.
+    """
+
+    def __init__(self, query, rates: "dict[str, float] | None" = None) -> None:
+        validate_query(query)
+        self.query = query
+        self._root = _build(query, None)
+        self._last_time = float("-inf")
+        if rates:
+            self.replan(rates)
+
+    def on_event(self, event: Event) -> list[EventAnswer]:
+        """Process one event; returns the newly confirmed answers."""
+        if event.time < self._last_time:
+            raise EventError(
+                f"events must arrive in time order: {event.time} < {self._last_time}"
+            )
+        self._last_time = event.time
+        out = self._root.on_event(event)
+        self._root.gc(event.time)
+        return sorted(dedup_answers(out), key=answer_sort_key)
+
+    def advance_time(self, now: float) -> list[EventAnswer]:
+        """Advance the clock; returns answers confirmed by absence."""
+        if now < self._last_time:
+            raise EventError(f"time went backwards: {now} < {self._last_time}")
+        self._last_time = now
+        out = self._root.on_time(now)
+        self._root.gc(now)
+        return sorted(dedup_answers(out), key=answer_sort_key)
+
+    def interest(self):
+        """The :class:`~repro.events.queries.EventInterest` of this query."""
+        return query_interest(self.query)
+
+    def state_size(self) -> int:
+        """Live partial matches, buffered combinations, blockers, pendings."""
+        return self._root.state_size()
+
+    def next_deadline(self) -> "float | None":
+        """Earliest pending absence deadline, for wake-up scheduling."""
+        return self._root.next_deadline()
+
+    def replan(self, rates: "dict[str, float] | None" = None) -> None:
+        """Reorder every join chain rarest-first (see :meth:`_TreeOp.replan`)."""
+        sub = getattr(self._root, "replan", None)
+        if sub is not None:
+            sub(rates or {})
+
+    def plan(self):
+        """The current join plan as nested dicts, or None for leaf queries."""
+        describe = getattr(self._root, "describe", None)
+        return describe() if describe is not None else None
+
+    def reset(self) -> None:
+        """Drop all partial-match state (cumulative consumption)."""
+        self._root.reset()
+        # _last_time is kept: time never goes backwards.

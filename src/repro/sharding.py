@@ -120,7 +120,7 @@ from repro.core.engine import (
 from repro.core.rules import ECARule
 from repro.core.rulesets import RuleSet
 from repro.errors import RecursionRejected, RuleError
-from repro.events.incremental import IncrementalEvaluator
+from repro.events.factory import resolve_evaluator
 from repro.events.model import Event
 from repro.events.queries import EventInterest, query_interest
 from repro.runtime import ShardWorkerPool
@@ -178,6 +178,7 @@ class ShardRouter:
         self.node = node
         self.config = config
         self.n_shards = config.shards
+        self._factory = resolve_evaluator(config.evaluator)
         # Shards get the per-engine knobs only: node-level delivery is
         # applied once below, event views are expanded here (a derived
         # event's label may live on a different shard), and shards=1 so
@@ -353,10 +354,12 @@ class ShardRouter:
         """Re-partition the rule base and re-route queued events."""
         named = self._decompose()
         # Validate new rules' event queries *before* mutating any shard, so
-        # install_all's restore path never faces a half-synced fleet.
+        # install_all's restore path never faces a half-synced fleet.  The
+        # probe builds through the configured factory: a custom mechanism
+        # rejecting a query must reject it here, not mid-sync.
         for name, rule in named:
             if self._validated.get(name) is not rule:
-                IncrementalEvaluator(rule.event)
+                self._factory.build(rule.event)
         new_names = frozenset(
             name for name, _rule in named if name not in self._plan.order
         )

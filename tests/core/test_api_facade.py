@@ -246,3 +246,103 @@ class TestUninstall:
         sim, node = reactive_node()
         with pytest.raises(RuleError):
             node.engine.uninstall(3.14)
+
+
+class TestWithinSugar:
+    def test_within_wraps_the_event_query(self):
+        from repro.events.queries import ENot, ESeq, EWithin
+
+        built = (rule("absent")
+                 .on(ESeq(EAtom(q("a")), ENot(q("n"))))
+                 .within(4.0)
+                 .do(PyAction(lambda n, b: None))
+                 .build())
+        assert isinstance(built.event, EWithin)
+        assert built.event.window == 4.0
+
+    def test_within_enables_absence_rules_end_to_end(self):
+        from repro.events.queries import ENot, ESeq
+
+        sim, node = reactive_node()
+        fired = []
+        node.install(rule("absent")
+                     .on(ESeq(EAtom(q("a")), ENot(q("n"))))
+                     .within(4.0)
+                     .do(PyAction(lambda n, b: fired.append(n.now))))
+        node.raise_local("a{}")
+        sim.run()
+        assert fired == [4.0]
+
+    def test_repeated_within_nests(self):
+        from repro.events.queries import EWithin
+
+        built = (rule("r").on(EAtom(q("a"))).within(4.0).within(2.0)
+                 .do(PyAction(lambda n, b: None)).build())
+        assert isinstance(built.event, EWithin)
+        assert isinstance(built.event.query, EWithin)
+        assert (built.event.window, built.event.query.window) == (2.0, 4.0)
+
+    def test_within_before_on_is_a_clear_error(self):
+        with pytest.raises(RuleError, match=r"call \.on\(\.\.\.\) first"):
+            rule("r").within(4.0)
+
+    def test_builder_errors_are_catchable_as_reproerror(self):
+        with pytest.raises(repro.ReproError):
+            rule("r").within(4.0)
+        with pytest.raises(repro.ReproError):
+            rule("r").build()
+
+
+class TestNodeStatsNamespace:
+    def _fired_node(self, **kwargs):
+        sim, node = reactive_node(**kwargs)
+        node.install(rule("r").on(EAtom(q("ping"))).do(
+            PyAction(lambda n, b: None)))
+        node.raise_local("ping{}")
+        sim.run()
+        return node
+
+    def test_sub_views_and_delegation(self):
+        from repro import NodeStats
+        from repro.core.engine import EngineStats
+
+        node = self._fired_node()
+        stats = node.stats
+        assert isinstance(stats, NodeStats)
+        assert isinstance(stats.engine, EngineStats)
+        # Attribute and ["key"] access keep delegating to the engine view.
+        assert stats.rule_firings == stats.engine.rule_firings == 1
+        assert stats["rule_firings"] == 1
+        assert "rule_firings=1" in repr(stats)
+
+    def test_unsharded_shards_view_mirrors_node_inbox(self):
+        node = self._fired_node()
+        stats = node.stats
+        assert len(stats.shards) == 1
+        assert stats.shards[0].rule_firings == 1
+        assert stats.ingest is None
+
+    def test_sharded_shards_view_has_one_entry_per_shard(self):
+        node = self._fired_node(config=EngineConfig(shards=3))
+        stats = node.stats
+        assert len(stats.shards) == 3
+        assert sum(s.rule_firings for s in stats.shards) == 1
+
+    def test_deprecated_aliases_match_the_sub_views(self):
+        node = self._fired_node(config=EngineConfig(shards=2))
+        stats = node.stats
+        assert node.shard_stats == stats.shards
+        assert node.ingest_stats is stats.ingest is None
+
+    def test_evaluator_knob_reaches_the_facade(self):
+        from repro.events import TreeEvaluator
+
+        sim, node = reactive_node(config=EngineConfig(evaluator="tree"))
+        node.install(rule("r").on(EAtom(q("ping"))).do(
+            PyAction(lambda n, b: None)))
+        node.raise_local("ping{}")
+        sim.run()
+        assert node.stats.rule_firings == 1
+        evaluators = [ev for _rule, ev in node.engine._active.values()]
+        assert evaluators and all(
+            isinstance(ev, TreeEvaluator) for ev in evaluators)

@@ -1,0 +1,224 @@
+"""Unit tests for the tree evaluator, join plans, and the evaluator factory.
+
+The property suite (tests/properties/test_evaluator_equivalence.py) proves
+tree ≡ incremental ≡ naive over random streams; these tests pin down the
+named edge cases — same-instant absence deadlines, binding-sensitive
+interior negation, window expiry racing a positive, first-chance pending
+discard — plus the plan/replan surface and ``resolve_evaluator`` itself.
+"""
+
+import pytest
+
+from repro.core import EngineConfig
+from repro.errors import EventQueryError
+from repro.events import (
+    EAnd,
+    EAtom,
+    ENot,
+    ESeq,
+    EWithin,
+    IncrementalEvaluator,
+    NaiveEvaluator,
+    ScheduledNaiveEvaluator,
+    TreeEvaluator,
+    register_evaluator,
+    resolve_evaluator,
+)
+from repro.events.model import make_event
+from repro.terms import Var, d, q
+
+MECHANISMS = [TreeEvaluator, IncrementalEvaluator, NaiveEvaluator]
+
+
+def feed(evaluator, *specs):
+    """Feed (time, term) specs — term None means advance_time."""
+    out = []
+    for time, term in specs:
+        if term is None:
+            out.extend(evaluator.advance_time(time))
+        else:
+            out.extend(evaluator.on_event(make_event(term, time)))
+    return out
+
+
+def all_mechanisms(query, *specs):
+    """Run *specs* through all three mechanisms; assert agreement and
+    return the tree evaluator's answers."""
+    results = {}
+    for mechanism in MECHANISMS:
+        # Fresh Event objects per mechanism get fresh ids; compare on the
+        # content that is id-independent.
+        answers = feed(mechanism(query), *specs)
+        results[mechanism.__name__] = [
+            (a.bindings, a.start, a.end, a.span) for a in answers
+        ]
+    assert results["TreeEvaluator"] == results["IncrementalEvaluator"]
+    assert set(map(tuple, results["TreeEvaluator"])) == \
+        set(map(tuple, results["NaiveEvaluator"]))
+    return results["TreeEvaluator"]
+
+
+ABSENCE = EWithin(ESeq(EAtom(q("a", Var("V"))), ENot(q("n"))), 4.0)
+
+
+class TestNegationEdgeCases:
+    def test_same_instant_deadline_fires_in_event_pass(self):
+        # The deadline (1.0 + 4.0) coincides with an unrelated event: the
+        # absence answer must fire in that very on_event pass.
+        out = all_mechanisms(ABSENCE, (1.0, d("a", 7)), (5.0, d("b", 0)))
+        assert len(out) == 1
+        bindings, start, end, span = out[0]
+        assert bindings["V"] == 7
+        assert (start, end, span) == (1.0, 5.0, 4.0)
+
+    def test_blocker_exactly_at_deadline_blocks(self):
+        # The trailing gap is inclusive at the deadline: a blocker at
+        # exactly start + window still cancels the match.
+        assert all_mechanisms(ABSENCE, (1.0, d("a", 7)), (5.0, d("n", 0))) == []
+
+    def test_interior_negation_is_binding_sensitive(self):
+        query = EWithin(
+            ESeq(EAtom(q("a", Var("V"))), ENot(q("n", Var("V"))),
+                 EAtom(q("b", Var("V")))),
+            10.0,
+        )
+        # n{2} binds V=2, the combination binds V=1: not a blocker.
+        out = all_mechanisms(
+            query, (1.0, d("a", 1)), (2.0, d("n", 2)), (3.0, d("b", 1)))
+        assert len(out) == 1 and out[0][0]["V"] == 1
+        # n{1} shares the binding: blocked.
+        assert all_mechanisms(
+            query, (1.0, d("a", 1)), (2.0, d("n", 1)), (3.0, d("b", 1))) == []
+
+    def test_window_expiry_racing_a_positive(self):
+        # The closing positive lands exactly at start + window: span == 2.0
+        # is still inside EWithin; half a tick later the prefix has expired.
+        query = EWithin(ESeq(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y")))), 2.0)
+        on_edge = all_mechanisms(query, (1.0, d("a", 1)), (3.0, d("b", 2)))
+        assert len(on_edge) == 1 and on_edge[0][3] == 2.0
+        assert all_mechanisms(query, (1.0, d("a", 1)), (3.5, d("b", 2))) == []
+
+    def test_first_chance_discards_pending_before_deadline(self):
+        tree = TreeEvaluator(ABSENCE)
+        feed(tree, (1.0, d("a", 7)))
+        seq_op = tree._root._member  # EWithin -> _TreeOp
+        assert len(seq_op._pending) == 1
+        # The blocker settles the pending match 3 time units early — no
+        # waiting for the deadline to find out.
+        feed(tree, (2.0, d("n", 0)))
+        assert seq_op._pending == []
+        assert feed(tree, (10.0, None)) == []
+
+    def test_time_order_enforced(self):
+        tree = TreeEvaluator(ABSENCE)
+        feed(tree, (2.0, d("a", 1)))
+        with pytest.raises(Exception, match="time order"):
+            tree.on_event(make_event(d("a", 2), 1.0))
+
+
+class TestJoinPlans:
+    SEQ = EWithin(ESeq(EAtom(q("a", Var("X"))), EAtom(q("b", Var("Y")))), 10.0)
+
+    def test_initial_plan_is_textual_order(self):
+        plan = TreeEvaluator(self.SEQ).plan()
+        assert plan["op"] == "seq"
+        assert plan["order"] == [0, 1]
+
+    def test_replan_moves_frequent_leaf_last(self):
+        tree = TreeEvaluator(self.SEQ)
+        tree.replan({"a": 100.0, "b": 1.0})
+        assert tree.plan()["order"] == [1, 0]  # rare b joins first
+
+    def test_rates_seed_the_initial_plan(self):
+        tree = TreeEvaluator(self.SEQ, rates={"a": 100.0, "b": 1.0})
+        assert tree.plan()["order"] == [1, 0]
+
+    def test_observed_traffic_outranks_stale_rates(self):
+        tree = TreeEvaluator(self.SEQ)
+        for step in range(3):
+            feed(tree, (float(step), d("a", step)))
+        tree.replan({"a": 0.0, "b": 50.0})
+        # 'a' has produced member answers, 'b' none: b is still rarer.
+        assert tree.plan()["order"] == [1, 0]
+
+    def test_replan_keeps_buffered_partial_matches(self):
+        tree = TreeEvaluator(self.SEQ)
+        baseline = IncrementalEvaluator(self.SEQ)
+        feed(tree, (1.0, d("a", 1)))
+        feed(baseline, (1.0, d("a", 1)))
+        tree.replan({"a": 100.0, "b": 1.0})
+        got = feed(tree, (2.0, d("b", 2)))
+        want = feed(baseline, (2.0, d("b", 2)))
+        assert [(a.bindings, a.start, a.end) for a in got] == \
+            [(a.bindings, a.start, a.end) for a in want]
+
+    def test_and_plan_and_leaf_queries(self):
+        both = TreeEvaluator(EAnd(EAtom(q("a")), EAtom(q("b"))))
+        assert both.plan()["op"] == "and"
+        assert TreeEvaluator(EAtom(q("a"))).plan() is None
+
+    def test_state_shrinks_after_window(self):
+        tree = TreeEvaluator(self.SEQ)
+        feed(tree, (1.0, d("a", 1)))
+        held = tree.state_size()
+        assert held > 0
+        feed(tree, (50.0, None))
+        assert tree.state_size() < held
+
+
+class TestScheduledNaive:
+    def test_advertises_candidate_deadlines(self):
+        naive = ScheduledNaiveEvaluator(ABSENCE)
+        assert naive.next_deadline() is None
+        feed(naive, (1.0, d("a", 7)))
+        assert naive.next_deadline() == 5.0
+        out = feed(naive, (5.0, None))
+        assert len(out) == 1 and out[0].bindings["V"] == 7
+        assert naive.next_deadline() is None
+
+    def test_reset_clears_deadlines(self):
+        naive = ScheduledNaiveEvaluator(ABSENCE)
+        feed(naive, (1.0, d("a", 7)))
+        naive.reset()
+        assert naive.next_deadline() is None
+
+
+class TestFactory:
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(EventQueryError, match="incremental.*naive.*tree"):
+            resolve_evaluator("bogus")
+
+    def test_engine_config_validates_the_knob(self):
+        assert EngineConfig(evaluator="tree").evaluator == "tree"
+        with pytest.raises(EventQueryError):
+            EngineConfig(evaluator="bogus")
+
+    def test_factory_object_passes_through(self):
+        factory = resolve_evaluator("tree")
+        assert resolve_evaluator(factory) is factory
+        assert factory.name == "tree"
+        assert isinstance(factory.build(ABSENCE), TreeEvaluator)
+
+    def test_rates_reach_the_builder(self):
+        built = resolve_evaluator("tree").build(
+            TestJoinPlans.SEQ, {"a": 100.0, "b": 1.0})
+        assert built.plan()["order"] == [1, 0]
+
+    def test_bare_callable_is_wrapped(self):
+        def my_mechanism(query, rates=None):
+            return IncrementalEvaluator(query)
+
+        factory = resolve_evaluator(my_mechanism)
+        assert factory.name == "my_mechanism"
+        assert isinstance(factory.build(ABSENCE), IncrementalEvaluator)
+
+    def test_register_evaluator_round_trips(self):
+        register_evaluator(
+            "test-tree-alias", lambda query, rates=None: TreeEvaluator(query, rates))
+        config = EngineConfig(evaluator="test-tree-alias")
+        built = resolve_evaluator(config.evaluator).build(ABSENCE)
+        assert isinstance(built, TreeEvaluator)
+
+    def test_non_factory_rejected(self):
+        with pytest.raises(EventQueryError, match="name, factory, or builder"):
+            resolve_evaluator(42)
