@@ -34,6 +34,12 @@ from repro.errors import ReproError
 from repro.events import TreeEvaluator, register_evaluator, resolve_evaluator
 from repro.ingest import IngestConfig, IngestGateway, IngestStats
 from repro.sharding import ShardRouter
+from repro.store import (
+    DurableResourceStore,
+    StoreConfig,
+    open_store,
+    register_backend,
+)
 from repro.terms import (
     Bindings,
     Data,
@@ -48,11 +54,12 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Bindings",
     "Data",
+    "DurableResourceStore",
     "EngineConfig",
     "IngestConfig",
     "IngestGateway",
@@ -63,14 +70,17 @@ __all__ = [
     "RuleBuilder",
     "ShardRouter",
     "Simulation",
+    "StoreConfig",
     "TreeEvaluator",
     "d",
     "errors",
     "match",
     "matches",
+    "open_store",
     "parse_construct",
     "parse_data",
     "parse_query",
+    "register_backend",
     "register_evaluator",
     "resolve_evaluator",
     "rule",

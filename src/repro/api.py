@@ -49,7 +49,12 @@ Engines are tuned through :class:`~repro.core.engine.EngineConfig` — the
 one place every knob is documented: consumption policy, deductive event
 views, the dispatch pipeline (broadcast / root-label / discriminating),
 delivery (``sync_delivery`` / ``inbox_batch`` / ``coalesced_wakeups``),
-and scale-out (``shards``) — passed as ``sim.reactive_node(uri,
+scale-out (``shards``), and persistence (``store`` — a
+:class:`~repro.store.StoreConfig` swaps a durable WAL- or sqlite-backed
+resource store under the node before anything attaches; reopening on the
+same path recovers committed state, and
+:meth:`ReactiveNode.deliver_replayed` re-notifies the replayed commits
+exactly once) — passed as ``sim.reactive_node(uri,
 config=...)``.
 
 With ``EngineConfig(shards=N)`` (N > 1) the facade fronts N engine
@@ -234,6 +239,18 @@ class ReactiveNode:
 
     def __init__(self, node, config: EngineConfig | None = None) -> None:
         self.node = node
+        # Persistence first: the durable store must be in place as
+        # `node.resources` *before* the engine (or shard fleet) attaches
+        # its watchers — every later layer dereferences node.resources
+        # dynamically, so this swap is the single point of configuration.
+        # Recovery happens here (open_store replays the backend's log);
+        # the replayed commit notifications wait until deliver_replayed().
+        if config is not None and config.store is not None \
+                and config.store.backend != "memory":
+            from repro.store import open_store
+
+            node.resources = open_store(config.store)
+        self.store = node.resources
         if config is not None and config.shards > 1:
             # N engine shards behind a router; `engine` stays None so a
             # caller reaching for single-engine internals fails loudly
@@ -477,6 +494,39 @@ class ReactiveNode:
         """Delete a local resource (remote deletes go through events)."""
         self.node.delete(uri)
         return self
+
+    # -- persistence ---------------------------------------------------------
+
+    def deliver_replayed(self) -> int:
+        """Deliver recovery-replayed commit notifications, exactly once.
+
+        On a node reopened over a durable store
+        (``EngineConfig(store=StoreConfig(backend="wal" | "sqlite",
+        path=...))``) the commits recovered from the log wait until this
+        is called, so watchers registered *after* construction — polling
+        baselines, identity monitors, application callbacks — hear each
+        replayed commit exactly once.  Returns the number of commits
+        delivered; 0 on a memory-backed node, on a fresh store, and on
+        every call after the first.
+        """
+        return self.node.resources.deliver_replayed()
+
+    def checkpoint(self) -> "ReactiveNode":
+        """Compact the durable store now (no-op on a memory backend):
+        fold the current state into the backend's snapshot and discard
+        the log prefix it covers."""
+        checkpoint = getattr(self.node.resources, "checkpoint", None)
+        if checkpoint is not None:
+            checkpoint()
+        return self
+
+    def close(self) -> None:
+        """Release the durable store's file handles (idempotent; no-op
+        on a memory backend).  Mutations after close raise
+        :class:`~repro.errors.StoreError`."""
+        close = getattr(self.node.resources, "close", None)
+        if close is not None:
+            close()
 
     # -- ingestion ------------------------------------------------------------
 

@@ -292,6 +292,22 @@ class EngineConfig:
       ``None`` (default) builds no gateway at all — events reach the
       inbox exactly as before; the E18 ablation.  Only the facade
       interprets this field, like ``shards``.
+
+    **Persistence**
+
+    - ``store`` — a :class:`~repro.store.StoreConfig` makes the node's
+      resource store durable: committed outermost transactions are
+      persisted (``backend="wal"``: one CRC-framed group-commit record
+      and one fsync per transaction, with periodic snapshot compaction;
+      ``backend="sqlite"``: the same shape inside one database file) and
+      reopening a node on the same path recovers the committed state,
+      per-URI version floors included (see :mod:`repro.store`).  ``None``
+      or ``backend="memory"`` (the defaults) keep the plain in-memory
+      store — bit-for-bit the pre-persistence path.  Only the facade
+      interprets this field: it opens the store and swaps it in as
+      ``node.resources`` before the engine (or shard fleet) attaches, so
+      every layer — engine actions, polling, identity monitors, all
+      shards — shares the one durable store.
     """
 
     consumption: str = "unrestricted"
@@ -307,6 +323,8 @@ class EngineConfig:
     )
     ingest: "object | None" = None  # IngestConfig; typed loosely to keep
     # the core layer free of an import from repro.ingest (which imports web)
+    store: "object | None" = None  # StoreConfig; same deferred-import
+    # discipline as ingest — core stays free of an import from repro.store
     evaluator: "str | object" = "incremental"
 
     def __post_init__(self) -> None:
@@ -331,6 +349,13 @@ class EngineConfig:
             if not isinstance(self.ingest, IngestConfig):
                 raise RuleError(
                     f"ingest must be an IngestConfig, got {self.ingest!r}"
+                )
+        if self.store is not None:
+            from repro.store import StoreConfig
+
+            if not isinstance(self.store, StoreConfig):
+                raise RuleError(
+                    f"store must be a StoreConfig, got {self.store!r}"
                 )
 
 

@@ -73,6 +73,12 @@ class FrameError(IngestError):
     undecodable payload, or a payload that is not an event envelope."""
 
 
+class StoreError(WebError):
+    """Errors from the durable resource-store layer (:mod:`repro.store`):
+    unusable configuration, an unreadable snapshot, or a persistence
+    backend that failed outside the torn-tail cases recovery repairs."""
+
+
 class ResourceNotFound(WebError):
     """A GET/update targeted a URI that does not exist."""
 

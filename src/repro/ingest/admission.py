@@ -44,6 +44,7 @@ remains, so it never keeps ``Simulation.run`` alive artificially.
 
 from __future__ import annotations
 
+import os
 import tempfile
 from collections import deque
 from dataclasses import dataclass
@@ -76,9 +77,19 @@ class IngestConfig:
       (append it to a disk file; replayed in arrival order once the
       backlog drains — note that while spilled events are pending, *all*
       new arrivals spill too, so disk never reorders the stream).
-    - ``spill_dir`` — directory for the spill file (``None``: the
-      platform temp dir; the file is anonymous and vanishes with the
-      gateway).
+    - ``spill_dir`` — directory for the spill file.  ``None`` (default):
+      an anonymous file in the platform temp dir that vanishes with the
+      gateway — spilled events are *deferred*, not durable.  A directory
+      makes the spill **durable**: the file is named
+      (``<spill_dir>/ingest-spill.wal``), every record is fsync'd as it
+      is written, and a gateway constructed over the same directory
+      *recovers* whatever backlog was on disk when the last process
+      died — records are counted in ``stats.spill_recovered``, a torn
+      trailing record (a crash mid-append) is truncated away, and the
+      recovered events replay through the normal pump in arrival order.
+      Replay is at-least-once: the file is only truncated once fully
+      drained, so a crash mid-replay recovers already-redelivered
+      records again.
 
     **Rate limiting and fairness**
 
@@ -216,6 +227,14 @@ class IngestGateway:
         self._spill_backlog = 0
         self._spill_read = 0
         self._spill_write = 0
+        # A configured spill_dir names the spill file and makes it durable
+        # (fsync per record) — so a backlog left by a dead process is
+        # recoverable.  Recover it before the first offer.
+        self._spill_path = (
+            os.path.join(self.config.spill_dir, "ingest-spill.wal")
+            if self.config.spill_dir is not None else None)
+        if self._spill_path is not None:
+            self._recover_spill()
         # Registered after the engine (the facade builds the gateway last),
         # so by the time this hook sees an event its immediate answers have
         # fired — the enqueue-to-fire instant.
@@ -352,10 +371,53 @@ class IngestGateway:
         self.stats.dropped += 1
         self.stats.backlog = self._backlog
 
+    def _recover_spill(self) -> None:
+        """Adopt the spill file a dead process left in ``spill_dir``.
+
+        Counts the complete framed records on disk (a torn trailing
+        record — the append a crash interrupted — is truncated away; it
+        was never fsync'd, so its event was never acknowledged) and
+        queues them for replay through the normal pump path.
+        """
+        try:
+            size = os.path.getsize(self._spill_path)
+        except OSError:
+            return  # no file: nothing spilled, or a clean full drain
+        if size == 0:
+            return
+        file = open(self._spill_path, "r+b")
+        data = file.read()
+        records, valid_end = 0, 0
+        while True:
+            remaining = len(data) - valid_end
+            if remaining < 4:
+                break
+            length = int.from_bytes(data[valid_end:valid_end + 4], "big")
+            if length > self.config.max_frame or remaining < 4 + length:
+                break
+            valid_end += 4 + length
+            records += 1
+        if valid_end < len(data):
+            file.truncate(valid_end)
+            file.flush()
+            os.fsync(file.fileno())
+        if records == 0:
+            file.close()
+            return
+        self._spill_file = file
+        self._spill_backlog = records
+        self._spill_read = 0
+        self._spill_write = valid_end
+        self.stats.spill_recovered = records
+        self._schedule_pump()
+
     def _spill(self, term, sender, sent_at, admitted_at) -> None:
         if self._spill_file is None:
-            self._spill_file = tempfile.TemporaryFile(
-                dir=self.config.spill_dir, prefix="repro-ingest-")
+            if self._spill_path is not None:
+                self._spill_file = open(self._spill_path, "w+b")
+            else:
+                self._spill_file = tempfile.TemporaryFile(
+                    dir=self.config.spill_dir, prefix="repro-ingest-")
         children = [Data("sender", (sender,)),
                     Data("admitted-at", (admitted_at,))]
         if sent_at is not None:
@@ -368,6 +430,11 @@ class IngestGateway:
         self._spill_file.seek(self._spill_write)
         self._spill_file.write(record)
         self._spill_write = self._spill_file.tell()
+        if self._spill_path is not None:
+            # Durable spill: the event is only "deferred, not shed" if it
+            # survives a crash — fsync before the offer() acknowledges.
+            self._spill_file.flush()
+            os.fsync(self._spill_file.fileno())
         self._spill_backlog += 1
         self.stats.spilled += 1
 
@@ -405,7 +472,14 @@ class IngestGateway:
         if not self._spill_backlog:
             # Fully drained: release the file (a fresh one is created on
             # the next overload episode) so a long run neither grows the
-            # file without bound nor leaks the descriptor.
+            # file without bound nor leaks the descriptor.  The named
+            # (durable) spill is truncated first — every record was
+            # redelivered, so leaving them would make the *next* gateway
+            # recover a backlog that no longer exists.
+            if self._spill_path is not None:
+                file.truncate(0)
+                file.flush()
+                os.fsync(file.fileno())
             file.close()
             self._spill_file = None
             self._spill_read = self._spill_write = 0

@@ -113,7 +113,13 @@ class IngestStats:
       the in-memory backlog stood at the high-water mark (``spill``
       policy);
     - ``spill_replayed`` — spilled events read back and queued once the
-      backlog drained (equals ``spilled`` after a run completes).
+      backlog drained (equals ``spilled`` after a run completes);
+    - ``spill_recovered`` — spilled events found on disk at gateway
+      *construction* and queued for replay: with a configured
+      ``spill_dir`` the spill file is named and fsync'd per record, so a
+      backlog that was on disk when the process died survives into the
+      next gateway on the same directory (at-least-once: records already
+      replayed but not yet truncated may be recovered again).
 
     Service accounting:
 
@@ -141,6 +147,7 @@ class IngestStats:
     malformed: int = 0
     spilled: int = 0
     spill_replayed: int = 0
+    spill_recovered: int = 0
     delivered: int = 0
     fired: int = 0
     pump_rounds: int = 0

@@ -66,6 +66,15 @@ instant (events at later instants are handled by later drains as usual).
 ``shards=1`` never constructs a router at all: the facade wires the node
 straight to one engine, bit-for-bit the pre-sharding code path.
 
+Sharding composes with persistence (``EngineConfig(store=...)``) with no
+router involvement: the facade swaps the durable store in as
+``node.resources`` *before* the fleet is built, and every shard's
+conditions and actions dereference ``node.resources`` at call time — so
+the whole fleet shares the one durable store, commits are serialised by
+the store's own lock (actions only run on the scheduler thread at the
+epoch barrier anyway), and a reopened sharded node recovers exactly like
+a single-engine one.
+
 Under queued delivery (the default) the equivalence is exact.  With
 ``sync_delivery=True`` the router inlines the hand-off and the drain, so
 nested raises stay nested — except when replica copies of the in-flight

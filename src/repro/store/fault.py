@@ -1,0 +1,305 @@
+"""Fault injection: crash the store at *every* interesting point.
+
+Durability claims are worthless untested, and "kill -9 in a loop" tests
+are slow and non-deterministic.  This module makes the crash points
+explicit and enumerable instead:
+
+- :class:`FaultPlan` — a countdown over named *fault points*.  Every
+  durability-relevant operation of a backend announces itself
+  (``plan.point("write")`` …) before executing; the plan either records
+  the name (counting mode) or, when the countdown hits the chosen index,
+  **simulates the crash**: it applies the configured tear to every
+  tracked file and raises :class:`SimulatedCrash`.
+- :class:`FaultyFile` — a file wrapper that routes ``write`` / ``sync``
+  / ``truncate`` through the plan and tracks which byte prefix has been
+  fsynced.  That split is what lets a crash model real storage: bytes
+  *synced* before the crash survive; bytes merely written may be kept,
+  lost, or **torn in half** depending on the tear mode.
+- :func:`crash_outcomes` — the harness: learn the workload's commit
+  states and fault-point count from clean runs, then for every
+  ``(crash point, tear mode)`` pair run the workload on a fresh target,
+  crash it, reopen, and yield a :class:`CrashOutcome` whose
+  :meth:`~CrashOutcome.check` asserts the paper-grade property — *the
+  reopened store equals a committed prefix* — plus floor preservation
+  and exactly-once replay notification.
+
+The enumerated points cover the whole commit pipeline: before the WAL
+append (``write``), between append and fsync (``fsync``), after fsync
+but before the commit is acknowledged (``fsync-return``), and inside
+compaction (snapshot-file writes, the ``snapshot-swap`` rename, the log
+``truncate``).  Tear modes: ``"none"`` (unsynced bytes vanish — power
+loss), ``"half"`` (half of them land — a torn sector), ``"all"``
+(everything written survives — a plain process kill).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.web.resources import ResourceStore
+
+#: The tear modes :func:`crash_outcomes` enumerates by default.
+TEARS = ("none", "half", "all")
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected crash.  Raised out of the store mutation in flight;
+    everything in memory is considered lost the moment it is raised."""
+
+
+class FaultPlan:
+    """A deterministic crash schedule over named fault points.
+
+    ``FaultPlan()`` (no crash index) is *counting mode*: every point is
+    recorded in :attr:`points` and execution proceeds normally — run the
+    workload once this way to learn how many points it has.
+    ``FaultPlan(crash_at=k, tear=...)`` crashes at the *k*-th point
+    (0-based): tracked files get the tear applied and
+    :class:`SimulatedCrash` is raised *instead of* executing the point's
+    operation.
+    """
+
+    def __init__(self, crash_at: "int | None" = None,
+                 tear: str = "none") -> None:
+        if tear not in TEARS:
+            raise ValueError(f"unknown tear mode {tear!r} "
+                             f"(expected one of {TEARS})")
+        self.crash_at = crash_at
+        self.tear = tear
+        self.points: list[str] = []
+        self.crashed = False
+        self._files: "list[FaultyFile]" = []
+
+    def point(self, name: str) -> None:
+        """Announce a fault point; crashes here when the countdown says so."""
+        if self.crashed:
+            # The process is "dead": any further I/O attempt from
+            # not-yet-unwound frames must not resurrect it.
+            raise SimulatedCrash(f"already crashed; refusing {name}")
+        index = len(self.points)
+        self.points.append(name)
+        if self.crash_at is not None and index == self.crash_at:
+            self.crashed = True
+            for file in list(self._files):
+                file._apply_tear(self.tear)
+            raise SimulatedCrash(f"injected crash at point {index}: {name}")
+
+    # -- file tracking -------------------------------------------------------
+
+    def _track(self, file: "FaultyFile") -> None:
+        self._files.append(file)
+
+    def _untrack(self, file: "FaultyFile") -> None:
+        if file in self._files:
+            self._files.remove(file)
+
+
+class FaultyFile:
+    """A write-path file wrapper that makes durability observable.
+
+    Wraps a binary file opened for appending/writing.  ``write``,
+    ``sync`` and ``truncate`` announce fault points; ``sync`` (the
+    fsync hook :func:`repro.store.wal._fsync_file` prefers over raw
+    ``os.fsync``) records the file size as *durable*.  When the plan
+    crashes, the file is cut back to ``durable + tear(unsynced)`` — the
+    on-disk state a real crash could leave — and closed.
+    """
+
+    def __init__(self, file, plan: FaultPlan) -> None:
+        self._file = file
+        self._plan = plan
+        self._durable = os.fstat(file.fileno()).st_size
+        self._closed = False
+        plan._track(self)
+
+    # -- durability-relevant operations (fault points) -----------------------
+
+    def write(self, data: bytes) -> int:
+        self._plan.point("write")
+        return self._file.write(data)
+
+    def sync(self) -> None:
+        self._plan.point("fsync")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._durable = os.fstat(self._file.fileno()).st_size
+        # A crash *here* models the narrow window where the record is
+        # durable but the commit was never acknowledged to its caller.
+        self._plan.point("fsync-return")
+
+    def truncate(self, size: "int | None" = None) -> int:
+        self._plan.point("truncate")
+        self._file.flush()
+        result = self._file.truncate(0 if size is None else size)
+        self._durable = min(self._durable, result)
+        return result
+
+    # -- passthrough ---------------------------------------------------------
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._plan._untrack(self)
+            self._file.close()
+
+    # -- crash application ---------------------------------------------------
+
+    def _apply_tear(self, tear: str) -> None:
+        """Cut the file to what a crash could have left on disk."""
+        if self._closed:
+            return
+        self._closed = True
+        self._plan._untrack(self)
+        file = self._file
+        file.flush()
+        written = os.fstat(file.fileno()).st_size
+        unsynced = written - self._durable
+        if tear == "all" or unsynced <= 0:
+            keep = written
+        elif tear == "none":
+            keep = self._durable
+        else:  # "half": a torn write — part of the unsynced tail lands
+            keep = self._durable + unsynced // 2
+        file.truncate(keep)
+        file.flush()
+        os.fsync(file.fileno())
+        file.close()
+
+
+# ---------------------------------------------------------------------------
+# The crash-point enumeration harness
+# ---------------------------------------------------------------------------
+
+
+class _Oracle(ResourceStore):
+    """A plain in-memory store that records the state after every commit
+    — the ground truth a recovered store must match a prefix of."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.committed_floors: "dict[str, int]" = {}
+
+    def _persist(self, ops) -> None:
+        for uri, _old, _new, version in ops:
+            self.committed_floors[uri] = max(
+                self.committed_floors.get(uri, 0), version)
+
+    def state(self):
+        return dict(self._documents), dict(self.committed_floors)
+
+
+class CrashOutcome:
+    """One enumerated crash: where it hit, what recovery produced, and
+    what the committed prefix said it *should* produce."""
+
+    def __init__(self, crash_at: int, point_name: str, tear: str,
+                 acked_steps: int, crashed: bool, expected_states: list,
+                 store) -> None:
+        self.crash_at = crash_at
+        self.point_name = point_name
+        self.tear = tear
+        #: Workload steps that returned before the crash.
+        self.acked_steps = acked_steps
+        self.crashed = crashed
+        self.expected_states = expected_states
+        #: The reopened (recovered) store.
+        self.store = store
+        #: Index into ``expected_states`` that recovery matched
+        #: (set by :meth:`check`).
+        self.matched = None
+
+    def check(self) -> None:
+        """Assert the crash-at-any-point recovery property.
+
+        The recovered store must equal the state after *k* workload
+        steps for some ``acked <= k <= acked + 1`` (each step carries at
+        most one commit: the in-flight commit either became durable or
+        it did not — nothing in between), with the committed version
+        floors of that same prefix, and replay notifications must be
+        exactly-once (a second delivery flushes nothing).
+        """
+        store = self.store
+        upper = min(self.acked_steps + 1, len(self.expected_states) - 1)
+        recovered = (dict(store._documents), dict(store._version_floor))
+        for k in range(self.acked_steps, upper + 1):
+            docs, floors = self.expected_states[k]
+            if recovered[0] == docs and recovered[1] == floors:
+                self.matched = k
+                break
+        else:
+            raise AssertionError(
+                f"crash at point {self.crash_at} ({self.point_name!r}, "
+                f"tear={self.tear}): recovered state matches no committed "
+                f"prefix in [{self.acked_steps}, {upper}]\n"
+                f"  recovered docs:   {sorted(recovered[0])}\n"
+                f"  recovered floors: {recovered[1]}\n"
+                f"  expected[acked]:  {sorted(self.expected_states[self.acked_steps][0])}"
+            )
+        heard: list = []
+        store.watch(lambda *op: heard.append(op))
+        first = store.deliver_replayed()
+        delivered_ops = len(heard)
+        assert store.deliver_replayed() == 0, "replay delivered twice"
+        assert len(heard) == delivered_ops, \
+            "second deliver_replayed() reached a watcher"
+        assert first == 0 or delivered_ops > 0
+
+
+def crash_outcomes(make_target, open_store, steps, *, tears=TEARS,
+                   oracle_store: "ResourceStore | None" = None):
+    """Enumerate every ``(crash point, tear)`` and yield the outcomes.
+
+    - ``make_target()`` — a *fresh* persistence target per run (e.g. a
+      new temp directory); its return value is passed to ``open_store``.
+    - ``open_store(target, plan)`` — open/recover a durable store on
+      *target*; ``plan`` is a :class:`FaultPlan` or ``None``.
+    - ``steps`` — the workload: a sequence of callables taking the
+      store, **each performing at most one commit** (one put/delete, or
+      one transaction).  That contract is what bounds recovery to
+      ``acked <= k <= acked + 1`` in :meth:`CrashOutcome.check`.
+
+    Two clean runs first (ground-truth states on an in-memory oracle,
+    fault-point count on the durable backend), then the enumeration.
+    Yields a :class:`CrashOutcome` per combination — call ``check()`` on
+    each, or do bespoke asserts.
+    """
+    oracle = oracle_store if oracle_store is not None else _Oracle()
+    expected_states = [oracle.state()]
+    for step in steps:
+        step(oracle)
+        expected_states.append(oracle.state())
+
+    counting = FaultPlan()
+    store = open_store(make_target(), counting)
+    for step in steps:
+        step(store)
+    store.close()
+    total_points = len(counting.points)
+
+    for crash_at in range(total_points):
+        for tear in tears:
+            target = make_target()
+            plan = FaultPlan(crash_at, tear)
+            store = open_store(target, plan)
+            acked = 0
+            crashed = False
+            try:
+                for step in steps:
+                    step(store)
+                    acked += 1
+                store.close()
+            except SimulatedCrash:
+                crashed = True
+            recovered = open_store(target, None)
+            try:
+                yield CrashOutcome(crash_at, counting.points[crash_at],
+                                   tear, acked, crashed, expected_states,
+                                   recovered)
+            finally:
+                recovered.close()

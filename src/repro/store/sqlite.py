@@ -1,0 +1,166 @@
+"""SQLite persistence: the WAL backend's snapshot+log shape, one DB file.
+
+Same recovery model as :class:`repro.store.wal.WalBackend` — a snapshot
+table plus an append-only commit log, replayed on open — but atomicity
+and torn-write handling are delegated to SQLite's journal instead of
+hand-rolled CRC framing:
+
+- ``snap(uri, body, version)`` + ``floors(uri, floor)`` — the compacted
+  state as of ``meta.base_seq``;
+- ``log(seq, record)`` — one row per commit since the last checkpoint,
+  holding the same textual commit record the WAL backend frames
+  (:func:`repro.store.backend.encode_commit`), so the two backends are
+  byte-comparable and :mod:`tools.walinspect` semantics carry over;
+- ``meta(key, value)`` — ``base_seq``.
+
+One commit = one SQLite transaction around one ``INSERT`` — group commit
+for free, and a crash mid-transaction rolls back to the previous commit
+on the next open.  ``fsync=False`` maps to ``PRAGMA synchronous=OFF``
+(the E20 ablation), ``True`` to ``FULL``.
+
+Fault injection here happens at the API boundary (``plan.point`` before
+the insert, before the COMMIT, after the COMMIT) rather than through
+:class:`~repro.store.fault.FaultyFile`: SQLite owns its file formats, so
+the interesting crash windows are between *statements*, and SQLite's own
+journal is what recovery leans on.  A simulated crash rolls the open
+transaction back and closes the connection, exactly as process death
+would once the zombie's locks lapse.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import StoreError
+from repro.store.backend import Recovery, StoreBackend, decode_commit, encode_commit
+from repro.terms.parser import parse_data, to_text
+from repro.web.resources import Document
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS snap (
+    uri     TEXT PRIMARY KEY,
+    body    TEXT NOT NULL,
+    version INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS floors (
+    uri   TEXT PRIMARY KEY,
+    floor INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS log (
+    seq    INTEGER PRIMARY KEY,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+class SqliteBackend(StoreBackend):
+    """Snapshot+log persistence inside a single SQLite database file."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str, *, fsync: bool = True, fault=None) -> None:
+        self.path = path
+        self._fault = fault
+        # isolation_level=None: explicit BEGIN/COMMIT, no implicit
+        # autocommit surprises between the insert and the commit point.
+        self._conn = sqlite3.connect(path, isolation_level=None)
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            f"PRAGMA synchronous={'FULL' if fsync else 'OFF'}")
+
+    def _point(self, name: str) -> None:
+        if self._fault is not None:
+            from repro.store.fault import SimulatedCrash
+
+            try:
+                self._fault.point(name)
+            except SimulatedCrash:
+                # Simulate process death: the open transaction dies with
+                # it (SQLite would roll it back on the next open; doing
+                # it eagerly also releases the zombie's file locks so
+                # the reopening connection is not blocked by a process
+                # that no longer exists).
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                self._conn.close()
+                raise
+
+    # -- recovery ------------------------------------------------------------
+
+    def load(self) -> Recovery:
+        conn = self._conn
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key='base_seq'").fetchone()
+        base_seq = row[0] if row is not None else 0
+        documents: "dict[str, Document]" = {}
+        for uri, body, version in conn.execute(
+                "SELECT uri, body, version FROM snap"):
+            documents[uri] = Document(uri, parse_data(body), version)
+        floors = {uri: floor for uri, floor in
+                  conn.execute("SELECT uri, floor FROM floors")}
+        commits = []
+        for seq, record in conn.execute(
+                "SELECT seq, record FROM log ORDER BY seq"):
+            try:
+                decoded_seq, ops = decode_commit(record)
+            except StoreError as exc:
+                raise StoreError(
+                    f"corrupt commit record at seq {seq} in {self.path!r}: "
+                    f"{exc} (SQLite journaling should have prevented a "
+                    "torn row — this is storage corruption)"
+                ) from exc
+            if decoded_seq != seq:
+                raise StoreError(
+                    f"log row {seq} carries record seq {decoded_seq} in "
+                    f"{self.path!r}"
+                )
+            commits.append((seq, ops))
+        return Recovery.replay(documents, floors, base_seq, commits)
+
+    # -- appends -------------------------------------------------------------
+
+    def append_commit(self, seq: int, ops) -> None:
+        record = encode_commit(seq, ops)
+        self._point("append")
+        self._conn.execute("BEGIN IMMEDIATE")
+        self._conn.execute("INSERT INTO log (seq, record) VALUES (?, ?)",
+                           (seq, record))
+        self._point("pre-commit")
+        self._conn.execute("COMMIT")
+        self._point("post-commit")
+
+    # -- compaction ----------------------------------------------------------
+
+    def checkpoint(self, documents: "dict[str, Document]",
+                   floors: "dict[str, int]", seq: int) -> None:
+        self._point("checkpoint")
+        conn = self._conn
+        conn.execute("BEGIN IMMEDIATE")
+        conn.execute("DELETE FROM snap")
+        conn.executemany(
+            "INSERT INTO snap (uri, body, version) VALUES (?, ?, ?)",
+            [(document.uri, to_text(document.root), document.version)
+             for document in documents.values()])
+        conn.execute("DELETE FROM floors")
+        conn.executemany("INSERT INTO floors (uri, floor) VALUES (?, ?)",
+                         list(floors.items()))
+        conn.execute("DELETE FROM log WHERE seq <= ?", (seq,))
+        conn.execute(
+            "INSERT INTO meta (key, value) VALUES ('base_seq', ?) "
+            "ON CONFLICT(key) DO UPDATE SET value=excluded.value", (seq,))
+        self._point("checkpoint-commit")
+        conn.execute("COMMIT")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover - already closed
+            pass

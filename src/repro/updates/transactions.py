@@ -19,6 +19,14 @@ an intermediate state of an update that officially never happened (a
 phantom ``resource-changed``), violating Thesis 8.  Transactions nest:
 an inner rollback discards only the inner scope's notifications, and
 everything flushes at the outermost commit.
+
+The outermost commit is also the **durability point**: the store's
+``_persist`` seam receives the surviving operations as *one* commit —
+before any transactional watcher hears them — so on a durable store
+(:mod:`repro.store`) a whole transaction becomes permanent with a single
+WAL append and fsync (group commit), or not at all.  A rolled-back
+transaction never reaches the seam; after a crash, recovery restores
+exactly the committed prefix.
 """
 
 from __future__ import annotations

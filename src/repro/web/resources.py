@@ -113,6 +113,10 @@ class ResourceStore:
         if self._tx_depth > 0:
             self._tx_buffer.append((uri, old, new, version))
             return
+        # A mutation outside any transaction is its own (single-op) commit:
+        # it hits the persistence seam first, then the watchers, exactly
+        # like an outermost transactional flush.
+        self._persist(((uri, old, new, version),))
         for watcher in self._watchers:
             watcher(uri, old, new, version)
 
@@ -140,9 +144,36 @@ class ResourceStore:
             if self._tx_depth > 0:
                 return
             pending, self._tx_buffer = self._tx_buffer, []
+            if pending:
+                # Durability before visibility: the whole outermost
+                # transaction is persisted as ONE commit (a durable backend
+                # covers it with one fsync — group commit) while the lock
+                # still serialises commit order; only then do transactional
+                # watchers hear about it.
+                self._persist(tuple(pending))
         for uri, old, new, version in pending:
             for watcher in self._watchers:
                 watcher(uri, old, new, version)
+
+    def _persist(self, ops) -> None:
+        """Persistence seam: called with the committed operations of one
+        outermost commit — ``(uri, old_root, new_root, version)`` tuples in
+        update order, ``new_root is None`` for a delete — before any
+        transactional watcher hears about them.  The in-memory store keeps
+        nothing beyond the live documents, so this is a no-op; durable
+        backends (:mod:`repro.store`) override it to append a
+        write-ahead-log record.  Raising here propagates to the mutator —
+        a commit that cannot be made durable is a failed commit."""
+
+    def deliver_replayed(self) -> int:
+        """Deliver recovery-replayed commit notifications; the number of
+        commits delivered.  A purely in-memory store never has anything to
+        replay, so this is a constant 0; a
+        :class:`~repro.store.backend.DurableResourceStore` reopened over an
+        existing log delivers each replayed commit to the currently
+        registered transactional watchers *exactly once* (idempotent:
+        later calls deliver nothing)."""
+        return 0
 
     # -- access -----------------------------------------------------------------
 
@@ -220,6 +251,14 @@ class ResourceStore:
         URI whose content the restore changes back, so caches built from
         uncommitted intermediate state are invalidated rather than left
         describing documents that no longer exist.
+
+        The version announced for a reverted URI is ``max(snapshot
+        version, version floor)``: the rolled-back mutations burned
+        version numbers an immediate watcher already heard (a delete
+        announces ``old + 1`` the instant it happens), so re-announcing
+        the snapshot document at its *recorded* version would make time
+        run backwards for version-based change detection.  Floors are
+        never lowered, so the announced version can only stay or rise.
         """
         with self._lock:
             before = self._documents
@@ -230,11 +269,13 @@ class ResourceStore:
             for uri in before.keys() | snapshot.keys():
                 cur, snap = before.get(uri), snapshot.get(uri)
                 if cur is not snap:
+                    recorded = (snap.version if snap
+                                else (cur.version if cur else 0))
                     reverted.append((
                         uri,
                         cur.root if cur else None,
                         snap.root if snap else None,
-                        snap.version if snap else (cur.version if cur else 0),
+                        max(recorded, self._version_floor.get(uri, 0)),
                     ))
             for uri, old, new, version in reverted:
                 for watcher in self._immediate_watchers:

@@ -1,0 +1,150 @@
+"""Persistence through the facade: ``EngineConfig(store=StoreConfig(...))``.
+
+The node-level contract: a ``ReactiveNode`` configured with a durable
+store swaps it in as ``node.resources`` before the engine (or shard
+fleet) attaches, a "restarted" node (a fresh Simulation over the same
+path) recovers the committed resources and replays their notifications
+into newly registered watchers exactly once, and the default
+(``store=None`` / ``backend="memory"``) is bit-for-bit the plain
+in-memory store.
+"""
+
+import pytest
+
+from repro import EngineConfig, Simulation, StoreConfig, parse_data
+from repro.errors import RuleError, StoreError
+from repro.store import DurableResourceStore
+from repro.web.resources import ResourceStore
+
+SHOP = "http://shop.example"
+STOCK = f"{SHOP}/stock"
+LAST = f"{SHOP}/last"
+
+
+def wal_engine_config(tmp_path, **engine_kw):
+    return EngineConfig(
+        store=StoreConfig(backend="wal", path=str(tmp_path / "store"),
+                          snapshot_every=None),
+        **engine_kw)
+
+
+class TestFacadeWiring:
+    def test_store_config_swaps_the_node_store(self, tmp_path):
+        node = Simulation().reactive_node(
+            SHOP, config=wal_engine_config(tmp_path))
+        assert isinstance(node.node.resources, DurableResourceStore)
+        assert node.store is node.node.resources
+        node.close()
+
+    def test_memory_and_default_stay_plain(self):
+        plain = Simulation().reactive_node(SHOP)
+        memory = Simulation().reactive_node(
+            SHOP, config=EngineConfig(store=StoreConfig(backend="memory")))
+        assert type(plain.node.resources) is ResourceStore
+        assert type(memory.node.resources) is ResourceStore
+        plain.close()   # close/checkpoint are no-ops, not errors
+        memory.checkpoint().close()
+        assert plain.deliver_replayed() == 0
+
+    def test_engine_config_validates_the_store_field(self):
+        with pytest.raises(RuleError, match="StoreConfig"):
+            EngineConfig(store="wal")
+
+    def test_mutation_after_close_is_refused(self, tmp_path):
+        node = Simulation().reactive_node(
+            SHOP, config=wal_engine_config(tmp_path))
+        node.close()
+        with pytest.raises(StoreError):
+            node.put(STOCK, "stock{}")
+
+
+class TestRestart:
+    def test_rule_written_state_survives_restart(self, tmp_path):
+        config = wal_engine_config(tmp_path)
+        sim = Simulation()
+        shop = sim.reactive_node(SHOP, config=config)
+        shop.put(STOCK, 'stock{ item["ball"], n[3] }')
+        shop.install('''
+            RULE sell
+            ON order{{ item[var I] }}
+            DO PUT "http://shop.example/last" last{ item[var I] }
+        ''')
+        client = sim.node("http://c.example")
+        client.raise_event(SHOP, parse_data('order{ item["ball"] }'))
+        sim.run()
+        assert shop.get(LAST).first("item").value == "ball"
+        shop.close()
+
+        reopened = Simulation().reactive_node(SHOP, config=config)
+        assert reopened.get(STOCK).first("n").value == 3
+        assert reopened.get(LAST).first("item").value == "ball"
+        reopened.close()
+
+    def test_replay_delivers_to_watchers_exactly_once(self, tmp_path):
+        config = wal_engine_config(tmp_path)
+        first = Simulation().reactive_node(SHOP, config=config)
+        first.put(STOCK, "stock{ n[1] }")
+        first.put(STOCK, "stock{ n[2] }")
+        first.close()
+
+        reopened = Simulation().reactive_node(SHOP, config=config)
+        heard = []
+        reopened.store.watch(lambda *op: heard.append(op))
+        assert reopened.deliver_replayed() == 2
+        assert [op[3] for op in heard] == [1, 2]
+        assert reopened.deliver_replayed() == 0
+        assert len(heard) == 2
+        reopened.close()
+
+    def test_checkpoint_short_circuits_later_recovery(self, tmp_path):
+        config = wal_engine_config(tmp_path)
+        first = Simulation().reactive_node(SHOP, config=config)
+        first.put(STOCK, "stock{ n[1] }")
+        first.checkpoint()
+        first.close()
+
+        reopened = Simulation().reactive_node(SHOP, config=config)
+        assert reopened.deliver_replayed() == 0   # compacted, not replayed
+        assert reopened.get(STOCK).first("n").value == 1
+        reopened.close()
+
+    def test_version_floors_survive_node_restart(self, tmp_path):
+        config = wal_engine_config(tmp_path)
+        first = Simulation().reactive_node(SHOP, config=config)
+        first.put(STOCK, "stock{ n[1] }")
+        first.put(STOCK, "stock{ n[2] }")
+        first.delete(STOCK)                 # announces v3
+        first.close()
+
+        reopened = Simulation().reactive_node(SHOP, config=config)
+        document = reopened.store.put(STOCK, parse_data("stock{ n[9] }"))
+        assert document.version == 4        # past the pre-restart floor
+        reopened.close()
+
+
+class TestShardedDurableNode:
+    def test_fleet_shares_one_durable_store(self, tmp_path):
+        config = wal_engine_config(tmp_path, shards=2)
+        sim = Simulation()
+        node = sim.reactive_node(SHOP, config=config)
+        assert isinstance(node.node.resources, DurableResourceStore)
+        node.install('''
+            RULE sell
+            ON order{{ item[var I] }}
+            DO PUT "http://shop.example/last" last{ item[var I] }
+        ''')
+        node.install('''
+            RULE restock
+            ON restock{{ item[var I] }}
+            DO PUT "http://shop.example/stock" stock{ item[var I] }
+        ''')
+        client = sim.node("http://c.example")
+        client.raise_event(SHOP, parse_data('order{ item["ball"] }'))
+        client.raise_event(SHOP, parse_data('restock{ item["cube"] }'))
+        sim.run()
+        node.close()
+
+        reopened = Simulation().reactive_node(SHOP, config=config)
+        assert reopened.get(LAST).first("item").value == "ball"
+        assert reopened.get(STOCK).first("item").value == "cube"
+        reopened.close()

@@ -82,6 +82,53 @@ class TestBufferedNotifications:
         store.put(DOC, d("doc", 2))
         assert [v for _u, _o, _n, v in seen] == [2]  # live again
 
+    def test_abandoned_transaction_in_a_reference_cycle_under_gc(self):
+        """The abandonment cleanup must also run when the Transaction is
+        only reachable through a reference cycle — the common leak shape
+        (a handler object holding the transaction *and* itself) where
+        ``__del__`` fires from the cycle collector, not from refcounting.
+        """
+        import gc
+
+        store, seen = watched_store()
+
+        class Holder:
+            pass
+
+        holder = Holder()
+        holder.transaction = Transaction(store)
+        holder.self_reference = holder          # the cycle
+        store.put(DOC, d("doc", 1))             # buffered under the scope
+        del holder
+        gc.collect()                            # cycle collector runs __del__
+        assert not store.in_transaction()
+        store.put(DOC, d("doc", 2))
+        assert [v for _u, _o, _n, v in seen] == [2]
+
+    def test_rollback_inside_nested_commit_flushes_survivors_in_order(self):
+        """An inner rollback mid-transaction discards exactly its own
+        scope; the outer commit then flushes the surviving notifications
+        in original update order — including updates made *after* the
+        inner scope collapsed — as one atomic unit at the seam."""
+        store, seen = watched_store()
+        commits = []
+        original = store._persist
+        store._persist = lambda ops: (commits.append(tuple(ops)),
+                                      original(ops))[1]
+        with Transaction(store):
+            store.put(DOC, d("doc", "outer-1"))
+            inner = Transaction(store)
+            store.put(DOC, d("doc", "inner"))
+            store.put("http://a.example/tmp", d("tmp"))
+            inner.rollback()
+            store.put(DOC, d("doc", "outer-2"))
+        assert [new for _u, _o, new, _v in seen] == \
+            [d("doc", "outer-1"), d("doc", "outer-2")]
+        # The persistence seam saw ONE commit holding both survivors.
+        assert len(commits) == 1
+        assert [op[2] for op in commits[0]] == \
+            [d("doc", "outer-1"), d("doc", "outer-2")]
+
 
 class TestEngineAtomicSequence:
     def _node(self):
@@ -223,6 +270,46 @@ class TestMonotonicVersions:
             store.delete(DOC)
         versions = [v for _u, _o, _n, v in seen]
         assert versions == [1, 2, 3, 4, 5, 6]
+
+    def test_restore_never_announces_a_version_below_the_floor(self):
+        """Regression: ``restore()`` re-announced a reverted document at
+        its *recorded* snapshot version, so an immediate watcher that had
+        already heard the rolled-back delete's ``old + 1`` saw version
+        time run backwards on rollback.  The announced version must be
+        ``max(snapshot version, floor)``."""
+        store = ResourceStore()
+        store.put(DOC, d("doc", 1))              # v1
+        versions = []
+        store.watch(lambda _u, _o, _n, v: versions.append(v),
+                    immediate=True)
+        with pytest.raises(RuntimeError):
+            with Transaction(store):
+                store.delete(DOC)                # immediate watcher hears v2
+                raise RuntimeError
+        # The rollback re-announces DOC (content back to d("doc", 1));
+        # before the fix this arrived as v1 — below the v2 already heard.
+        assert versions == [2, 2]
+        assert versions == sorted(versions)
+        assert store.get(DOC) == d("doc", 1)
+
+    def test_restore_announces_monotonic_versions_across_uris(self):
+        """Same property through a multi-URI rollback: every immediate
+        re-notification stays at-or-above anything previously announced
+        for that URI."""
+        store = ResourceStore()
+        store.put(DOC, d("doc", 1))
+        heard: dict[str, list[int]] = {}
+        store.watch(lambda u, _o, _n, v: heard.setdefault(u, []).append(v),
+                    immediate=True)
+        other = "http://a.example/other"
+        with pytest.raises(RuntimeError):
+            with Transaction(store):
+                store.put(DOC, d("doc", 2))      # v2
+                store.put(other, d("x"))         # v1 (created in-tx)
+                store.delete(other)              # v2
+                raise RuntimeError
+        for uri, versions in heard.items():
+            assert versions == sorted(versions), (uri, versions)
 
     def test_version_floor_survives_rollback(self):
         """Floors only ever rise: a rolled-back put may burn version

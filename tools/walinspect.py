@@ -1,0 +1,98 @@
+"""Dump and verify a resource-store write-ahead log.
+
+Walks the CRC-framed record stream of a ``store.wal`` file (see
+:mod:`repro.store.wal`), printing one line per record — sequence number,
+payload size, CRC status, op count — and, for a torn or corrupt tail,
+exactly where the valid prefix ends and why.  Snapshot files use the
+same framing, so they can be inspected too (``--snapshot``).
+
+Usage::
+
+    PYTHONPATH=src python tools/walinspect.py <path>/store.wal
+    PYTHONPATH=src python tools/walinspect.py --verbose <path>/store.wal
+    PYTHONPATH=src python tools/walinspect.py --snapshot <path>/snapshot
+
+Exit status: 0 for a clean file, 1 for a torn/corrupt tail (recovery
+would truncate it — the tool itself never modifies the file), 2 for a
+usage error.  ``--verbose`` additionally prints each record's decoded
+term text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import StoreError
+from repro.store.backend import decode_commit
+from repro.store.wal import RECORD_HEADER, scan_records
+from repro.terms.parser import parse_data
+
+
+def inspect(path: str, *, snapshot: bool = False,
+            verbose: bool = False, out=None) -> int:
+    """Print a report for the record stream at *path*; the exit status."""
+    if out is None:
+        out = sys.stdout
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    payloads, valid_end, problem = scan_records(data)
+    print(f"{path}: {len(data)} bytes, {len(payloads)} record(s)", file=out)
+    offset = 0
+    for index, payload in enumerate(payloads):
+        text = None
+        if snapshot:
+            try:
+                term = parse_data(payload.decode("utf-8"))
+                label = term.label
+                detail = (f"seq={term.first('seq').value}"
+                          if label == "snapshot"
+                          else f"uri={term.first('uri').value!r}")
+                status = "ok"
+                text = payload.decode("utf-8")
+            except Exception as exc:
+                label, detail, status = "?", "", f"undecodable: {exc}"
+        else:
+            try:
+                seq, ops = decode_commit(payload.decode("utf-8"))
+                label = "commit"
+                detail = f"seq={seq} ops={len(ops)}"
+                status = "ok"
+                text = payload.decode("utf-8")
+            except (StoreError, UnicodeDecodeError) as exc:
+                label, detail, status = "?", "", f"undecodable: {exc}"
+                problem = problem or "undecodable-record"
+        print(f"  [{index}] offset={offset} bytes={len(payload)} "
+              f"crc=ok {label} {detail} {status}".rstrip(), file=out)
+        if verbose and text is not None:
+            print(f"      {text}", file=out)
+        offset += RECORD_HEADER.size + len(payload)
+    if problem is None:
+        print("  tail: clean", file=out)
+        return 0
+    torn = len(data) - valid_end
+    print(f"  tail: {problem} — valid prefix ends at byte {valid_end}, "
+          f"{torn} trailing byte(s) would be truncated by recovery",
+          file=out)
+    return 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Dump and verify a resource-store WAL file.")
+    parser.add_argument("path", help="store.wal (or snapshot) file")
+    parser.add_argument("--snapshot", action="store_true",
+                        help="decode records as snapshot entries "
+                             "(doc/floor) instead of commits")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each record's decoded term text")
+    args = parser.parse_args(argv)
+    return inspect(args.path, snapshot=args.snapshot, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
