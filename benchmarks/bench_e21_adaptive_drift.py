@@ -1,0 +1,271 @@
+"""E21: adaptive mechanism selection under mid-run skew drift.
+
+E19 showed the evaluation-mechanism choice is workload-dependent: join
+trees win multiples on hot-first skew, prefix extension wins on uniform
+and rare-first streams.  PR 9's :class:`repro.events.AdaptiveEvaluator`
+(``EngineConfig(evaluator="adaptive")``) makes the choice at runtime and
+*revises* it when the workload drifts.  This experiment drives one
+persistent evaluator of each mechanism through the same three-phase
+stream:
+
+- **uniform** — every pattern label equally likely: the mechanisms'
+  plans coincide, so the tree only pays its bookkeeping overhead and
+  incremental evaluation is the right choice;
+- **hot-first** — a zipf-style skew with the sequence's *first* member
+  taking most of the stream and the closing member rare: the adversarial
+  case for prefix extension, where rarest-first joins win;
+- **reversed** — the mirrored zipf: textual order is already
+  rarest-first, so incremental wins again and a tree planned for the
+  previous phase is maximally wrong.
+
+The adaptive evaluator should ride the drift — incremental, switch to
+tree, switch back — with a switch count bounded by its hysteresis
+(dwell + margin), and land within 15%% of whichever *fixed* mechanism is
+best on every phase while beating the worst by >=1.5x where the phases
+disagree.  The fixed tree is seeded with the full stream's aggregate
+rates (the best any static configuration could know).
+
+Measured per phase × mechanism: mean per-event processing time (best of
+``PASSES`` runs — the uniform phase is allocation-heavy and noisy),
+answers (asserted identical across mechanisms cell by cell), the
+mechanism the adaptive evaluator ends the phase on, and its cumulative
+switch count.  Emits ``BENCH_e21.json`` (skipped under ``--smoke``);
+the three-way ablation is guarded by ``require_columns``.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "benchmarks")
+from _harness import parse_cli, pick, print_table, require_columns, seeded, smoke_mode, write_json
+
+from repro.events import (
+    AdaptiveEvaluator,
+    EAtom,
+    ESeq,
+    EWithin,
+    GovernorConfig,
+    IncrementalEvaluator,
+    TreeEvaluator,
+)
+from repro.events.model import make_event
+from repro.terms import Var, d, q
+
+N_EVENTS = 6000          # per phase
+PASSES = 5               # timing passes; per-phase best-of is reported
+LENGTH = 4               # positive sequence members
+WINDOW = 1.0
+MEAN_GAP = 0.05          # ~40 events per window
+PHASES = ("uniform", "hot-first", "reversed")
+NOISE_SHARE = 0.08       # never-matching label, as in E19
+# The governor tuned for this drift cadence: ~3 simulated seconds of
+# rate memory against 300-second phases, deciding every 16 events with
+# two epochs of dwell.  The entry margin is high (the asymmetric
+# hysteresis makes that free: leaving the tree needs no margin, so a
+# stale plan is abandoned as soon as the scores flip), and min_mass
+# keeps the governor from reading a hot-first signature into the first
+# few dozen events before every member has shown up.
+GOVERNOR = dict(epoch_events=16, dwell_epochs=2, margin=0.5, halflife=3.0,
+                period=10.0, tree_overhead=1.5, min_mass=40.0)
+
+
+def build_query() -> EWithin:
+    members = [EAtom(q(f"m{i}", Var(f"V{i}"))) for i in range(LENGTH)]
+    return EWithin(ESeq(*members), WINDOW)
+
+
+def label_weights(phase: str) -> dict[str, float]:
+    labels = [f"m{i}" for i in range(LENGTH)]
+    if phase == "uniform":
+        weights = {label: (1.0 - NOISE_SHARE) / LENGTH for label in labels}
+    else:
+        zipf = [0.60, 0.20, 0.11, 0.01]
+        if phase == "reversed":
+            zipf = zipf[::-1]
+        weights = dict(zip(labels, zipf))
+    weights["x"] = 1.0 - sum(weights.values())
+    return weights
+
+
+def make_phases(n: int, seed: int = 21):
+    """The drift stream: one list of events per phase, one shared clock."""
+    rng = seeded(seed)
+    clock = 0.0
+    phases = []
+    for phase in PHASES:
+        weights = label_weights(phase)
+        labels, shares = list(weights), list(weights.values())
+        events = []
+        for i in range(n):
+            clock += rng.expovariate(1.0 / MEAN_GAP)
+            events.append(make_event(d(rng.choices(labels, shares)[0], i), clock))
+        phases.append((phase, events))
+    return phases
+
+
+def aggregate_rates(phases) -> dict[str, float]:
+    """Whole-stream label counts: the fixed tree's (static) best guess."""
+    rates: dict[str, float] = {}
+    for _phase, events in phases:
+        for event in events:
+            label = event.term.label
+            rates[label] = rates.get(label, 0.0) + 1.0
+    return rates
+
+
+def run_drift(evaluator, phases) -> list[dict]:
+    """One persistent evaluator through all phases; per-phase readings."""
+    out = []
+    for phase, events in phases:
+        answers = 0
+        started = time.perf_counter()
+        for event in events:
+            answers += len(evaluator.on_event(event))
+        elapsed = time.perf_counter() - started
+        out.append({
+            "phase": phase,
+            "us_per_event": elapsed / len(events) * 1e6,
+            "answers": answers,
+            "mechanism": getattr(evaluator, "mechanism", "fixed"),
+            "switches": getattr(evaluator, "switches", 0),
+        })
+    # Drain trailing pendings so every pass starts from nothing live.
+    evaluator.advance_time(phases[-1][1][-1].time + WINDOW + 1.0)
+    return out
+
+
+def _mechanisms(query, rates):
+    return {
+        "incremental": lambda: IncrementalEvaluator(query),
+        "tree": lambda: TreeEvaluator(query, dict(rates)),
+        "adaptive": lambda: AdaptiveEvaluator(
+            query, config=GovernorConfig(**GOVERNOR)),
+    }
+
+
+def table() -> list[dict]:
+    n_events = pick(N_EVENTS, 200)
+    phases = make_phases(n_events)
+    query = build_query()
+    rates = aggregate_rates(phases)
+    results = {}
+    for _ in range(pick(PASSES, 1)):
+        for name, build in _mechanisms(query, rates).items():
+            readings = run_drift(build(), phases)
+            best = results.get(name)
+            if best is None:
+                results[name] = readings
+            else:
+                for slot, fresh in zip(best, readings):
+                    slot["us_per_event"] = min(slot["us_per_event"],
+                                               fresh["us_per_event"])
+    rows = []
+    for i, phase in enumerate(PHASES):
+        answers = {name: results[name][i]["answers"] for name in results}
+        assert len(set(answers.values())) == 1, (
+            f"mechanisms disagree on phase {phase!r}: {answers}"
+        )
+        fixed_best = min(results["incremental"][i]["us_per_event"],
+                         results["tree"][i]["us_per_event"])
+        rows.append({
+            "phase": phase,
+            "answers": results["adaptive"][i]["answers"],
+            "incremental us/ev": results["incremental"][i]["us_per_event"],
+            "tree us/ev": results["tree"][i]["us_per_event"],
+            "adaptive us/ev": results["adaptive"][i]["us_per_event"],
+            "adaptive vs best": results["adaptive"][i]["us_per_event"] / fixed_best,
+            "adaptive mechanism": results["adaptive"][i]["mechanism"],
+            "switches": results["adaptive"][i]["switches"],
+        })
+    return require_columns(
+        "e21", rows,
+        ("incremental us/ev", "tree us/ev", "adaptive us/ev"))
+
+
+def test_e21_mechanisms_agree_batch_by_batch():
+    phases = make_phases(200)
+    adaptive_ev = AdaptiveEvaluator(build_query(),
+                                    config=GovernorConfig(**GOVERNOR))
+    fixed = IncrementalEvaluator(build_query())
+    for _phase, events in phases:
+        for event in events:
+            assert adaptive_ev.on_event(event) == fixed.on_event(event)
+    horizon = phases[-1][1][-1].time + WINDOW + 1.0
+    assert adaptive_ev.advance_time(horizon) == fixed.advance_time(horizon)
+    assert adaptive_ev.switches >= 1  # the drift really provoked a switch
+
+
+def test_e21_adaptive_rides_the_drift():
+    # Phase-end mechanisms: incremental on uniform, tree on hot-first,
+    # incremental again on reversed — two switches, no thrash.
+    evaluator = AdaptiveEvaluator(build_query(),
+                                  config=GovernorConfig(**GOVERNOR))
+    trajectory = []
+    for phase, events in make_phases(600):
+        for event in events:
+            evaluator.on_event(event)
+        trajectory.append((phase, evaluator.mechanism))
+    assert trajectory == [("uniform", "incremental"), ("hot-first", "tree"),
+                          ("reversed", "incremental")]
+    assert evaluator.switches == 2
+
+
+def test_e21_adaptive_processing(benchmark):
+    phases = make_phases(300)
+    query = build_query()
+
+    def run():
+        run_drift(AdaptiveEvaluator(query, config=GovernorConfig(**GOVERNOR)),
+                  phases)
+
+    benchmark(run)
+
+
+def main() -> None:
+    parse_cli()
+    rows = table()
+    n_events = pick(N_EVENTS, 200)
+    print_table(
+        f"E21 — adaptive mechanism selection under skew drift "
+        f"({n_events} events/phase, window {WINDOW})",
+        rows,
+        "one evaluator rides uniform -> hot-first -> reversed skew, "
+        "switching mechanisms to stay near the per-phase best fixed "
+        "choice, with hysteresis bounding the switch count",
+    )
+    path = write_json("BENCH_e21.json", {
+        "experiment": "e21_adaptive_drift",
+        "n_events_per_phase": N_EVENTS,
+        "passes": PASSES,
+        "pattern_length": LENGTH,
+        "window": WINDOW,
+        "mean_gap": MEAN_GAP,
+        "phases": list(PHASES),
+        "governor": GOVERNOR,
+        "rows": rows,
+    })
+    print(f"\nwrote {path}" if path else "\n(smoke mode: no JSON written)")
+    if not smoke_mode():
+        for row in rows:
+            assert row["adaptive vs best"] <= 1.15, (
+                f"adaptive should stay within 15% of the best fixed "
+                f"mechanism on {row['phase']!r}, got "
+                f"{row['adaptive vs best']:.3f}x"
+            )
+        beats_worst = max(
+            max(row["incremental us/ev"], row["tree us/ev"])
+            / row["adaptive us/ev"]
+            for row in rows
+        )
+        assert beats_worst >= 1.5, (
+            f"adaptive should beat the worst fixed mechanism >=1.5x on "
+            f"some phase, best ratio {beats_worst:.2f}"
+        )
+        assert rows[-1]["switches"] <= 4, (
+            f"hysteresis should bound the drift to ~2 switches, got "
+            f"{rows[-1]['switches']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -31,7 +31,14 @@ See ``examples/quickstart.py`` for a complete runnable scenario.
 from repro import errors
 from repro.api import EngineConfig, NodeStats, ReactiveNode, RuleBuilder, rule
 from repro.errors import ReproError
-from repro.events import TreeEvaluator, register_evaluator, resolve_evaluator
+from repro.events import (
+    AdaptiveEvaluator,
+    GovernorConfig,
+    TreeEvaluator,
+    adaptive,
+    register_evaluator,
+    resolve_evaluator,
+)
 from repro.ingest import IngestConfig, IngestGateway, IngestStats
 from repro.sharding import ShardRouter
 from repro.store import (
@@ -54,13 +61,15 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
+    "AdaptiveEvaluator",
     "Bindings",
     "Data",
     "DurableResourceStore",
     "EngineConfig",
+    "GovernorConfig",
     "IngestConfig",
     "IngestGateway",
     "IngestStats",
@@ -72,6 +81,7 @@ __all__ = [
     "Simulation",
     "StoreConfig",
     "TreeEvaluator",
+    "adaptive",
     "d",
     "errors",
     "match",

@@ -340,7 +340,12 @@ class ReactiveNode:
           ``node.stats["executor"]``); with threads, ``epochs`` counts
           barrier round-trips and ``barrier_wait_s`` the wall-clock
           seconds the scheduler thread spent joining workers (both 0
-          inline).
+          inline);
+        - ``evaluator_switches`` — mechanism switches taken by adaptive
+          evaluators (``EngineConfig(evaluator="adaptive")``), summed
+          across rules and shards (replicas included, like every fleet
+          counter); always 0 for fixed mechanisms.  The per-rule view is
+          :meth:`mechanisms`.
 
         With an ingestion gateway configured (``EngineConfig(ingest=...)``)
         the snapshot additionally mirrors the front door's headline
@@ -358,7 +363,8 @@ class ReactiveNode:
         single engine's live object stays at ``engine.stats``.
         """
         stats = (self.router.aggregate_stats() if self.router is not None
-                 else self.engine.stats)
+                 else replace(self.engine.stats,
+                              evaluator_switches=self.engine.evaluator_switches()))
         stats = replace(stats,
                         inbox_depth=self.node.inbox_depth,
                         inbox_peak=self.node.inbox_peak)
@@ -381,8 +387,25 @@ class ReactiveNode:
         else:
             shards = (replace(self.engine.stats,
                               inbox_depth=self.node.inbox_depth,
-                              inbox_peak=self.node.inbox_peak),)
+                              inbox_peak=self.node.inbox_peak,
+                              evaluator_switches=self.engine.evaluator_switches()),)
         return NodeStats(stats, shards, ingest)
+
+    def mechanisms(self) -> dict[str, dict]:
+        """Per-rule evaluation-mechanism report, by rule name.
+
+        Each row carries ``mechanism`` (``"incremental"`` / ``"tree"`` /
+        ``"naive"`` — for ``evaluator="adaptive"``, whichever the
+        governor currently runs), ``switches`` (mechanism switches taken
+        so far; always 0 for fixed mechanisms), and ``pinned`` (adaptive
+        only: ``True`` when the query admits no safe runtime switch and
+        is pinned to its initial mechanism; ``None`` for fixed
+        mechanisms).  On a sharded node replicas of one rule agree — the
+        governor decides from replica-identical signals — so one row per
+        rule is reported.
+        """
+        impl = self.router if self.router is not None else self.engine
+        return impl.mechanism_report()
 
     @property
     def ingest_stats(self):
@@ -403,7 +426,8 @@ class ReactiveNode:
             return self.router.shard_stats()
         return (replace(self.engine.stats,
                         inbox_depth=self.node.inbox_depth,
-                        inbox_peak=self.node.inbox_peak),)
+                        inbox_peak=self.node.inbox_peak,
+                        evaluator_switches=self.engine.evaluator_switches()),)
 
     def __repr__(self) -> str:
         shards = "" if self.router is None else f", shards={len(self.router.engines)}"

@@ -157,6 +157,11 @@ class EngineStats:
     executor: str = "inline"
     epochs: int = 0
     barrier_wait_s: float = 0.0
+    # Mechanism switches taken by adaptive evaluators across all active
+    # rules; stamped at snapshot time by the facade/router (the live
+    # counters sit on the evaluators, see mechanism_report()).  0 for
+    # fixed mechanisms.
+    evaluator_switches: int = 0
     # Ingestion-tier mirror, stamped by ReactiveNode.stats when a gateway
     # is configured (EngineConfig.ingest); all zero otherwise.  The full
     # counter set lives on IngestStats (node.ingest_stats) — these are the
@@ -205,7 +210,19 @@ class EngineConfig:
       ``(query, rates) -> evaluator`` callable; all mechanisms produce
       identical answers in identical order (property-tested), so the
       knob only moves cost.  The engine, the shard router, and the
-      facade all build evaluators through this one seam.
+      facade all build evaluators through this one seam.  A fourth
+      mechanism, ``"adaptive"``, starts incremental and lets a per-rule
+      governor switch incremental↔tree at runtime from observed traffic
+      with lossless state migration (see :mod:`repro.events.governor`;
+      tune its knobs with :func:`repro.events.governor.adaptive`).
+    - ``rate_halflife`` — EWMA half-life (simulated seconds) applied to
+      the engine's per-label observed event rates, the signal rate-aware
+      evaluators seed and re-plan their joins from on
+      :meth:`ReactiveEngine.refresh`.  ``None`` (default) keeps the
+      original cumulative counters — bit-for-bit the old behaviour,
+      where a skew reversal never re-orders an existing plan because
+      history outweighs any drift.  With a half-life, rates decay in
+      simulated time, so ``plan()`` orders follow the *recent* skew.
     - ``event_views`` — a non-recursive deductive :class:`Program`
       deriving further event terms from each incoming event (Thesis 9);
       rules can subscribe to the derived labels.
@@ -326,12 +343,16 @@ class EngineConfig:
     store: "object | None" = None  # StoreConfig; same deferred-import
     # discipline as ingest — core stays free of an import from repro.store
     evaluator: "str | object" = "incremental"
+    rate_halflife: "float | None" = None
 
     def __post_init__(self) -> None:
         # Fail at construction, not at first install; ConsumptionPolicy is
         # the single source of truth for valid policy names.
         ConsumptionPolicy(self.consumption)
         resolve_evaluator(self.evaluator)
+        if self.rate_halflife is not None and not self.rate_halflife > 0:
+            raise RuleError(
+                f"rate_halflife must be > 0, got {self.rate_halflife}")
         if self.inbox_batch is not None and self.inbox_batch < 1:
             raise RuleError(f"inbox_batch must be >= 1, got {self.inbox_batch}")
         if self.shards < 1:
@@ -514,7 +535,12 @@ class ReactiveEngine:
         self._factory = resolve_evaluator(config.evaluator)
         # Observed events per root label (derived events included): the
         # rate signal rate-aware evaluators seed their join plans from.
+        # Cumulative counters by default; with config.rate_halflife set
+        # they become EWMA masses decayed in simulated time (stamps
+        # below), so recent skew outweighs history.
         self._label_rates: dict[str, float] = {}
+        self._rate_halflife = config.rate_halflife
+        self._label_stamps: dict[str, float] = {}
         self._event_views = config.event_views
         self._indexed = config.indexed_dispatch
         self._discriminating = config.discriminating_index
@@ -667,6 +693,7 @@ class ReactiveEngine:
                     raise RuleError(f"duplicate rule name {qualified_name!r}")
                 wanted[qualified_name] = rule
         active: dict[str, tuple[ECARule, object]] = {}
+        rates = self.label_rates()
         for name, rule in wanted.items():
             current = self._active.get(name)
             if current is not None and current[0] is rule:
@@ -676,9 +703,9 @@ class ReactiveEngine:
                 # no-op for mechanisms without a plan).
                 replan = getattr(current[1], "replan", None)
                 if replan is not None:
-                    replan(self._label_rates)
+                    replan(rates)
             else:
-                evaluator: object = self._factory.build(rule.event, self._label_rates)
+                evaluator: object = self._factory.build(rule.event, rates)
                 if self.consumption != "unrestricted":
                     evaluator = ConsumingEvaluator(evaluator, self.consumption)
                 active[name] = (rule, evaluator)
@@ -715,6 +742,67 @@ class ReactiveEngine:
     def rules(self) -> list[str]:
         """Names of the currently active rules."""
         return list(self._active)
+
+    def _observe_label(self, label: str, now: float) -> None:
+        """Count one observed event into the per-label rate signal.
+
+        Cumulative (the original behaviour) unless the config sets
+        ``rate_halflife``, in which case the stored mass decays by the
+        simulated time elapsed since the label's last event.
+        """
+        rates = self._label_rates
+        if self._rate_halflife is None:
+            rates[label] = rates.get(label, 0.0) + 1.0
+            return
+        mass = rates.get(label, 0.0)
+        stamp = self._label_stamps.get(label, now)
+        if now > stamp:
+            mass *= 0.5 ** ((now - stamp) / self._rate_halflife)
+            stamp = now
+        rates[label] = mass + 1.0
+        self._label_stamps[label] = stamp
+
+    def label_rates(self) -> dict[str, float]:
+        """The per-label rate signal as evaluators should see it *now*.
+
+        With ``rate_halflife`` unset this is the live cumulative dict
+        (identity-preserved: bit-for-bit the pre-decay path); with a
+        half-life every mass is decayed to the node's current simulated
+        time, so quiet labels fade and recent skew dominates.
+        """
+        if self._rate_halflife is None:
+            return self._label_rates
+        now = self.node.now
+        out = {}
+        for label, mass in self._label_rates.items():
+            stamp = self._label_stamps.get(label, now)
+            if now > stamp:
+                mass *= 0.5 ** ((now - stamp) / self._rate_halflife)
+            out[label] = mass
+        return out
+
+    def mechanism_report(self) -> dict[str, dict]:
+        """Per-rule evaluation-mechanism snapshot, by rule name.
+
+        Each row carries ``mechanism`` (what currently evaluates the
+        query), ``switches`` (mechanism switches taken; 0 for fixed
+        mechanisms), and ``pinned`` (``True``/``False`` for adaptive
+        evaluators, ``None`` otherwise).
+        """
+        report = {}
+        for name, (_rule, evaluator) in self._active.items():
+            report[name] = {
+                "mechanism": getattr(evaluator, "mechanism",
+                                     type(evaluator).__name__),
+                "switches": getattr(evaluator, "switches", 0),
+                "pinned": getattr(evaluator, "pinned", None),
+            }
+        return report
+
+    def evaluator_switches(self) -> int:
+        """Total mechanism switches across all active evaluators."""
+        return sum(getattr(evaluator, "switches", 0)
+                   for _rule, evaluator in self._active.values())
 
     def sync_rules(self, named_rules) -> None:
         """Replace the whole rule base with *named_rules* in one step.
@@ -808,7 +896,7 @@ class ReactiveEngine:
                   exclude: frozenset = frozenset()) -> None:
         stats = self.stats
         label = event.term.label
-        self._label_rates[label] = self._label_rates.get(label, 0.0) + 1.0
+        self._observe_label(label, event.time)
         entries = self._interested(event)
         if exclude:
             entries = [(rule, evaluator) for rule, evaluator in entries

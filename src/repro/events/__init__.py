@@ -18,12 +18,15 @@ Implements Theses 4-6 of the paper:
   (:func:`repro.events.naive.answers`), which the property suite checks on
   random streams.
 
-Three evaluation mechanisms share that semantics, selected per node with
+Four evaluation mechanisms share that semantics, selected per node with
 ``EngineConfig(evaluator=...)`` and built through the
 :class:`EvaluatorFactory` seam (:func:`resolve_evaluator` /
 :func:`register_evaluator`): ``"incremental"`` (prefix extension),
 ``"tree"`` (:class:`TreeEvaluator` — join trees with frequency-ordered
-plans), and ``"naive"`` (the re-evaluation baseline).
+plans), ``"naive"`` (the re-evaluation baseline), and ``"adaptive"``
+(:class:`AdaptiveEvaluator` — switches incremental↔tree per rule at
+runtime from a :class:`MechanismGovernor` cost model with hysteresis,
+migrating live state losslessly across the switch).
 """
 
 from repro.events.answers import answer_sort_key, dedup_answers
@@ -34,6 +37,13 @@ from repro.events.factory import (
     ScheduledNaiveEvaluator,
     register_evaluator,
     resolve_evaluator,
+)
+from repro.events.governor import (
+    AdaptiveEvaluator,
+    GovernorConfig,
+    MechanismGovernor,
+    adaptive,
+    replay_horizon,
 )
 from repro.events.incremental import IncrementalEvaluator
 from repro.events.model import Event, EventAnswer
@@ -58,6 +68,7 @@ from repro.events.queries import (
 )
 
 __all__ = [
+    "AdaptiveEvaluator",
     "ConsumingEvaluator",
     "ConsumptionPolicy",
     "Discriminator",
@@ -74,13 +85,17 @@ __all__ = [
     "EventAnswer",
     "EventInterest",
     "EvaluatorFactory",
+    "GovernorConfig",
     "IncrementalEvaluator",
+    "MechanismGovernor",
     "NaiveEvaluator",
     "ScheduledNaiveEvaluator",
     "TreeEvaluator",
+    "adaptive",
     "answer_sort_key",
     "answers",
     "dedup_answers",
+    "replay_horizon",
     "register_evaluator",
     "resolve_evaluator",
     "pattern_discriminators",

@@ -14,6 +14,10 @@ name            mechanism
 ``naive``       :class:`ScheduledNaiveEvaluator` — full re-evaluation over
                 the whole history (the Thesis 6 baseline), wrapped so
                 absence deadlines still schedule engine wake-ups
+``adaptive``    :class:`~repro.events.governor.AdaptiveEvaluator` — starts
+                incremental and switches incremental↔tree per rule at
+                runtime, driven by a cost model over EWMA-decayed label
+                rates with hysteresis (see ``repro.events.governor``)
 ==============  =============================================================
 
 ``resolve_evaluator`` also accepts a factory object directly (anything with
@@ -27,6 +31,7 @@ from heapq import heappop, heappush
 from typing import Protocol, runtime_checkable
 
 from repro.errors import EventQueryError
+from repro.events.governor import AdaptiveEvaluator
 from repro.events.incremental import IncrementalEvaluator
 from repro.events.naive import NaiveEvaluator
 from repro.events.queries import EAggregate, EAnd, ECount, ENot, EOr, ESeq, EWithin
@@ -41,7 +46,7 @@ __all__ = [
 ]
 
 #: The built-in evaluation mechanisms, by config name.
-EVALUATORS = ("incremental", "tree", "naive")
+EVALUATORS = ("incremental", "tree", "naive", "adaptive")
 
 
 @runtime_checkable
@@ -137,6 +142,7 @@ _REGISTRY: dict[str, EvaluatorFactory] = {
     "incremental": _Factory("incremental", lambda query, rates=None: IncrementalEvaluator(query)),
     "tree": _Factory("tree", lambda query, rates=None: TreeEvaluator(query, rates)),
     "naive": _Factory("naive", lambda query, rates=None: ScheduledNaiveEvaluator(query)),
+    "adaptive": _Factory("adaptive", lambda query, rates=None: AdaptiveEvaluator(query, rates)),
 }
 
 

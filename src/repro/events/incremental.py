@@ -636,6 +636,8 @@ class IncrementalEvaluator:
     answers *promptly* should schedule a call at :meth:`next_deadline`.
     """
 
+    mechanism = "incremental"
+
     def __init__(self, query) -> None:
         validate_query(query)
         self.query = query

@@ -646,6 +646,8 @@ class TreeEvaluator:
     :meth:`plan` to inspect the current order.
     """
 
+    mechanism = "tree"
+
     def __init__(self, query, rates: "dict[str, float] | None" = None) -> None:
         validate_query(query)
         self.query = query

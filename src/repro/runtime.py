@@ -36,6 +36,15 @@ so abandoned nodes do not leak threads).
 A failing job does not tear the barrier down: the coordinator still joins
 every worker before re-raising the lowest-shard error, so the fleet is
 quiescent when the exception propagates.
+
+Adaptive evaluation (``EngineConfig(evaluator="adaptive")``) rides the
+same contract: a mechanism switch taken by a worker mid-epoch mutates
+only that shard's evaluator (replacing its inner mechanism in place,
+answers unchanged), while everything a governor decision needs to
+*schedule* — the evaluator's post-switch ``next_deadline()``, governor
+tick registration — crosses the epoch barrier like any other wake-up:
+the router runs the deferred ``_schedule_wakeups`` pass on the scheduler
+thread after the workers have joined.
 """
 
 from __future__ import annotations
@@ -66,6 +75,10 @@ class ShardWorker(threading.Thread):
         self.index = index
         self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
         self._done = done
+        # Wall-clock seconds spent inside jobs; written only by this
+        # thread, read by the coordinator between epochs (the barrier
+        # orders the accesses).
+        self.busy_s = 0.0
 
     def submit(self, job) -> None:
         self._jobs.put(job)
@@ -76,10 +89,12 @@ class ShardWorker(threading.Thread):
             if job is _STOP:
                 return
             error = None
+            started = time.perf_counter()
             try:
                 job()
             except BaseException as exc:  # noqa: BLE001 - reported at the barrier
                 error = exc
+            self.busy_s += time.perf_counter() - started
             self._done.put((self.index, error))
 
 
@@ -93,7 +108,11 @@ class ShardWorkerPool:
     - :attr:`barrier_wait_s` — wall-clock seconds the coordinator spent
       blocked from releasing the workers to joining the last one; the
       per-epoch quotient is the protocol's overhead floor, the number
-      ``BENCH_e17.json`` tracks.
+      ``BENCH_e17.json`` tracks;
+    - :meth:`worker_busy_s` — per-worker wall-clock seconds spent inside
+      jobs; comparing the sum against ``barrier_wait_s`` separates "the
+      work is slow" from "the barrier is slow" (skew across workers is
+      the load-imbalance signal).
     """
 
     def __init__(self, n_workers: int, name: str = "shards") -> None:
@@ -112,6 +131,13 @@ class ShardWorkerPool:
     def started(self) -> bool:
         """True once worker threads exist (the first epoch starts them)."""
         return self._workers is not None
+
+    def worker_busy_s(self) -> tuple[float, ...]:
+        """Per-worker seconds spent inside jobs (all zero before the
+        first epoch); read between epochs like the other counters."""
+        if self._workers is None:
+            return tuple(0.0 for _ in range(self.n_workers))
+        return tuple(worker.busy_s for worker in self._workers)
 
     def _ensure_started(self) -> None:
         if self._workers is None:

@@ -1076,6 +1076,27 @@ class ShardRouter:
         """Rule name -> shard indices it is installed on (copy)."""
         return dict(self._plan.placement)
 
+    def mechanism_report(self) -> dict[str, dict]:
+        """Per-rule mechanism snapshot, merged across the fleet.
+
+        For a replicated rule the first hosting shard's row is reported.
+        Adaptive governors take decisions only from evaluator-local
+        signals (decayed label masses in *simulated* time), and replicas
+        of one rule see identical interested-event streams, so every
+        replica runs the same mechanism with the same switch count —
+        property-tested, so picking the first shard loses nothing.
+        """
+        report: dict[str, dict] = {}
+        for engine in self.engines:
+            for name, row in engine.mechanism_report().items():
+                report.setdefault(name, row)
+        return report
+
+    def evaluator_switches(self) -> int:
+        """Total mechanism switches across the fleet (replicas included,
+        like every other aggregate counter: it measures fleet work)."""
+        return sum(engine.evaluator_switches() for engine in self.engines)
+
     def aggregate_stats(self) -> EngineStats:
         """Sum of all shard counters, plus router-level derived events.
 
@@ -1098,6 +1119,9 @@ class ShardRouter:
                             getattr(total, field_.name) + value)
         total.derived_events += self.derived_events
         total.executor = self.executor_name
+        # Live switch counters sit on the evaluators, not in engine.stats
+        # (the summed field is always 0) — stamp the snapshot here.
+        total.evaluator_switches = self.evaluator_switches()
         if self.pool is not None:
             total.epochs = self.pool.epochs
             total.barrier_wait_s = self.pool.barrier_wait_s
@@ -1109,7 +1133,8 @@ class ShardRouter:
             replace(engine.stats,
                     inbox_depth=len(self._inboxes[si]),
                     inbox_peak=self.inbox_peaks[si],
-                    executor=self.executor_name)
+                    executor=self.executor_name,
+                    evaluator_switches=engine.evaluator_switches())
             for si, engine in enumerate(self.engines)
         )
 

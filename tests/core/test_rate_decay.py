@@ -1,0 +1,117 @@
+"""EWMA label rates: ``EngineConfig(rate_halflife=...)``.
+
+The engine's per-label rates used to be cumulative counters: every event
+ever seen kept its full weight forever, so a workload whose skew
+*reversed* mid-run could never reorder a freshly-built join plan — the
+stale phase outvoted the live one.  ``rate_halflife`` makes the counters
+exponentially-decayed masses in simulated time.  The regression test
+here pins the observable difference: after a skew reversal, a decayed
+engine hands a newly-installed tree rule the *current* rarest-first
+order, while the legacy cumulative engine (still the default,
+bit-for-bit unchanged) keeps the stale one.
+"""
+
+import pytest
+
+from repro import EngineConfig, Simulation
+from repro.core import eca
+from repro.core.actions import PyAction
+from repro.errors import RuleError
+from repro.events import EAtom, ESeq, EWithin
+from repro.terms import LabelVar, d, q
+
+
+def _node(sim, **config_kwargs):
+    node = sim.reactive_node("http://d.example",
+                             config=EngineConfig(**config_kwargs))
+    # A wildcard observer so every raised event reaches the engine's
+    # dispatch path (label rates are only accounted for drained events).
+    node.install(eca("wild", EAtom(q(LabelVar("L"))),
+                     PyAction(lambda n, b: None, "noop")))
+    return node
+
+
+def _schedule(sim, node, stream):
+    for t, label in stream:
+        sim.scheduler.at(t, lambda lab=label: node.raise_local(d(lab)))
+
+
+class TestConfigSurface:
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_halflife_must_be_positive(self, bad):
+        with pytest.raises(RuleError, match="rate_halflife"):
+            EngineConfig(rate_halflife=bad)
+
+    def test_none_is_the_legacy_cumulative_path(self):
+        sim = Simulation(latency=0.0)
+        node = _node(sim)
+        # Not a decayed copy: the very same dict the engine mutates, so
+        # the legacy path has zero new allocations or arithmetic.
+        assert node.engine.label_rates() is node.engine._label_rates
+
+
+class TestDecayArithmetic:
+    def test_mass_halves_per_halflife(self):
+        sim = Simulation(latency=0.0)
+        node = _node(sim, rate_halflife=2.0)
+        _schedule(sim, node, [(0.0, "a"), (2.0, "b"), (4.0, "c")])
+        sim.run()
+        rates = node.engine.label_rates()
+        # a@0 decayed across two halflives, b@2 across one, c@4 fresh.
+        assert rates["a"] == pytest.approx(0.25)
+        assert rates["b"] == pytest.approx(0.5)
+        assert rates["c"] == pytest.approx(1.0)
+
+    def test_repeat_events_accumulate_then_decay(self):
+        sim = Simulation(latency=0.0)
+        node = _node(sim, rate_halflife=2.0)
+        _schedule(sim, node, [(0.0, "a"), (0.0, "a"), (2.0, "a")])
+        sim.run()
+        # (1 + 1) halved once, plus the fresh arrival.
+        assert node.engine.label_rates()["a"] == pytest.approx(2.0)
+
+    def test_cumulative_counters_never_decay(self):
+        sim = Simulation(latency=0.0)
+        node = _node(sim)  # rate_halflife=None
+        _schedule(sim, node, [(0.0, "a"), (100.0, "b")])
+        sim.run()
+        assert node.engine.label_rates()["a"] == 1.0
+
+
+# The skew-reversal workload: phase 1 floods `a`, phase 2 floods `b`.
+# Cumulatively `b` stays the rare label forever; decayed, `a` is.
+def _reversal_stream():
+    stream = []
+    for i in range(100):
+        stream.append((i * 0.05, "a"))          # 100 a in [0, 5)
+    for i in range(5):
+        stream.append((i * 1.0, "b"))           # 5 b in [0, 5)
+    for i in range(2):
+        stream.append((10.0 + i * 2.0, "a"))    # 2 a in [10, 14)
+    for i in range(40):
+        stream.append((10.0 + i * 0.1, "b"))    # 40 b in [10, 14)
+    return sorted(stream)
+
+
+def _plan_after_reversal(**config_kwargs):
+    sim = Simulation(latency=0.0)
+    node = _node(sim, evaluator="tree", **config_kwargs)
+    _schedule(sim, node, _reversal_stream())
+    sim.run()
+    # A rule installed *now* is planned from the engine's current rates
+    # (its leaves have observed nothing yet, so the rates decide).
+    node.install(eca("ab", EWithin(ESeq(EAtom(q("a")), EAtom(q("b"))), 5.0),
+                     PyAction(lambda n, b: None, "noop")))
+    return node.engine._active["ab"][1].plan()
+
+
+class TestSkewReversalRegression:
+    def test_decayed_rates_reorder_the_plan(self):
+        # Recent traffic is b-heavy, so a is now the rare label: join it
+        # first.  This is the reorder the cumulative counter can't do.
+        assert _plan_after_reversal(rate_halflife=2.0)["order"] == [0, 1]
+
+    def test_cumulative_rates_keep_the_stale_order(self):
+        # 102 a vs 45 b all-time: the dead phase-1 flood still outvotes
+        # the live skew, so b stays "rare" and the plan stays stale.
+        assert _plan_after_reversal()["order"] == [1, 0]

@@ -1,0 +1,353 @@
+"""The mechanism governor: cost model, hysteresis, pinning, surfacing.
+
+The switch-*equivalence* story lives in
+``tests/properties/test_adaptive_equivalence.py``; this file covers the
+*decision* layer: replay-horizon computation, the analytic cost model's
+direction, the two anti-thrash guards (dwell + margin), pinned queries,
+quiescence of the governor tick, and how mechanism choices and switch
+counts surface through ``NodeStats`` — including the per-shard replica
+agreement that makes adaptive evaluation sound under replication.
+"""
+
+import pytest
+
+from repro import EngineConfig, Simulation
+from repro.core import eca
+from repro.core.actions import PyAction
+from repro.errors import EventQueryError
+from repro.events import (
+    AdaptiveEvaluator,
+    EAggregate,
+    EAtom,
+    ECount,
+    ENot,
+    EOr,
+    ESeq,
+    EWithin,
+    GovernorConfig,
+    IncrementalEvaluator,
+    MechanismGovernor,
+    adaptive,
+    replay_horizon,
+)
+from repro.events.model import make_event
+from repro.terms import LabelVar, Var, d, q
+
+AB = EWithin(ESeq(EAtom(q("a")), EAtom(q("b"))), 5.0)
+
+HOT_A = {"a": 100.0, "b": 1.0}     # first member hot: prefix extension pays
+HOT_B = {"a": 1.0, "b": 100.0}     # textual order already rarest-first
+UNIFORM = {"a": 10.0, "b": 10.0}
+
+
+def _ev(query=AB, **knobs):
+    return AdaptiveEvaluator(query, config=GovernorConfig(**knobs))
+
+
+def _feed(evaluator, stream):
+    """Drive ``(time, label)`` pairs through an evaluator."""
+    for t, label in stream:
+        evaluator.on_event(make_event(d(label), t))
+
+
+class TestReplayHorizon:
+    def test_atom_needs_no_history(self):
+        assert replay_horizon(EAtom(q("a"))) == 0.0
+
+    def test_windowed_chain_is_bounded_by_its_window(self):
+        assert replay_horizon(AB) == 5.0
+
+    def test_unwindowed_chain_is_unbounded(self):
+        assert replay_horizon(ESeq(EAtom(q("a")), EAtom(q("b")))) is None
+
+    def test_negation_members_add_nothing(self):
+        query = EWithin(ESeq(EAtom(q("a")), EAtom(q("b")), ENot(q("n"))), 4.0)
+        assert replay_horizon(query) == 4.0
+
+    def test_nested_windows_accumulate(self):
+        inner = EWithin(ESeq(EAtom(q("b")), EAtom(q("c"))), 2.0)
+        query = EWithin(ESeq(EAtom(q("a")), inner), 10.0)
+        assert replay_horizon(query) == 12.0
+
+    def test_or_takes_the_worst_member(self):
+        assert replay_horizon(EOr(EAtom(q("a")), AB)) == 5.0
+        assert replay_horizon(
+            EOr(AB, ESeq(EAtom(q("a")), EAtom(q("b"))))) is None
+
+    def test_count_is_bounded_by_its_window(self):
+        assert replay_horizon(ECount(q("a"), 3, 5.0)) == 5.0
+
+    def test_aggregate_baseline_is_unbounded(self):
+        # The rise% baseline survives gc, so no bounded suffix rebuilds it.
+        assert replay_horizon(
+            EAggregate(q("s"), "p", "avg", "out", window=9.0)) is None
+
+
+class TestGovernorConfigValidation:
+    @pytest.mark.parametrize("knobs", [
+        dict(epoch_events=0),
+        dict(period=0.0),
+        dict(halflife=0.0),
+        dict(halflife=-1.0),
+        dict(dwell_epochs=-1),
+        dict(margin=-0.1),
+        dict(tree_overhead=0.0),
+        dict(min_mass=-1.0),
+        dict(initial="naive"),
+    ])
+    def test_bad_knobs_are_rejected(self, knobs):
+        with pytest.raises(EventQueryError):
+            GovernorConfig(**knobs)
+
+    def test_adaptive_builder_validates_eagerly(self):
+        with pytest.raises(EventQueryError, match="dwell_epochs"):
+            adaptive(dwell_epochs=-3)
+
+
+class TestCostModelDirection:
+    """The analytic scores must point the same way E19 measured."""
+
+    def test_hot_first_member_prefers_the_tree(self):
+        gov = MechanismGovernor(AB, GovernorConfig())
+        scores = gov.scores(HOT_A, sum(HOT_A.values()))
+        assert scores["tree"] < scores["incremental"]
+        assert gov.preferred("incremental", HOT_A, sum(HOT_A.values())) == "tree"
+        assert gov.preferred("tree", HOT_A, sum(HOT_A.values())) is None
+
+    def test_rare_first_member_prefers_incremental(self):
+        # Textual order is already rarest-first; the tree only adds its
+        # bookkeeping overhead.
+        gov = MechanismGovernor(AB, GovernorConfig())
+        scores = gov.scores(HOT_B, sum(HOT_B.values()))
+        assert scores["incremental"] < scores["tree"]
+        assert gov.preferred("tree", HOT_B, sum(HOT_B.values())) == "incremental"
+        assert gov.preferred("incremental", HOT_B, sum(HOT_B.values())) is None
+
+    def test_uniform_traffic_prefers_incremental(self):
+        gov = MechanismGovernor(AB, GovernorConfig())
+        scores = gov.scores(UNIFORM, sum(UNIFORM.values()))
+        assert scores["incremental"] < scores["tree"]
+
+    def test_exact_tie_stays_put_from_either_incumbent(self):
+        # No overhead, no margin: the scores are equal, and equal is not
+        # strictly better, so neither incumbent is ever deposed.
+        gov = MechanismGovernor(
+            AB, GovernorConfig(tree_overhead=1.0, margin=0.0))
+        scores = gov.scores(UNIFORM, sum(UNIFORM.values()))
+        assert scores["incremental"] == scores["tree"]
+        assert gov.preferred("incremental", UNIFORM, 20.0) is None
+        assert gov.preferred("tree", UNIFORM, 20.0) is None
+
+    def test_min_mass_gates_all_decisions(self):
+        gov = MechanismGovernor(AB, GovernorConfig(min_mass=1000.0))
+        assert gov.preferred("incremental", HOT_A, sum(HOT_A.values())) is None
+
+    def test_quiet_chain_scores_tree_at_pure_overhead(self):
+        # With no traffic every member count is 1, so the only difference
+        # between the mechanisms is the tree's constant factor.
+        gov = MechanismGovernor(AB, GovernorConfig(tree_overhead=1.3))
+        scores = gov.scores({}, 0.0)
+        assert scores["incremental"] == 1.0
+        assert scores["tree"] == pytest.approx(1.3)
+
+
+def _oscillating_stream(phases=8, phase_events=16, gap=0.1):
+    """Skew flips every *phase_events* events: a-heavy, b-heavy, a-heavy…"""
+    t = 0.0
+    for phase in range(phases):
+        hot = "a" if phase % 2 == 0 else "b"
+        cold = "b" if hot == "a" else "a"
+        for i in range(phase_events):
+            t += gap
+            yield (t, hot if i % (phase_events // 2) else cold)
+
+
+class TestHysteresis:
+    """Oscillating skew must not thrash the mechanism."""
+
+    CONFIG = dict(epoch_events=8, halflife=2.0, margin=0.1, period=1e9)
+
+    def _switches(self, **overrides):
+        evaluator = _ev(**{**self.CONFIG, **overrides})
+        _feed(evaluator, _oscillating_stream())
+        return evaluator.switches
+
+    def test_dwell_bounds_the_switch_count(self):
+        # 128 events / epoch_events=8 -> 16 decisions; a switch resets
+        # the dwell counter, so at most one switch per dwell+1 decisions
+        # (plus the free first one).
+        dwell = 3
+        switches = self._switches(dwell_epochs=dwell)
+        assert 1 <= switches <= 1 + 16 // (dwell + 1)
+
+    def test_no_dwell_thrashes_once_per_phase(self):
+        # The degenerate config really is degenerate — the guard is doing
+        # work in the test above, not the workload being tame.
+        assert self._switches(dwell_epochs=0) == 8
+
+    def test_longer_dwell_means_strictly_fewer_switches(self):
+        assert self._switches(dwell_epochs=3) < self._switches(dwell_epochs=0)
+        assert self._switches(dwell_epochs=7) <= self._switches(dwell_epochs=3)
+
+    def test_margin_alone_suppresses_marginal_switches(self):
+        # A margin no real advantage can clear: the governor decides at
+        # every epoch and never moves.
+        assert self._switches(dwell_epochs=0, margin=1e6) == 0
+
+    def test_dwell_spaces_switches_apart_in_events(self):
+        # Record the event index of every switch: consecutive switches
+        # must be at least (dwell+1) * epoch_events events apart.
+        dwell, epoch = 3, 8
+        evaluator = _ev(epoch_events=epoch, halflife=2.0, margin=0.1,
+                        period=1e9, dwell_epochs=dwell)
+        seen, switch_points = 0, []
+        last = evaluator.switches
+        for t, label in _oscillating_stream():
+            evaluator.on_event(make_event(d(label), t))
+            seen += 1
+            if evaluator.switches > last:
+                switch_points.append(seen)
+                last = evaluator.switches
+        assert switch_points, "the stream must actually provoke switches"
+        gaps = [b - a for a, b in zip(switch_points, switch_points[1:])]
+        assert all(gap >= (dwell + 1) * epoch for gap in gaps)
+
+
+class TestPinnedQueries:
+    def test_unwindowed_chain_is_pinned(self):
+        evaluator = _ev(ESeq(EAtom(q("a")), EAtom(q("b"))))
+        assert evaluator.pinned
+        assert not evaluator.switch_to("tree")
+        assert evaluator.mechanism == "incremental"
+
+    def test_single_positive_chain_is_pinned(self):
+        # One positive member leaves nothing to reorder, even windowed.
+        query = EWithin(ESeq(EAtom(q("a")), ENot(q("n"))), 4.0)
+        assert _ev(query).pinned
+
+    def test_unbounded_aggregate_is_pinned(self):
+        query = EAggregate(q("s"), "p", "avg", "out", window=9.0)
+        assert _ev(query).pinned
+
+    def test_pinned_evaluator_keeps_no_replay_log(self):
+        evaluator = _ev(ESeq(EAtom(q("a")), EAtom(q("b"))))
+        fixed = IncrementalEvaluator(ESeq(EAtom(q("a")), EAtom(q("b"))))
+        for t in (1.0, 2.0, 3.0):
+            evaluator.on_event(make_event(d("a"), t))
+            fixed.on_event(make_event(d("a"), t))
+        # Same state as the bare mechanism: no log entries, no tick.
+        assert evaluator.state_size() == fixed.state_size()
+        assert evaluator.next_deadline() == fixed.next_deadline()
+        assert evaluator.switches == 0
+
+    def test_pinned_initial_tree_stays_tree(self):
+        evaluator = _ev(ESeq(EAtom(q("a")), EAtom(q("b"))), initial="tree")
+        assert evaluator.pinned and evaluator.mechanism == "tree"
+        assert not evaluator.switch_to("incremental")
+
+
+class TestSwitchSurface:
+    def test_unknown_mechanism_is_rejected(self):
+        with pytest.raises(EventQueryError, match="unknown mechanism"):
+            _ev().switch_to("naive")
+
+    def test_switch_to_current_mechanism_is_a_no_op(self):
+        evaluator = _ev()
+        assert not evaluator.switch_to("incremental")
+        assert evaluator.switches == 0
+
+    def test_reset_drops_the_replay_log(self):
+        evaluator = _ev(epoch_events=10**9, period=1e9)
+        _feed(evaluator, [(1.0, "a"), (2.0, "a")])
+        assert evaluator.state_size() > 0
+        evaluator.reset()
+        assert evaluator.state_size() == 0
+
+    def test_governor_tick_goes_quiescent_without_state(self):
+        evaluator = _ev(period=3.0)
+        evaluator.on_event(make_event(d("a"), 1.0))
+        assert evaluator.next_deadline() is not None  # tick armed
+        # Past the window everything is gc'd and pruned; the tick chain
+        # must stop rescheduling or a simulation would never terminate.
+        evaluator.advance_time(100.0)
+        assert evaluator.state_size() == 0
+        assert evaluator.next_deadline() is None
+
+
+# An engine-level governor that decides at every event with no damping —
+# the config the surfacing tests below use to force real switches.
+EAGER = dict(epoch_events=1, dwell_epochs=0, margin=0.0, halflife=1.0,
+             period=1.0)
+
+
+def _hot_a_node(sim, **config_kwargs):
+    node = sim.reactive_node(
+        "http://g.example",
+        config=EngineConfig(evaluator=adaptive(**EAGER), **config_kwargs))
+    fired = []
+    node.install(eca("span", AB, PyAction(lambda n, b: fired.append("x"),
+                                          "record")))
+    t = 0.0
+    for i in range(60):
+        t += 0.1
+        label = "b" if i % 20 == 19 else "a"
+        sim.scheduler.at(t, lambda lab=label: node.raise_local(d(lab)))
+    return node, fired
+
+
+class TestEngineSurfacing:
+    def test_mechanisms_and_switch_counts_reach_node_stats(self):
+        sim = Simulation(latency=0.0)
+        node, fired = _hot_a_node(sim)
+        sim.run()
+        assert fired  # the rule really ran
+        report = node.mechanisms()
+        assert report["span"]["mechanism"] == "tree"  # hot-a: tree wins
+        assert report["span"]["switches"] >= 1
+        assert report["span"]["pinned"] is False
+        stats = node.stats
+        assert stats.evaluator_switches == report["span"]["switches"]
+        assert stats["evaluator_switches"] == stats.evaluator_switches
+
+    def test_replicas_of_one_rule_agree_across_shards(self):
+        # `span` covers labels a and b; with 2 shards they live apart, so
+        # the rule is replicated — and every replica's governor, fed only
+        # evaluator-local signals, must land on the same mechanism after
+        # the same number of switches.
+        sim = Simulation(latency=0.0)
+        node, _ = _hot_a_node(sim, shards=2)
+        assert node.router.placement()["span"] == (0, 1)
+        sim.run()
+        replica_views = [
+            engine.mechanism_report()["span"] for engine in node.shards
+        ]
+        assert len(replica_views) == 2
+        assert replica_views[0] == replica_views[1]
+        assert replica_views[0]["switches"] >= 1
+        # The router's merged report is the (agreed) per-replica row, and
+        # the fleet switch total counts every replica's switches.
+        assert node.mechanisms()["span"] == replica_views[0]
+        assert node.stats.evaluator_switches == \
+            sum(view["switches"] for view in replica_views)
+
+    def test_wildcard_rules_stay_adaptive_compatible(self):
+        # A wildcard atom has no chain: pinned, replicated everywhere,
+        # zero governor overhead — and still reported.
+        sim = Simulation(latency=0.0)
+        node = sim.reactive_node(
+            "http://g.example",
+            config=EngineConfig(evaluator=adaptive(**EAGER), shards=2))
+        fired = []
+        node.install(
+            eca("wild", EAtom(q(LabelVar("L"))),
+                PyAction(lambda n, b: fired.append("w"), "record")),
+            eca("narrow", EAtom(q("evt", Var("V"))),
+                PyAction(lambda n, b: fired.append("n"), "record")),
+        )
+        sim.scheduler.at(0.0, lambda: node.raise_local(d("evt", 1)))
+        sim.run()
+        assert fired == ["w", "n"] or fired == ["n", "w"]
+        report = node.mechanisms()
+        assert report["wild"]["pinned"] is True
+        assert report["wild"]["switches"] == 0
+        assert node.stats.evaluator_switches == 0
