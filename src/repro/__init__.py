@@ -30,6 +30,15 @@ See ``examples/quickstart.py`` for a complete runnable scenario.
 
 from repro import errors
 from repro.api import EngineConfig, NodeStats, ReactiveNode, RuleBuilder, rule
+from repro.core.rulesets import (
+    FirstMatchGroup,
+    PriorityGroup,
+    RuleSet,
+    SpecificityGroup,
+    first_match,
+    priority_group,
+    specificity_override,
+)
 from repro.errors import ReproError
 from repro.events import (
     AdaptiveEvaluator,
@@ -61,7 +70,7 @@ from repro.terms import (
 )
 from repro.web.node import Simulation
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AdaptiveEvaluator",
@@ -69,31 +78,38 @@ __all__ = [
     "Data",
     "DurableResourceStore",
     "EngineConfig",
+    "FirstMatchGroup",
     "GovernorConfig",
     "IngestConfig",
     "IngestGateway",
     "IngestStats",
     "NodeStats",
+    "PriorityGroup",
     "ReactiveNode",
     "ReproError",
     "RuleBuilder",
+    "RuleSet",
     "ShardRouter",
     "Simulation",
+    "SpecificityGroup",
     "StoreConfig",
     "TreeEvaluator",
     "adaptive",
     "d",
     "errors",
+    "first_match",
     "match",
     "matches",
     "open_store",
     "parse_construct",
     "parse_data",
     "parse_query",
+    "priority_group",
     "register_backend",
     "register_evaluator",
     "resolve_evaluator",
     "rule",
+    "specificity_override",
     "to_text",
     "u",
     "__version__",

@@ -59,9 +59,11 @@ config=...)``.
 
 With ``EngineConfig(shards=N)`` (N > 1) the facade fronts N engine
 shards behind a :class:`~repro.sharding.ShardRouter` instead of a single
-engine: rules are partitioned by root label (one hot label may be split
-along its discriminator-attribute axis), each shard drains its own FIFO
-inbox, and answers and firing order stay identical to ``shards=1``.  The
+engine: rules are partitioned by root label (hot labels are split along
+their most selective discriminator axis — attribute value or constant
+child — the same prefixes the in-engine trie recurses on), each shard
+drains its own FIFO inbox, and answers and firing order stay identical
+to ``shards=1``.  The
 facade surface is unchanged; :attr:`ReactiveNode.shards` and
 :attr:`ReactiveNode.shard_stats` expose the fleet.  Adding
 ``executor="threads"`` moves each shard's event matching onto a pinned
@@ -329,10 +331,18 @@ class ReactiveNode:
           them (sharded: summed per shard involved);
         - ``candidates_considered`` / ``index_probes`` /
           ``matcher_calls`` — dispatch efficiency: (rule, evaluator)
-          pairs handed an event, index lookups, and term-matcher calls;
+          pairs handed an event, discrimination-trie node visits while
+          routing it (≈ trie depth per event, bounded by
+          ``EngineConfig(trie_depth=...)``), and term-matcher calls;
         - ``firings_deduped`` — answers produced by replicas of rules
           hosted on several shards and suppressed there (the designated
-          shard fired them); 0 unless ``shards > 1``;
+          shard fired them — or, for an event ambiguous on a split child
+          axis, the shard designated *per rule*); 0 unless
+          ``shards > 1``;
+        - ``firings_suppressed`` — answers of combinator-group members
+          (``priority_group`` / ``first_match`` /
+          ``specificity_override``) outranked by their group's winner
+          and therefore never fired; 0 without combinator groups;
         - ``inbox_depth`` / ``inbox_peak`` — *gauges*: the node inbox's
           current and peak backlog (backpressure);
         - ``executor`` — the effective execution layer (``"inline"`` or

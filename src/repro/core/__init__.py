@@ -44,22 +44,34 @@ from repro.core.conditions import (
 from repro.core.engine import EngineConfig, EngineStats, ReactiveEngine
 from repro.core.production import ProductionEngine, ProductionRule, derive_eca
 from repro.core.rules import ECARule, eca, ecaa, ecna
-from repro.core.rulesets import RuleSet
+from repro.core.rulesets import (
+    CombinatorGroup,
+    FirstMatchGroup,
+    PriorityGroup,
+    RuleSet,
+    SpecificityGroup,
+    first_match,
+    priority_group,
+    specificity_override,
+)
 
 __all__ = [
     "Alternative",
     "AndCond",
     "CallProcedure",
+    "CombinatorGroup",
     "CompareCond",
     "Conditional",
     "DeleteResource",
     "ECARule",
     "EngineConfig",
     "EngineStats",
+    "FirstMatchGroup",
     "InstallRule",
     "NotCond",
     "OrCond",
     "Persist",
+    "PriorityGroup",
     "ProductionEngine",
     "ProductionRule",
     "PutResource",
@@ -69,10 +81,14 @@ __all__ = [
     "ReactiveEngine",
     "RuleSet",
     "Sequence",
+    "SpecificityGroup",
     "TrueCond",
     "Update",
     "derive_eca",
     "eca",
     "ecaa",
     "ecna",
+    "first_match",
+    "priority_group",
+    "specificity_override",
 ]

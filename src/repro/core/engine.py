@@ -19,43 +19,65 @@ The engine:
   (e.g. classifying ``order`` events as ``high-value-order``), and rules
   can subscribe to the derived labels.
 
-Dispatch: the two-level discrimination net
-------------------------------------------
+Dispatch: the discrimination trie
+---------------------------------
 
 Deciding *which* rules an incoming event can affect is the per-event hot
-path, so ``refresh`` compiles the rule base into a two-level net consulted
-by ``_interested``:
+path, so the rule base is compiled into a multi-level discrimination
+**trie** consulted by ``_interested``:
 
 1. **Root label** — the first level keys on the event's root label, built
    from each evaluator's ``interest()``
    (:class:`~repro.events.queries.EventInterest`).  Wildcard rules (label
-   variables, ``desc``, bare variables) are pre-merged into every bucket
-   in installation order; events whose label has no bucket see only the
-   wildcard rules.
-2. **Discriminator value** — within one label's bucket, rules that all
-   constrain the same constant — an attribute value or a constant-scalar
-   child (``stock[sym: "ACME"]``) — are sub-indexed by that value on the
-   bucket's most selective shared axis.  Dispatch extracts the event's
-   value for the axis *once* and probes two dicts: the value bucket and
-   the residual of non-discriminating rules, merged in installation
-   order.  Extraction is conservative: an event exhibiting the axis
-   ambiguously (several same-label children, non-scalar content) falls
-   back to the whole label bucket, so discrimination can over-deliver but
-   never under-deliver.
+   variables, ``desc``, bare variables) are kept in one seq-ordered side
+   list merged in at dispatch; events whose label has no bucket see only
+   the wildcard rules.
+2. **Discriminator trie** — within one label, rules are recursively split
+   by the constants they constrain — attribute values and constant-scalar
+   children (``stock[sym: "ACME"]``).  Each trie node picks the most
+   selective axis among its rules' remaining discriminators (the axis the
+   most rules constrain, ties broken by distinct-value count then axis
+   name), routes each rule either to the child keyed by its constant on
+   that axis (consuming the discriminator) or to the *residual* subtrie
+   of rules that don't constrain the axis, and splits again until no
+   discriminators remain (``EngineConfig(trie_depth=...)`` caps the
+   recursion; ``trie_depth=1`` is the old two-level net).  Dispatch
+   extracts the event's value per visited axis
+   (:func:`~repro.events.queries.extract_axis_value`) and descends into
+   the matching child plus the residual, merging the reached leaves (and
+   wildcards) by installation sequence.  Extraction is conservative: an
+   event exhibiting an axis ambiguously (several same-label children,
+   non-scalar content) degrades to that node's whole subtree, so
+   discrimination can over-deliver but never under-deliver.
+
+Maintenance is **incremental**: installing a rule inserts one row per
+interested label along an O(depth) trie path (splitting only the touched
+leaf), and uninstalling prunes the same path eagerly (collapsing emptied
+nodes), so neither pays the O(rules) full rebuild — that cost is reserved
+for :meth:`ReactiveEngine.refresh`, which still handles rule-set changes
+by rebuilding through the same insert machinery.
 
 Three config knobs select the pipeline depth, each the ablation switch of
 a benchmark experiment: ``indexed_dispatch=False`` broadcasts every event
 to every rule (E13); ``discriminating_index=False`` stops at the root
-label (E15); the default runs both levels.  All three modes produce
-identical answers and firing counts, and — under queued delivery, the
-default — identical firing order; only the candidate count changes
-(``EngineStats.candidates_considered`` / ``index_probes`` /
+label (E15); the default runs the full trie (depth swept in E22).  All
+modes produce identical answers and firing counts, and — under queued
+delivery, the default — identical firing order; only the candidate count
+changes (``EngineStats.candidates_considered`` / ``index_probes`` /
 ``matcher_calls`` expose it).  The one sequencing caveat:
 with ``sync_delivery=True``, broadcast hands *unrelated* events to an
 absence rule's evaluator, which can confirm a pending absence one
 callback earlier than the scheduled wake-up when such an event lands
 exactly on the deadline instant — same simulated time and answers,
 different intra-instant order.
+
+Overlapping-rule combinators (:mod:`repro.core.rulesets`) compile into
+per-rule ``(group, kind, precedence)`` specs: at dispatch, answers of
+grouped rules are set aside while ungrouped rules fire exactly as before,
+then each group fires only its highest-precedence answering members —
+losers are counted in ``EngineStats.firings_suppressed``.  Within one
+event instant, group winners therefore fire after ungrouped rules, in
+installation order.
 
 Sharding hooks
 --------------
@@ -88,13 +110,15 @@ None of this affects a directly-constructed engine: with the default
 
 from __future__ import annotations
 
+import bisect
+import heapq
 import os
 from dataclasses import dataclass, field, fields
 
 from repro.core import actions as act
 from repro.core import conditions as cond
 from repro.core.rules import ECARule
-from repro.core.rulesets import RuleSet
+from repro.core.rulesets import RuleSet, compile_group_specs
 from repro.deductive.base import TermBase
 from repro.deductive.evaluation import forward_chain
 from repro.deductive.rules import Program
@@ -102,6 +126,7 @@ from repro.errors import ActionError, RecursionRejected, RuleError
 from repro.events.consumption import ConsumingEvaluator, ConsumptionPolicy
 from repro.events.factory import resolve_evaluator
 from repro.events.model import Event, make_event
+from repro.events.queries import extract_axis_value
 from repro.terms.ast import Bindings, Data, canonical_str
 from repro.terms.simulation import matcher_call_count, scalar_key
 from repro.updates.primitives import delete_terms, insert_child, replace_terms
@@ -114,17 +139,21 @@ from repro.web.node import WebNode
 class EngineStats:
     """Counters the benchmark experiments report.
 
-    The dispatch-efficiency triple measures the two-level net:
+    The dispatch-efficiency triple measures the discrimination trie:
     ``candidates_considered`` counts (rule, evaluator) pairs handed an
     event (broadcast: rules × events; discriminating: close to the rules
-    that can actually match), ``index_probes`` counts dispatch-index dict
-    lookups (≤ 2 per event), and ``matcher_calls`` counts term-matcher
-    invocations made by the evaluators the event reached — the work the
-    index failed to avoid.
+    that can actually match), ``index_probes`` counts dispatch-index
+    probes — one for the root-label lookup plus one per trie node visited,
+    so at most 1 + the trie depth per event — and ``matcher_calls`` counts
+    term-matcher invocations made by the evaluators the event reached —
+    the work the index failed to avoid.
 
     ``firings_deduped`` counts answers produced by *replica* evaluators
     of rules hosted on several shards and therefore suppressed (the
-    designated shard fired them); always 0 outside sharded mode.  See
+    designated shard fired them); always 0 outside sharded mode.
+    ``firings_suppressed`` counts answers of combinator-group members
+    outvoted by a higher-precedence member answering the same instant
+    (see :mod:`repro.core.rulesets`); 0 without combinator groups.  See
     :attr:`repro.api.ReactiveNode.stats` for the full key-by-key guide.
 
     ``executor`` names the execution layer that produced the snapshot
@@ -148,6 +177,7 @@ class EngineStats:
     index_probes: int = 0
     matcher_calls: int = 0
     firings_deduped: int = 0
+    firings_suppressed: int = 0
     # Mirrored from the node's inbox by ReactiveNode.stats (the facade is
     # the one place that sees both halves); 0 for a bare engine.
     inbox_depth: int = 0
@@ -235,11 +265,17 @@ class EngineConfig:
       event visits every rule's evaluator; kept as an ablation switch for
       the dispatch-scaling experiment (E13).
     - ``discriminating_index`` — within one root label's bucket, sub-index
-      rules by their shared constant discriminator (attribute value or
-      constant-scalar child) so high-fanout labels stop broadcasting to
-      their whole bucket (the default).  ``False`` stops the net at the
-      root label — the E15 ablation, i.e. pre-discrimination behaviour.
-      Only meaningful with ``indexed_dispatch=True``.
+      rules by their constant discriminators (attribute values or
+      constant-scalar children) in a recursive discrimination trie, so
+      high-fanout labels stop broadcasting to their whole bucket (the
+      default).  ``False`` stops the net at the root label — the E15
+      ablation, i.e. pre-discrimination behaviour.  Only meaningful with
+      ``indexed_dispatch=True``.
+    - ``trie_depth`` — cap on how many axis levels the discrimination
+      trie may split below each root label.  ``None`` (default) splits
+      until rules run out of discriminators; ``1`` reproduces the old
+      two-level net (one shared axis per label bucket) — the E22
+      ablation.  Only meaningful with ``discriminating_index=True``.
 
     **Delivery and scheduling**
 
@@ -331,6 +367,7 @@ class EngineConfig:
     event_views: "Program | None" = None
     indexed_dispatch: bool = True
     discriminating_index: bool = True
+    trie_depth: "int | None" = None
     sync_delivery: bool | None = None
     inbox_batch: int | None = None
     coalesced_wakeups: bool = True
@@ -353,6 +390,8 @@ class EngineConfig:
         if self.rate_halflife is not None and not self.rate_halflife > 0:
             raise RuleError(
                 f"rate_halflife must be > 0, got {self.rate_halflife}")
+        if self.trie_depth is not None and self.trie_depth < 1:
+            raise RuleError(f"trie_depth must be >= 1, got {self.trie_depth}")
         if self.inbox_batch is not None and self.inbox_batch < 1:
             raise RuleError(f"inbox_batch must be >= 1, got {self.inbox_batch}")
         if self.shards < 1:
@@ -412,95 +451,191 @@ def derive_events(program: "Program | None", event: Event,
     return out
 
 
-@dataclass
-class _LabelBucket:
-    """One root label's slice of the two-level dispatch net.
+def _row_seq(row):
+    """Sort key of one trie row: its installation sequence."""
+    return row[0]
 
-    ``all_entries`` is the flat (installation-ordered, wildcard-merged)
-    bucket the root-label-only mode dispatches to.  When the bucket's
-    rules share a discriminator axis, ``by_value`` maps each constant on
-    that axis to the rules requiring it *pre-merged* with the residual of
-    non-discriminating rules (wildcards included) in installation order —
-    the same merge-at-refresh pattern the first level uses for wildcards,
-    so dispatch is a plain lookup, never a per-event sort.
+
+class _TrieNode:
+    """One node of a root label's discrimination trie.
+
+    A node is either a **leaf** (``axis is None``) holding seq-sorted rows
+    ``(seq, rule, evaluator, remaining_discriminators)``, or **internal**:
+    ``axis`` names the ``(kind, key)`` pair it discriminates on,
+    ``children`` maps each constant on that axis to the subtrie of rows
+    requiring it (the routing discriminator consumed), and ``residual``
+    holds the subtrie of rows with no discriminator on the axis.  A leaf
+    *splits* when some row still carries an unconsumed discriminator (and
+    the depth cap allows), picking the most selective axis exactly like
+    the old two-level net did: most constraining rows, ties broken by
+    distinct-value count then axis name.
+
+    All edits are in-place and O(path): ``insert`` descends by the row's
+    discriminators (splitting only the touched leaf), ``remove`` prunes
+    the same path and collapses emptied nodes (splicing a lone residual
+    up).  Dispatch (``collect``) therefore copies what it returns —
+    callers never hold references into live node state.  ``_subtree``
+    caches the seq-sorted rows of a whole subtree for ambiguous events;
+    any edit below a node invalidates the caches along its path.
     """
 
-    all_entries: list  # [(rule, evaluator)] — installation order
-    axis: "tuple[str, str] | None" = None  # (kind, key) or None
-    by_value: dict = field(default_factory=dict)  # value -> [(rule, ev)]
-    residual_entries: list = field(default_factory=list)  # [(rule, ev)]
+    __slots__ = ("axis", "children", "residual", "entries", "_subtree")
 
-    @staticmethod
-    def build(entries: "list[tuple[int, ECARule, object, frozenset]]") -> "_LabelBucket":
-        """Compile one label's (seq, rule, evaluator, discriminators) rows.
+    def __init__(self) -> None:
+        self.axis: "tuple[str, str] | None" = None
+        self.children: "dict | None" = None  # value -> _TrieNode
+        self.residual: "_TrieNode | None" = None
+        self.entries: list = []  # leaf rows, seq-sorted
+        self._subtree: "list | None" = None
 
-        Picks the most selective shared axis — the (kind, key) pair the
-        largest number of entries constrain with a constant, ties broken
-        by distinct-value count then axis name for determinism — and
-        splits the bucket around it.
+    def _route(self, discs: frozenset):
+        """The discriminator this node's axis consumes from *discs*.
+
+        Deterministic when a row carries several constants on one axis
+        (canonically smallest wins), so remove retraces insert's path.
         """
-        entries = sorted(entries)
-        bucket = _LabelBucket([(rule, ev) for _seq, rule, ev, _d in entries])
+        on_axis = [d for d in discs if (d.kind, d.key) == self.axis]
+        if not on_axis:
+            return None
+        return min(on_axis, key=lambda d: canonical_str(d.value))
+
+    def insert(self, row, depth: int, max_depth: "int | None") -> None:
+        """Insert one row, splitting the reached leaf if it discriminates."""
+        self._subtree = None
+        if self.axis is None:
+            bisect.insort(self.entries, row, key=_row_seq)
+            if max_depth is None or depth < max_depth:
+                self._maybe_split(depth, max_depth)
+            return
+        seq, rule, evaluator, discs = row
+        routed = self._route(discs)
+        if routed is None:
+            if self.residual is None:
+                self.residual = _TrieNode()
+            self.residual.insert(row, depth + 1, max_depth)
+        else:
+            child = self.children.get(routed.value)
+            if child is None:
+                child = self.children[routed.value] = _TrieNode()
+            child.insert((seq, rule, evaluator, discs - {routed}),
+                         depth + 1, max_depth)
+
+    def _maybe_split(self, depth: int, max_depth: "int | None") -> None:
+        """Split this leaf on its most selective remaining axis, if any.
+
+        Even a single-row leaf splits (matching the old net, where a
+        lone discriminating rule still got a value sub-index): the value
+        child lets dispatch skip the rule entirely on other constants.
+        """
         values_per_axis: dict[tuple[str, str], set] = {}
-        for _seq, _rule, _ev, discs in entries:
+        for _seq, _rule, _evaluator, discs in self.entries:
             for disc in discs:
-                values_per_axis.setdefault((disc.kind, disc.key), set()).add(
+                values_per_axis.setdefault(disc.axis, set()).add(
                     scalar_key(disc.value)
                 )
         if not values_per_axis:
-            return bucket
+            return
         counts = {
             axis: sum(
-                1 for _s, _r, _e, discs in entries
-                if any((d.kind, d.key) == axis for d in discs)
+                1 for _s, _r, _e, discs in self.entries
+                if any(d.axis == axis for d in discs)
             )
             for axis in values_per_axis
         }
         axis = max(counts, key=lambda a: (counts[a], len(values_per_axis[a]), a))
-        by_value: dict = {}
-        residual = []
-        for seq, rule, ev, discs in entries:
-            on_axis = sorted(
-                (d for d in discs if (d.kind, d.key) == axis),
-                key=lambda d: canonical_str(d.value),
-            )
-            if on_axis:
-                by_value.setdefault(on_axis[0].value, []).append((seq, rule, ev))
-            else:
-                residual.append((seq, rule, ev))
-        bucket.axis = axis
-        bucket.by_value = {
-            value: [(rule, ev) for _seq, rule, ev in sorted(selected + residual)]
-            for value, selected in by_value.items()
-        }
-        bucket.residual_entries = [(rule, ev) for _seq, rule, ev in residual]
-        return bucket
+        rows, self.entries = self.entries, []
+        self.axis = axis
+        self.children = {}
+        for row in rows:
+            self.insert(row, depth, max_depth)
 
-    def select(self, term: Data) -> list:
-        """The entries *term* can affect, in installation order.
+    def remove(self, row) -> bool:
+        """Remove the row (matched by seq), collapsing emptied nodes.
 
-        Extracts the event's value on the bucket's axis once; ambiguity
-        (several same-label children, structured content) degrades to the
-        whole bucket, never to under-delivery.
+        Retraces the insert path by the row's discriminators; returns
+        whether the row was found.  A node whose children all empty out
+        splices its residual into its own place (or reverts to an empty
+        leaf), so the trie never accumulates dead interior nodes.
         """
-        kind, key = self.axis  # type: ignore[misc]  # only called with an axis
-        if kind == "attr":
-            value = term.attr(key)
-            if value is None:
-                return self.residual_entries
+        self._subtree = None
+        if self.axis is None:
+            for i, existing in enumerate(self.entries):
+                if existing[0] == row[0]:
+                    del self.entries[i]
+                    return True
+            return False
+        seq, rule, evaluator, discs = row
+        routed = self._route(discs)
+        if routed is None:
+            if self.residual is None:
+                return False
+            found = self.residual.remove(row)
+            if found and self.residual.is_empty():
+                self.residual = None
         else:
-            found = None
-            for child in term.children:
-                if isinstance(child, Data) and child.label == key:
-                    if found is not None:
-                        return self.all_entries  # several candidates: ambiguous
-                    found = child
-            if found is None:
-                return self.residual_entries
-            value = found.value
-            if value is None:  # structured or multi-scalar child: ambiguous
-                return self.all_entries
-        return self.by_value.get(value, self.residual_entries)
+            child = self.children.get(routed.value)
+            if child is None:
+                return False
+            found = child.remove((seq, rule, evaluator, discs - {routed}))
+            if found and child.is_empty():
+                del self.children[routed.value]
+        if found and not self.children:
+            spliced = self.residual
+            if spliced is None:
+                self.axis = None
+                self.children = None
+                self.entries = []
+            else:
+                self.axis = spliced.axis
+                self.children = spliced.children
+                self.residual = spliced.residual
+                self.entries = spliced.entries
+        return found
+
+    def is_empty(self) -> bool:
+        return self.axis is None and not self.entries
+
+    def subtree_rows(self) -> list:
+        """All rows below this node, seq-sorted (cached until edited)."""
+        if self.axis is None:
+            return self.entries
+        if self._subtree is None:
+            lists = [child.subtree_rows() for child in self.children.values()]
+            if self.residual is not None:
+                lists.append(self.residual.subtree_rows())
+            self._subtree = sorted(
+                (row for rows in lists for row in rows), key=_row_seq
+            )
+        return self._subtree
+
+    def collect(self, term: Data, stats: EngineStats, out: list) -> None:
+        """Append the seq-sorted row lists *term* can affect to *out*.
+
+        Iterative descent: at each internal node extract the event's
+        constant on the node's axis once, then follow the matching value
+        child plus the residual.  Ambiguity takes the whole subtree
+        instead (the residual is already inside it).
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.axis is None:
+                if node.entries:
+                    out.append(node.entries)
+                continue
+            stats.index_probes += 1
+            value, ambiguous = extract_axis_value(term, *node.axis)
+            if ambiguous:
+                rows = node.subtree_rows()
+                if rows:
+                    out.append(rows)
+                continue
+            if node.residual is not None:
+                stack.append(node.residual)
+            if value is not None:
+                child = node.children.get(value)
+                if child is not None:
+                    stack.append(child)
 
 
 class ReactiveEngine:
@@ -544,6 +679,9 @@ class ReactiveEngine:
         self._event_views = config.event_views
         self._indexed = config.indexed_dispatch
         self._discriminating = config.discriminating_index
+        # Depth cap handed to trie inserts: the root-label-only ablation
+        # (discriminating_index=False) is "never split", i.e. depth 0.
+        self._split_depth = config.trie_depth if config.discriminating_index else 0
         self._coalesced = config.coalesced_wakeups
         # Only settings the config actually specifies reach the node;
         # node-level delivery choices survive an engine with defaults.
@@ -554,14 +692,37 @@ class ReactiveEngine:
         self._rulesets: list[RuleSet] = []
         self._single_rules: dict[str, ECARule] = {}
         self._active: dict[str, tuple[ECARule, object]] = {}
-        # The two-level discrimination net (rebuilt in refresh): root label
-        # of an incoming event -> _LabelBucket holding the installation-
-        # ordered (rule, evaluator) pairs whose queries can be affected by
-        # it (wildcard entries pre-merged), optionally sub-indexed by the
-        # bucket's shared discriminator axis.  Events whose label has no
-        # bucket fall back to _wildcard alone.
-        self._index: dict[str, _LabelBucket] = {}
+        # The discrimination trie (maintained incrementally, rebuilt
+        # wholesale only by refresh): root label of an incoming event ->
+        # _TrieNode over the (seq, rule, evaluator, discriminators) rows
+        # whose queries can be affected by it.  Wildcard rules live in the
+        # seq-sorted _wildcard_rows side list, merged in at dispatch (so a
+        # wildcard install is O(log n), not O(labels)); _wildcard is its
+        # (rule, evaluator) projection for label-less events.
+        self._index: dict[str, _TrieNode] = {}
+        self._wildcard_rows: list = []
         self._wildcard: list[tuple[ECARule, object]] = []
+        # Installation sequences are tuples — singles (0, i), rule-set
+        # rules (1, set_index, member_index) — so incrementally installed
+        # singles keep firing before all rule-set rules, exactly the order
+        # a full refresh would assign.  _next_single continues the single
+        # counter between refreshes.
+        self._next_single = 0
+        # Seq-sorted [(rule, evaluator)] snapshot of the active table,
+        # rebuilt lazily (broadcast dispatch and non-coalesced wake-ups
+        # need it; _active's dict order lags behind seq order once
+        # installs go incremental).
+        self._entry_cache: "list[tuple[ECARule, object]] | None" = None
+        # Combinator-group dispatch specs: qualified rule name ->
+        # (group_path, kind, precedence), compiled from the installed rule
+        # sets (see repro.core.rulesets.compile_group_specs); the shard
+        # router overrides this with the node-wide table after sync_rules.
+        self._groups: dict[str, tuple[str, str, float]] = {}
+        # Wake-up group deferral: _on_time (and the shard router, across
+        # shards) plants a list here so grouped answers produced by
+        # advance_evaluator are resolved once per instant instead of
+        # firing as they appear.  None = resolve/fire immediately.
+        self._group_buffer: "list | None" = None
         self._procedures: dict[str, Procedure] = {}
         # Evaluators whose deadlines may have moved since the last wake-up
         # scheduling pass: only these need a next_deadline() probe, keeping
@@ -573,12 +734,12 @@ class ReactiveEngine:
         # wake-up only the owners are advanced (coalesced mode), so idle
         # rules pay nothing for other rules' deadlines.
         self._deadline_owners: dict[float, set[object]] = {}
-        # evaluator -> (installation sequence, rule name, rule); rebuilt in
-        # refresh.  Lets _on_time order and advance just the owners without
-        # scanning the whole active table, drops stale (uninstalled)
-        # owners, and gives the shard router the name it keys global
-        # installation order by.
-        self._eval_entry: dict[object, tuple[int, str, ECARule]] = {}
+        # evaluator -> (installation sequence tuple, rule name, rule);
+        # maintained incrementally (rebuilt in refresh).  Lets _on_time
+        # order and advance just the owners without scanning the whole
+        # active table, drops stale (uninstalled) owners, and gives the
+        # shard router the name it keys global installation order by.
+        self._eval_entry: dict[object, tuple[tuple, str, ECARule]] = {}
         self._web_views: dict[str, object] = {}  # uri -> BackwardEvaluator
         # Sharding seams (see the module docstring): the router replaces
         # `wakeup_via` to merge deadlines across shards and `installer` to
@@ -587,11 +748,12 @@ class ReactiveEngine:
         self.wakeup_via = None  # callable(deadline) | None
         self.installer = self
         # Threaded-executor seam: when a worker thread drives this shard it
-        # plants a list here and answers are *collected* as (rule, bindings)
-        # instead of fired, and wake-up scheduling is deferred — the router
-        # fires the merged answers and schedules wake-ups at the barrier,
-        # on the scheduler thread (see repro.runtime).  None = fire inline.
-        self.collector = None  # list[(ECARule, Bindings)] | None
+        # plants a list here and answers are *collected* as
+        # (qualified_name, rule, bindings) instead of fired, and wake-up
+        # scheduling is deferred — the router fires the merged answers and
+        # schedules wake-ups at the barrier, on the scheduler thread (see
+        # repro.runtime).  None = fire inline.
+        self.collector = None  # list[(str, ECARule, Bindings)] | None
         if attach:
             node.on_event(self.handle_event)
 
@@ -604,12 +766,23 @@ class ReactiveEngine:
     def install_all(self, items, procedures=()) -> None:
         """Install many rules / rule sets (and procedures) in one batch.
 
-        Atomic, with a single index rebuild: if any item is rejected (bad
-        type, duplicate rule or procedure name — even one only detected
-        while rebuilding the active table), the rule base is restored to
-        its previous state before the error propagates and no procedure is
-        defined.  *procedures* holds ``(name, params, action)`` triples, as
-        produced by :func:`repro.lang.parser.parse_program`.
+        Atomic: if any item is rejected (bad type, duplicate rule or
+        procedure name — even one only detected while rebuilding the
+        active table), the rule base is restored to its previous state
+        before the error propagates and no procedure is defined.
+
+        A batch of plain rules takes the *incremental* path — each rule is
+        admitted with an O(trie depth) dispatch edit and no full rebuild,
+        the property that keeps per-install latency flat at 100k installed
+        rules (E22).  Batches containing rule sets still rebuild through
+        :meth:`refresh` (set membership and combinator-group compilation
+        are whole-base properties).  One deliberate scope note: the
+        incremental path does not re-plan surviving evaluators' join
+        orders from current rates the way a full refresh does — plans
+        catch up on the next refresh (the router's re-partitioning still
+        refreshes every shard).  *procedures* holds ``(name, params,
+        action)`` triples, as produced by
+        :func:`repro.lang.parser.parse_program`.
         """
         procedures = tuple(procedures)
         pending: set[str] = set()
@@ -617,19 +790,55 @@ class ReactiveEngine:
             if name in self._procedures or name in pending:
                 raise RuleError(f"procedure {name!r} already defined")
             pending.add(name)
-        saved_rules = dict(self._single_rules)
-        saved_sets = list(self._rulesets)
-        try:
-            for item in items:
-                self._admit(item)
-            self.refresh()
-        except Exception:
-            self._single_rules = saved_rules
-            self._rulesets = saved_sets
-            self.refresh()
-            raise
+        items = tuple(items)
+        if all(isinstance(item, ECARule) for item in items):
+            self._install_rules_incremental(items)
+        else:
+            saved_rules = dict(self._single_rules)
+            saved_sets = list(self._rulesets)
+            try:
+                for item in items:
+                    self._admit(item)
+                self.refresh()
+            except Exception:
+                self._single_rules = saved_rules
+                self._rulesets = saved_sets
+                self.refresh()
+                raise
         for name, params, action in procedures:
             self.define_procedure(name, tuple(params), action)
+
+    def _install_rules_incremental(self, batch: tuple) -> None:
+        """Admit a batch of plain rules without rebuilding the index.
+
+        Order of operations makes atomicity free: all duplicate checks
+        and all evaluator construction (the only part that can fail)
+        happen before the first mutation.
+        """
+        seen: set[str] = set()
+        for rule in batch:
+            if rule.name in self._single_rules or rule.name in seen:
+                raise RuleError(f"rule {rule.name!r} already installed")
+            if rule.name in self._active:
+                # Collides with an active qualified rule-set name — the
+                # same rejection a full refresh would raise.
+                raise RuleError(f"duplicate rule name {rule.name!r}")
+            seen.add(rule.name)
+        rates = self.label_rates()
+        built = []
+        for rule in batch:
+            evaluator: object = self._factory.build(rule.event, rates)
+            if self.consumption != "unrestricted":
+                evaluator = ConsumingEvaluator(evaluator, self.consumption)
+            built.append((rule, evaluator))
+        for rule, evaluator in built:
+            seq = (0, self._next_single)
+            self._next_single += 1
+            self._single_rules[rule.name] = rule
+            self._active[rule.name] = (rule, evaluator)
+            self._eval_entry[evaluator] = (seq, rule.name, rule)
+            self._insert_dispatch(seq, rule, evaluator)
+        self._entry_cache = None
 
     def _admit(self, item: "ECARule | RuleSet") -> None:
         if isinstance(item, RuleSet):
@@ -645,7 +854,11 @@ class ReactiveEngine:
         """Remove an installed rule or rule set, by object or by name.
 
         A string uninstalls the single rule of that name, or — if no such
-        rule exists — the installed rule set of that name.
+        rule exists — the installed rule set of that name.  A plain rule
+        is pruned from the dispatch trie *eagerly* (O(trie depth), its
+        pending absence deadlines dropped with it — an uninstalled rule
+        must neither see another event nor wake the engine); removing a
+        rule set rebuilds through :meth:`refresh`.
         """
         if isinstance(item, RuleSet):
             if not any(existing is item for existing in self._rulesets):
@@ -660,20 +873,52 @@ class ReactiveEngine:
                 raise RuleError(
                     f"rule {item.name!r} is not installed ({self._installed()})"
                 )
-            del self._single_rules[item.name]
+            self._uninstall_single(item.name)
+            return
         elif isinstance(item, str):
             if item in self._single_rules:
-                del self._single_rules[item]
-            else:
-                named = [rs for rs in self._rulesets if rs.name == item]
-                if not named:
-                    raise RuleError(
-                        f"no installed rule or rule set {item!r} ({self._installed()})"
-                    )
-                self._rulesets.remove(named[0])
+                self._uninstall_single(item)
+                return
+            named = [rs for rs in self._rulesets if rs.name == item]
+            if not named:
+                raise RuleError(
+                    f"no installed rule or rule set {item!r} ({self._installed()})"
+                )
+            self._rulesets.remove(named[0])
         else:
             raise RuleError(f"cannot uninstall {item!r}")
         self.refresh()
+
+    def _uninstall_single(self, name: str) -> None:
+        """Eagerly prune one plain rule from every dispatch structure."""
+        rule = self._single_rules.pop(name)
+        _rule, evaluator = self._active.pop(name)
+        seq, _name, _r = self._eval_entry.pop(evaluator)
+        interest = evaluator.interest()
+        if interest.by_label is None:
+            self._wildcard_rows = [
+                row for row in self._wildcard_rows if row[0] != seq
+            ]
+            self._wildcard = [
+                (r, e) for _s, r, e, _d in self._wildcard_rows
+            ]
+        else:
+            for label, discriminators in interest.by_label:
+                root = self._index.get(label)
+                if root is None:
+                    continue
+                root.remove((seq, rule, evaluator, discriminators))
+                if root.is_empty():
+                    del self._index[label]
+        self._touched.discard(evaluator)
+        # Deadlines this evaluator owned die with it.  The owner sets are
+        # emptied but the instants' entries stay (their clock callbacks
+        # are already scheduled; keeping the entry stops a later deadline
+        # at the same instant from scheduling a duplicate callback) —
+        # _on_time skips an all-pruned instant without counting a wakeup.
+        for owners in self._deadline_owners.values():
+            owners.discard(evaluator)
+        self._entry_cache = None
 
     def _installed(self) -> str:
         rules = ", ".join(sorted(self._single_rules)) or "none"
@@ -681,17 +926,27 @@ class ReactiveEngine:
         return f"installed rules: {rules}; installed rule sets: {sets}"
 
     def refresh(self) -> None:
-        """Rebuild the active rule table and the dispatch index.
+        """Rebuild the active rule table and the dispatch trie wholesale.
 
         Evaluators of rules that stay installed keep their partial-match
-        state; new rules start fresh.
+        state; new rules start fresh.  Sequences are renumbered — singles
+        first in admission order, then rule-set rules in set order — and
+        the trie is rebuilt through the same insert machinery incremental
+        installs use, so a refreshed base and an incrementally grown one
+        dispatch identically.  Combinator-group specs are recompiled here
+        (groups live in rule sets, which only change through this path).
         """
-        wanted: dict[str, ECARule] = dict(self._single_rules)
-        for ruleset in self._rulesets:
-            for qualified_name, rule, _owner in ruleset.qualified():
+        wanted: dict[str, ECARule] = {}
+        order: dict[str, tuple] = {}
+        for i, (name, rule) in enumerate(self._single_rules.items()):
+            wanted[name] = rule
+            order[name] = (0, i)
+        for j, ruleset in enumerate(self._rulesets):
+            for k, (qualified_name, rule, _owner) in enumerate(ruleset.qualified()):
                 if qualified_name in wanted:
                     raise RuleError(f"duplicate rule name {qualified_name!r}")
                 wanted[qualified_name] = rule
+                order[qualified_name] = (1, j, k)
         active: dict[str, tuple[ECARule, object]] = {}
         rates = self.label_rates()
         for name, rule in wanted.items():
@@ -710,38 +965,51 @@ class ReactiveEngine:
                     evaluator = ConsumingEvaluator(evaluator, self.consumption)
                 active[name] = (rule, evaluator)
         self._active = active
-        self._touched.intersection_update(ev for _rule, ev in active.values())
-        index: dict[str, list[tuple[int, ECARule, object, frozenset]]] = {}
-        wildcard: list[tuple[int, ECARule, object, frozenset]] = []
+        self._next_single = len(self._single_rules)
+        live = {evaluator for _rule, evaluator in active.values()}
+        self._touched.intersection_update(live)
+        # Deadlines owned by dropped evaluators die with them (see
+        # _uninstall_single for why emptied instants keep their entries).
+        for owners in self._deadline_owners.values():
+            owners.intersection_update(live)
+        self._index = {}
+        self._wildcard_rows = []
+        self._wildcard = []
         self._eval_entry = {}
-        for seq, (name, (rule, evaluator)) in enumerate(active.items()):
-            self._eval_entry[evaluator] = (seq, name, rule)
-            interest = evaluator.interest()
-            if interest.by_label is None:
-                wildcard.append((seq, rule, evaluator, frozenset()))
-            else:
-                for label, discriminators in interest.by_label:
-                    index.setdefault(label, []).append(
-                        (seq, rule, evaluator, discriminators)
-                    )
-        if wildcard:
-            # Pre-merge the wildcard bucket into every label bucket (in
-            # installation order) so dispatch is a plain lookup, not a
-            # sort; wildcards carry no discriminators, so they land in
-            # every bucket's residual and keep seeing every event.
-            for label, bucket in index.items():
-                index[label] = bucket + wildcard
-        # _LabelBucket.build sorts by the sequence tags and picks each
-        # bucket's discriminator axis (safe: refresh replaces the buckets
-        # wholesale, it never mutates them in place).
-        self._index = {
-            label: _LabelBucket.build(bucket) for label, bucket in index.items()
-        }
-        self._wildcard = [(rule, ev) for _seq, rule, ev, _d in sorted(wildcard)]
+        self._entry_cache = None
+        for name, (rule, evaluator) in active.items():
+            self._eval_entry[evaluator] = (order[name], name, rule)
+            self._insert_dispatch(order[name], rule, evaluator)
+        self._groups = compile_group_specs(self._rulesets)
+
+    def _insert_dispatch(self, seq: tuple, rule: ECARule, evaluator) -> None:
+        """Insert one rule's rows into the dispatch structures, O(depth)."""
+        interest = evaluator.interest()
+        if interest.by_label is None:
+            bisect.insort(self._wildcard_rows,
+                          (seq, rule, evaluator, frozenset()), key=_row_seq)
+            self._wildcard = [(r, e) for _s, r, e, _d in self._wildcard_rows]
+            return
+        for label, discriminators in interest.by_label:
+            root = self._index.get(label)
+            if root is None:
+                root = self._index[label] = _TrieNode()
+            root.insert((seq, rule, evaluator, discriminators), 0,
+                        self._split_depth)
+
+    def _ordered_entries(self) -> list[tuple[ECARule, object]]:
+        """The active (rule, evaluator) pairs in installation-seq order."""
+        if self._entry_cache is None:
+            ordered = sorted(self._eval_entry.items(),
+                             key=lambda kv: kv[1][0])
+            self._entry_cache = [(entry[2], evaluator)
+                                 for evaluator, entry in ordered]
+        return self._entry_cache
 
     def rules(self) -> list[str]:
-        """Names of the currently active rules."""
-        return list(self._active)
+        """Names of the currently active rules, in installation order."""
+        return [entry[1] for entry in
+                sorted(self._eval_entry.values(), key=lambda e: e[0])]
 
     def _observe_label(self, label: str, now: float) -> None:
         """Count one observed event into the per-label rate signal.
@@ -866,24 +1134,30 @@ class ReactiveEngine:
     # -- event handling ----------------------------------------------------------
 
     def handle_event(self, event: Event, fire: bool = True,
-                     exclude: frozenset = frozenset()) -> None:
+                     exclude: frozenset = frozenset(),
+                     fire_for: "frozenset | None" = None) -> None:
         """Node inbox entry point.
 
         ``fire=False`` is the shard router's replica mode: evaluators
         advance exactly as usual (replica state must track the designated
         shard's state), but answers are suppressed and counted in
         ``stats.firings_deduped`` instead of executing actions — the
-        designated shard fires them exactly once.  ``exclude`` names rules
-        the event must stay invisible to: rules installed *while* the
-        event was mid-flight across shards (the single engine's dispatch
-        snapshot hides an in-progress event from rules it installs; the
-        router reproduces that by tagging the event's remaining copies).
+        designated shard fires them exactly once.  ``fire_for`` is the
+        per-rule refinement for *ambiguous* events the router delivered to
+        every shard of a label: only the named rules fire here (the rules
+        whose designated shard this is), the rest dedup — so one event
+        copy can fire shard-local rules and advance replicas at once.
+        ``exclude`` names rules the event must stay invisible to: rules
+        installed *while* the event was mid-flight across shards (the
+        single engine's dispatch snapshot hides an in-progress event from
+        rules it installs; the router reproduces that by tagging the
+        event's remaining copies).
         """
         self.stats.events_processed += 1
-        self._dispatch(event, fire, exclude)
+        self._dispatch(event, fire, exclude, fire_for)
         for derived in self._derive_events(event):
             self.stats.derived_events += 1
-            self._dispatch(derived, fire, exclude)
+            self._dispatch(derived, fire, exclude, fire_for)
         if self.collector is None:
             self._schedule_wakeups()
         # Collect mode: _touched accumulates; the router runs
@@ -893,7 +1167,8 @@ class ReactiveEngine:
         return derive_events(self._event_views, event, self.node.uri)
 
     def _dispatch(self, event: Event, fire: bool = True,
-                  exclude: frozenset = frozenset()) -> None:
+                  exclude: frozenset = frozenset(),
+                  fire_for: "frozenset | None" = None) -> None:
         stats = self.stats
         label = event.term.label
         self._observe_label(label, event.time)
@@ -902,6 +1177,8 @@ class ReactiveEngine:
             entries = [(rule, evaluator) for rule, evaluator in entries
                        if self._eval_entry[evaluator][1] not in exclude]
         stats.candidates_considered += len(entries)
+        groups = self._groups
+        deferred: "list | None" = None
         for rule, evaluator in entries:
             self._touched.add(evaluator)
             before = matcher_call_count()
@@ -909,39 +1186,91 @@ class ReactiveEngine:
             stats.matcher_calls += matcher_call_count() - before
             if rule.firing == "first" and len(answers) > 1:
                 answers = answers[:1]
-            if not fire:
+            if not answers:
+                continue
+            name = self._eval_entry[evaluator][1]
+            if not (fire if fire_for is None else name in fire_for):
+                # Replica mode dedups *before* group resolution: the
+                # rule's designated shard is the one that arbitrates.
                 stats.firings_deduped += len(answers)
+                continue
+            spec = groups.get(name) if groups else None
+            if spec is not None:
+                # Grouped answers are set aside and resolved once the
+                # whole instant is seen; ungrouped rules below fire
+                # exactly as they always did.
+                if deferred is None:
+                    deferred = []
+                deferred.append((name, rule, answers, spec))
                 continue
             for answer in answers:
                 if self.collector is not None:
-                    self.collector.append((rule, answer.bindings))
+                    self.collector.append((name, rule, answer.bindings))
+                else:
+                    self._fire(rule, answer.bindings)
+        if deferred:
+            self._resolve_group_answers(deferred)
+
+    def _resolve_group_answers(self, deferred: list) -> None:
+        """Fire each combinator group's winning answers, suppress losers.
+
+        *deferred* rows are ``(name, rule, answers, (gid, kind, prec))``
+        in installation order.  Per group, exactly the answering members
+        at the highest precedence fire (ties all fire; first-match groups
+        have unique precedences, so one winner); losers' answers are
+        counted in ``stats.firings_suppressed``.
+        """
+        best: dict[str, float] = {}
+        for _name, _rule, _answers, (gid, _kind, prec) in deferred:
+            if gid not in best or prec > best[gid]:
+                best[gid] = prec
+        for name, rule, answers, (gid, _kind, prec) in deferred:
+            if prec != best[gid]:
+                self.stats.firings_suppressed += len(answers)
+                continue
+            for answer in answers:
+                if self.collector is not None:
+                    self.collector.append((name, rule, answer.bindings))
                 else:
                     self._fire(rule, answer.bindings)
 
     def _interested(self, event: Event) -> list[tuple[ECARule, object]]:
         """Snapshot of the rules whose queries can be affected by *event*.
 
-        The two-level net: probe the event label's bucket, then — when the
-        bucket discriminates and the config allows — probe its value
-        sub-index with the constant the event exhibits on the bucket's
-        axis.  Root-label-only mode (``discriminating_index=False``) stops
-        at the flat bucket; the broadcast ablation returns every active
-        rule.  Always a snapshot: firing a rule may install/uninstall
-        rules, which rebuilds the index mid-dispatch.
+        Probes the event label's trie root, descends by the constants the
+        event exhibits on each visited axis, and merges the reached leaf
+        lists with the wildcard rules by installation sequence.
+        Root-label-only mode (``discriminating_index=False``) never split
+        the trie, so the root is one flat leaf; the broadcast ablation
+        returns every active rule.  Always a *fresh* list: firing a rule
+        may install/uninstall rules, which edits the trie in place
+        mid-dispatch — the snapshot the loop iterates must not alias live
+        node state.
         """
         if not self._indexed:
-            return list(self._active.values())
+            return list(self._ordered_entries())
         self.stats.index_probes += 1
-        bucket = self._index.get(event.term.label)
-        if bucket is None:
-            return self._wildcard
-        if not self._discriminating or bucket.axis is None:
-            return bucket.all_entries
-        self.stats.index_probes += 1
-        return bucket.select(event.term)
+        root = self._index.get(event.term.label)
+        if root is None:
+            return list(self._wildcard)
+        lists: list = []
+        root.collect(event.term, self.stats, lists)
+        if self._wildcard_rows:
+            lists.append(self._wildcard_rows)
+        if not lists:
+            return []
+        if len(lists) == 1:
+            return [(rule, evaluator) for _s, rule, evaluator, _d in lists[0]]
+        merged = heapq.merge(*lists, key=_row_seq)
+        return [(rule, evaluator) for _s, rule, evaluator, _d in merged]
 
     def _on_time(self, when: float) -> None:
         owners = self._deadline_owners.pop(when, set())
+        if self._coalesced and not owners:
+            # Every owner was eagerly pruned (uninstalled) after this
+            # wake-up was scheduled: nothing can expire, so the instant is
+            # not a wake-up at all — don't count or advance anything.
+            return
         self.stats.wakeups += 1
         # Installation order, not owner-set order: firing order at a shared
         # deadline stays deterministic and identical between coalesced and
@@ -957,9 +1286,22 @@ class ReactiveEngine:
             )
             items = [(rule, ev) for _seq, _name, rule, ev in batch]
         else:
-            items = list(self._active.values())
-        for rule, evaluator in items:
-            self.advance_evaluator(when, rule, evaluator)
+            items = list(self._ordered_entries())
+        if self._groups:
+            # Same deferral as _dispatch, across the whole instant:
+            # grouped answers compete per instant, not per evaluator.
+            buffer: list = []
+            self._group_buffer = buffer
+            try:
+                for rule, evaluator in items:
+                    self.advance_evaluator(when, rule, evaluator)
+            finally:
+                self._group_buffer = None
+            if buffer:
+                self._resolve_group_answers(buffer)
+        else:
+            for rule, evaluator in items:
+                self.advance_evaluator(when, rule, evaluator)
         self._schedule_wakeups()
 
     def advance_evaluator(self, when: float, rule: ECARule, evaluator,
@@ -970,7 +1312,10 @@ class ReactiveEngine:
         local rule; the shard router applies it across shards in global
         installation order, with ``fire=False`` on all but the rule's
         designated shard so absence answers act exactly once.  The caller
-        is responsible for the follow-up :meth:`_schedule_wakeups`.
+        is responsible for the follow-up :meth:`_schedule_wakeups` — and,
+        when combinator groups are active, for planting ``_group_buffer``
+        around the instant and resolving it after (grouped answers with no
+        buffer planted fire immediately, ungrouped semantics).
         """
         self._touched.add(evaluator)
         self.stats.evaluator_advances += 1
@@ -982,9 +1327,17 @@ class ReactiveEngine:
         if not fire:
             self.stats.firings_deduped += len(answers)
             return
+        if not answers:
+            return
+        name = self._eval_entry[evaluator][1]
+        if self._group_buffer is not None:
+            spec = self._groups.get(name) if self._groups else None
+            if spec is not None:
+                self._group_buffer.append((name, rule, answers, spec))
+                return
         for answer in answers:
             if self.collector is not None:
-                self.collector.append((rule, answer.bindings))
+                self.collector.append((name, rule, answer.bindings))
             else:
                 self._fire(rule, answer.bindings)
 

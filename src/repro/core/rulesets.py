@@ -9,6 +9,33 @@ the fully qualified name of a rule is ``set/subset/rule``, so two subsets
 can both define a rule called ``notify`` without clashing — the name-clash
 protection the thesis asks for.  Sets can be enabled and disabled as a
 unit, which is how applications switch whole behaviours on and off.
+
+Overlapping-rule combinators
+----------------------------
+
+Large rule bases overlap: several rules answer the same event, and the
+intended behaviour is often "the most important one wins", not "all of
+them fire".  Following Pucella's treatment of overlapping rules, three
+:class:`CombinatorGroup` kinds make that a property of the rule *base*
+rather than N hand-deduplicated rule conditions:
+
+- :class:`PriorityGroup` — members carry an explicit priority; among the
+  members answering one event, only those at the highest answering
+  priority fire (ties all fire).
+- :class:`FirstMatchGroup` — insertion order is the priority; the first
+  member (in installation order) that answers fires, the rest are
+  suppressed.
+- :class:`SpecificityGroup` — the most *specific* answering member wins:
+  specificity is the number of constants the member's event query
+  requires (its interest discriminators), so ``stock[sym: "ACME"]``
+  overrides plain ``stock[...]`` exactly when both answer.
+
+Groups are rule sets, so they install, disable, and qualify names like
+any subset.  The engine compiles them (:func:`compile_group_specs`) into
+per-rule ``(group, kind, precedence)`` specs resolved at dispatch time:
+losers' answers are counted in ``EngineStats.firings_suppressed`` and
+never fire.  Combinator groups hold direct rules only — nesting subsets
+under a group would make "first match" ambiguous, so it is rejected.
 """
 
 from __future__ import annotations
@@ -17,6 +44,7 @@ from typing import Iterator
 
 from repro.core.rules import ECARule
 from repro.errors import RuleError
+from repro.events.queries import query_interest
 
 
 class RuleSet:
@@ -47,6 +75,41 @@ class RuleSet:
                 raise RuleError(f"{name!r} already names a rule in {self.name!r}")
             child = RuleSet(name)
             self._children[name] = child
+        elif isinstance(child, CombinatorGroup):
+            raise RuleError(
+                f"{name!r} is a {child.kind} group in {self.name!r}; "
+                f"use {child.kind}_group-style accessors, not subset()"
+            )
+        return child
+
+    def priority_group(self, name: str) -> "PriorityGroup":
+        """Get or create a nested :class:`PriorityGroup`."""
+        return self._combinator_child(PriorityGroup, name)
+
+    def first_match(self, name: str) -> "FirstMatchGroup":
+        """Get or create a nested :class:`FirstMatchGroup`."""
+        return self._combinator_child(FirstMatchGroup, name)
+
+    def specificity_override(self, name: str) -> "SpecificityGroup":
+        """Get or create a nested :class:`SpecificityGroup`."""
+        return self._combinator_child(SpecificityGroup, name)
+
+    def _combinator_child(self, cls: type, name: str):
+        if isinstance(self, CombinatorGroup):
+            raise RuleError(
+                f"combinator groups hold rules only: {self.name!r} cannot "
+                f"contain nested group {name!r}"
+            )
+        child = self._children.get(name)
+        if child is None:
+            if name in self._rules:
+                raise RuleError(f"{name!r} already names a rule in {self.name!r}")
+            child = cls(name)
+            self._children[name] = child
+        elif type(child) is not cls:
+            raise RuleError(
+                f"{name!r} already names a different kind of subset in {self.name!r}"
+            )
         return child
 
     # -- lookup ---------------------------------------------------------------------
@@ -97,3 +160,135 @@ class RuleSet:
             return True
         except RuleError:
             return False
+
+
+def _as_rule(rule) -> ECARule:
+    """Accept fluent builders (anything with ``.build()``) alongside rules."""
+    if not isinstance(rule, ECARule) and hasattr(rule, "build"):
+        return rule.build()
+    return rule
+
+
+class CombinatorGroup(RuleSet):
+    """A rule set whose members *overlap*: one event, one winner (or tier).
+
+    Subclasses define ``kind`` and a per-member ``precedence``; among the
+    members that answer one event instant, exactly those with the highest
+    precedence fire — the rest are suppressed
+    (``EngineStats.firings_suppressed``).  Members that do not answer never
+    compete: a high-priority member with no answer suppresses nothing.
+    """
+
+    kind = "combinator"
+
+    def subset(self, name: str) -> "RuleSet":
+        raise RuleError(
+            f"combinator groups hold rules only: {self.name!r} cannot "
+            f"contain nested subset {name!r}"
+        )
+
+    def precedence(self, name: str) -> float:
+        """The member's precedence (higher wins); *name* is unqualified."""
+        raise NotImplementedError
+
+
+class PriorityGroup(CombinatorGroup):
+    """Members carry explicit priorities; ties at the top all fire."""
+
+    kind = "priority"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._priorities: dict[str, float] = {}
+
+    def add(self, rule, priority: float = 0.0) -> "PriorityGroup":
+        rule = _as_rule(rule)
+        super().add(rule)
+        self._priorities[rule.name] = float(priority)
+        return self
+
+    def precedence(self, name: str) -> float:
+        return self._priorities[name]
+
+
+class FirstMatchGroup(CombinatorGroup):
+    """Installation order is the priority: the first answering member wins.
+
+    Precedences are unique (one per insertion slot), so exactly one member
+    fires per answered event — the textbook "first match wins" semantics.
+    """
+
+    kind = "first_match"
+
+    def add(self, rule) -> "FirstMatchGroup":
+        super().add(_as_rule(rule))
+        return self
+
+    def precedence(self, name: str) -> float:
+        return -float(list(self._rules).index(name))
+
+
+class SpecificityGroup(CombinatorGroup):
+    """The most specific answering member wins.
+
+    Specificity is the number of constants the member's event query
+    requires — the discriminators of its :func:`query_interest`, summed
+    across labels.  A wildcard query (no static interest) scores 0, so
+    ``stock[sym: "ACME"]`` (score 1) overrides plain ``stock[...]``
+    (score 0) whenever both answer, and equally specific members tie and
+    all fire.  Scores are computed once, at ``add`` time.
+    """
+
+    kind = "specificity"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._specificity: dict[str, float] = {}
+
+    def add(self, rule) -> "SpecificityGroup":
+        rule = _as_rule(rule)
+        super().add(rule)
+        interest = query_interest(rule.event)
+        if interest.by_label is None:
+            score = 0
+        else:
+            score = sum(len(discs) for _label, discs in interest.by_label)
+        self._specificity[rule.name] = float(score)
+        return self
+
+    def precedence(self, name: str) -> float:
+        return self._specificity[name]
+
+
+def priority_group(name: str) -> PriorityGroup:
+    """A standalone :class:`PriorityGroup`, installable like any rule set."""
+    return PriorityGroup(name)
+
+
+def first_match(name: str) -> FirstMatchGroup:
+    """A standalone :class:`FirstMatchGroup`, installable like any rule set."""
+    return FirstMatchGroup(name)
+
+
+def specificity_override(name: str) -> SpecificityGroup:
+    """A standalone :class:`SpecificityGroup`, installable like any rule set."""
+    return SpecificityGroup(name)
+
+
+def compile_group_specs(rulesets) -> dict[str, tuple[str, str, float]]:
+    """Compile installed rule sets' combinator groups into dispatch specs.
+
+    Returns ``qualified_rule_name -> (group_path, kind, precedence)`` for
+    every active rule owned by a :class:`CombinatorGroup`.  Shared by the
+    engine (which resolves winners at dispatch) and the shard router
+    (which co-locates a group's members on one shard so resolution stays
+    engine-local).  Groups hold direct rules only, so a member's group
+    path is its qualified name minus the last segment.
+    """
+    specs: dict[str, tuple[str, str, float]] = {}
+    for ruleset in rulesets:
+        for qualified_name, _rule, owner in ruleset.qualified():
+            if isinstance(owner, CombinatorGroup):
+                gid, _, member = qualified_name.rpartition("/")
+                specs[qualified_name] = (gid, owner.kind, owner.precedence(member))
+    return specs

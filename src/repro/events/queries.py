@@ -232,6 +232,17 @@ class Discriminator:
     key: str
     value: Scalar
 
+    @property
+    def axis(self) -> tuple[str, str]:
+        """The ``(kind, key)`` pair this discriminator constrains.
+
+        Two discriminators on the same axis demand (possibly different)
+        constants for the same attribute or child label — the unit the
+        discrimination trie splits buckets on and the shard router
+        partitions hot labels along.
+        """
+        return (self.kind, self.key)
+
 
 @dataclass(frozen=True)
 class EventInterest:
@@ -272,6 +283,17 @@ class EventInterest:
                     return discs
         return frozenset()
 
+    def axes(self, label: str) -> tuple[tuple[str, str], ...]:
+        """The ordered axis set this interest constrains under *label*.
+
+        Every ``(kind, key)`` axis some discriminator of *label* pins a
+        constant on, deterministically ordered (attribute axes first, then
+        child axes, each alphabetical) — the full per-pattern axis chain
+        the discrimination trie can consume, one level per axis.
+        """
+        return tuple(sorted({d.axis for d in self.discriminators(label)},
+                            key=lambda axis: (axis[0] != "attr", axis)))
+
     def union(self, other: "EventInterest") -> "EventInterest":
         """Interest of a query needing *either* operand's events.
 
@@ -291,6 +313,39 @@ class EventInterest:
 
 
 _ALL_EVENTS = EventInterest(None)
+
+
+def extract_axis_value(term: Data, kind: str, key: str):
+    """The constant *term* exhibits on axis ``(kind, key)``, if unambiguous.
+
+    Returns ``(value, ambiguous)``.  The single shared definition of what
+    an event "shows" on a discriminator axis, used by the engine's
+    discrimination trie and the shard router's prefix partitioning so the
+    two can never disagree:
+
+    - ``("attr", key)`` — the root term's attribute value, or ``None`` if
+      absent; attributes are single-valued, so never ambiguous;
+    - ``("child", key)`` — the scalar content of the unique direct child
+      data term labelled *key*.  Several same-label children, or a child
+      with structured / multi-scalar content (``value is None``), make the
+      extraction *ambiguous*: the event might match any constant on the
+      axis, so dispatch must degrade to every candidate (over-delivery,
+      never under-delivery).  No such child at all yields
+      ``(None, False)`` — the event definitively lacks the axis.
+    """
+    if kind == "attr":
+        return term.attr(key), False
+    found = None
+    for child in term.children:
+        if isinstance(child, Data) and child.label == key:
+            if found is not None:
+                return None, True  # several candidates: ambiguous
+            found = child
+    if found is None:
+        return None, False
+    if found.value is None:  # structured or multi-scalar child: ambiguous
+        return None, True
+    return found.value, False
 
 
 def _child_discriminator(child: Query) -> Discriminator | None:

@@ -18,15 +18,18 @@ The router reuses the discrimination net's partition keys
    (heaviest label first, least-loaded shard), so disjoint-label rule
    fleets spread evenly and every event of a label finds all its rules on
    one shard.
-2. **(label, constant) axis** — when one *hot* label alone outweighs a
-   fair share of the rule base (more rules than ``total / shards``) and
-   its rules discriminate on a shared attribute axis (the same axis the
-   in-engine net of PR 3 sub-indexes, e.g. ``stock[sym: "ACME"]``), that
-   label is *split*: each constant value gets its own shard, so even a
-   single-label fleet scales out.  Splitting uses attribute axes only —
-   an event exhibits an attribute unambiguously or not at all, so routing
-   can never under-deliver (constant-child axes can be ambiguous on the
-   event side and stay on one shard).
+2. **Trie prefix** — every *hot* label that alone outweighs a fair share
+   of the rule base (more rules than ``total / shards``) and whose rules
+   discriminate on a shared axis (the same ``(kind, key)`` axes the
+   in-engine discrimination trie splits on, e.g. ``stock[sym: "ACME"]``
+   or a constant child) is *split*: each constant value on the label's
+   most selective axis gets its own shard, so even a single-label fleet
+   scales out, and several labels may split independently.  Child axes
+   can be *ambiguous* on the event side (several same-label children,
+   structured content); such an event is delivered to every shard with a
+   per-copy ``fire`` set naming the rules that shard is time-primary
+   for, so every interested rule still fires exactly once and the global
+   merge restores installation order.
 
 Rules whose interest spans shards are **replicated** with firing dedup:
 
@@ -35,6 +38,12 @@ Rules whose interest spans shards are **replicated** with firing dedup:
   of those homes;
 - residual rules of a split label (no constant on the axis) live on every
   shard.
+
+Combinator group members (:func:`repro.core.rulesets.compile_group_specs`)
+are planned with their group's *union* interest so a group's members
+co-locate and dispatch-time winner resolution stays engine-local; at
+wake-ups, where several engines may buffer answers for different groups,
+the router resolves the buffered groups globally in installation order.
 
 Every replica sees the full stream of events its query is interested in
 (the router delivers an event to each shard hosting an interested rule),
@@ -127,11 +136,11 @@ from repro.core.engine import (
     derive_events,
 )
 from repro.core.rules import ECARule
-from repro.core.rulesets import RuleSet
+from repro.core.rulesets import RuleSet, compile_group_specs
 from repro.errors import RecursionRejected, RuleError
 from repro.events.factory import resolve_evaluator
 from repro.events.model import Event
-from repro.events.queries import EventInterest, query_interest
+from repro.events.queries import EventInterest, extract_axis_value, query_interest
 from repro.runtime import ShardWorkerPool
 from repro.terms.ast import canonical_str
 
@@ -150,6 +159,13 @@ def shard_of(label: str, n_shards: int) -> int:
     return zlib.crc32(label.encode("utf-8")) % n_shards
 
 
+#: Routing sentinel for an event that exhibits a split label's axis
+#: ambiguously (several same-label children, structured content): no single
+#: fire shard exists, so the event is delivered to *every* shard and each
+#: shard fires exactly the rules it is time-primary for (per-rule dedup).
+_AMBIGUOUS = object()
+
+
 class _Plan:
     """One deterministic partitioning of the rule base (pure data)."""
 
@@ -158,9 +174,14 @@ class _Plan:
         self.placement: dict[str, tuple[int, ...]] = {}
         self.time_primary: dict[str, int] = {}   # name -> firing shard at wake-ups
         self.home: dict[str, int] = {}           # unsplit label -> shard
-        self.split: "tuple[str, str, dict] | None" = None  # (label, axis, value->shard)
+        # Trie-prefix partitioning: every hot label may split on its own
+        # (kind, key) axis — label -> ((kind, key), value -> shard).
+        self.splits: dict[str, tuple[tuple[str, str], dict]] = {}
         self.needs: dict[str, frozenset[int]] = {}  # label -> shards needing a copy
         self.has_wildcard = False
+        # Per shard: the rule names whose time_primary it is — the fire set
+        # stamped on each copy of an ambiguous event.
+        self.primary_names: tuple[frozenset, ...] = ()
 
 
 class ShardRouter:
@@ -238,6 +259,7 @@ class ShardRouter:
         self._rulesets: list[RuleSet] = []
         self._named: list[tuple[str, ECARule]] = []
         self._validated: dict[str, ECARule] = {}
+        self._group_specs: dict[str, tuple[str, str, float]] = {}
         self._plan = _Plan()
         node.on_event(self.handle_event)
 
@@ -372,6 +394,7 @@ class ShardRouter:
         new_names = frozenset(
             name for name, _rule in named if name not in self._plan.order
         )
+        self._group_specs = compile_group_specs(self._rulesets)
         # Rebalancing moves evaluators between shards, which is only sound
         # when every replica has consumed its whole stream — i.e. when no
         # event is in flight.  A re-partition triggered by a firing rule
@@ -399,10 +422,28 @@ class ShardRouter:
         """
         plan = _Plan()
         interests: dict[str, EventInterest] = {}
-        label_rules: dict[str, list[str]] = {}
         for seq, (name, rule) in enumerate(named):
             plan.order[name] = seq
-            interest = interests[name] = query_interest(rule.event)
+            interests[name] = query_interest(rule.event)
+        # Combinator group members are planned with their group's *union*
+        # interest: identical interests mean identical placements, so the
+        # group's answering members always meet on the event's firing
+        # shard and dispatch-time winner resolution stays engine-local.
+        if self._group_specs:
+            union: dict[str, EventInterest] = {}
+            for name, interest in interests.items():
+                spec = self._group_specs.get(name)
+                if spec is not None:
+                    gid = spec[0]
+                    held = union.get(gid)
+                    union[gid] = interest if held is None else held.union(interest)
+            for name in interests:
+                spec = self._group_specs.get(name)
+                if spec is not None:
+                    interests[name] = union[spec[0]]
+        label_rules: dict[str, list[str]] = {}
+        for name, _rule in named:
+            interest = interests[name]
             if interest.by_label is None:
                 plan.has_wildcard = True
                 continue
@@ -415,51 +456,53 @@ class ShardRouter:
 
         # Which shards must *see* each label's events (beyond the firing
         # shard): every shard hosting an interested rule — except
-        # single-label rules pinning the split axis, whose events the
-        # value table already routes to exactly their shard.
-        split_label = plan.split[0] if plan.split is not None else None
-        split_axis = plan.split[1] if plan.split is not None else None
+        # single-label rules pinning a split label's axis, whose events
+        # the value table already routes to exactly their shard.
         needs: dict[str, set[int]] = {label: set() for label in label_rules}
         for name, _rule in named:
             interest = interests[name]
             if interest.by_label is None:
                 continue  # wildcards live everywhere; delivery covers all shards
             for label in interest.labels:
-                if (label == split_label
+                split = plan.splits.get(label)
+                if (split is not None
                         and interest.labels == frozenset((label,))
-                        and _axis_value(interest, label, split_axis) is not None):
+                        and _axis_value(interest, label, split[0]) is not None):
                     continue
                 needs[label].update(plan.placement[name])
         plan.needs = {label: frozenset(shards) for label, shards in needs.items()}
+        primary: list[set] = [set() for _ in range(self.n_shards)]
+        for name, si in plan.time_primary.items():
+            primary[si].add(name)
+        plan.primary_names = tuple(frozenset(names) for names in primary)
         return plan
 
     def _place_fresh(self, named, plan: _Plan, interests, label_rules) -> None:
-        """Full rebalance (quiescent inboxes): greedy homes + hot split."""
+        """Full rebalance (quiescent inboxes): greedy homes + hot splits."""
         n = self.n_shards
-        # The hot-label split: one label holding more than a fair share of
+        # Hot-label splits: every label holding more than a fair share of
         # the rule base, all its rules single-label, discriminating on a
-        # shared attribute axis with at least two constants.
-        split_label = split_axis = None
+        # shared axis with at least two constants, splits independently on
+        # its own most selective axis (heaviest label first so the
+        # heaviest value groups land on the least-loaded shards).
         total = sum(len(names) for names in label_rules.values())
-        if label_rules:
-            hot = max(sorted(label_rules), key=lambda lab: len(label_rules[lab]))
-            hot_names = label_rules[hot]
-            all_single = all(
-                interests[nm].labels == frozenset((hot,)) for nm in hot_names
-            )
-            if len(hot_names) >= 2 and len(hot_names) * n > total and all_single:
-                axis = self._pick_axis(hot, hot_names, interests)
-                if axis is not None:
-                    split_label, split_axis = hot, axis
-
         loads = [0] * n
-        if split_label is not None:
+        for label in sorted(label_rules,
+                            key=lambda lab: (-len(label_rules[lab]), lab)):
+            names = label_rules[label]
+            if len(names) < 2 or len(names) * n <= total:
+                continue
+            if not all(interests[nm].labels == frozenset((label,)) for nm in names):
+                continue
+            axis = self._pick_axis(label, names, interests)
+            if axis is None:
+                continue
             by_value: dict = {}
-            residual = []
-            for nm in label_rules[split_label]:
-                value = _axis_value(interests[nm], split_label, split_axis)
+            residual = 0
+            for nm in names:
+                value = _axis_value(interests[nm], label, axis)
                 if value is None:
-                    residual.append(nm)
+                    residual += 1
                 else:
                     by_value.setdefault(value, []).append(nm)
             value_shard: dict = {}
@@ -468,11 +511,11 @@ class ShardRouter:
                 shard = min(range(n), key=lambda i: (loads[i], i))
                 value_shard[value] = shard
                 loads[shard] += len(by_value[value])
-            plan.split = (split_label, split_axis, value_shard)
-            loads = [load + len(residual) for load in loads]
+            plan.splits[label] = (axis, value_shard)
+            loads = [load + residual for load in loads]
 
         for label in sorted(
-            (lab for lab in label_rules if lab != split_label),
+            (lab for lab in label_rules if lab not in plan.splits),
             key=lambda lab: (-len(label_rules[lab]), lab),
         ):
             shard = min(range(n), key=lambda i: (loads[i], i))
@@ -481,17 +524,22 @@ class ShardRouter:
 
         for name, _rule in named:
             interest = interests[name]
-            if interest.by_label is None:
+            labels = interest.labels
+            split = (plan.splits.get(next(iter(labels)))
+                     if labels is not None and len(labels) == 1 else None)
+            if labels is None:
                 plan.placement[name] = tuple(range(n))
-            elif plan.split is not None and interest.labels == frozenset((split_label,)):
-                value = _axis_value(interest, split_label, split_axis)
+            elif split is not None:
+                value = _axis_value(interest, next(iter(labels)), split[0])
                 if value is not None:
-                    plan.placement[name] = (plan.split[2][value],)
+                    plan.placement[name] = (split[1][value],)
                 else:  # residual: must see every event of the split label
                     plan.placement[name] = tuple(range(n))
             else:
+                # A split label never hosts multi-label rules (the
+                # all-single guard above), so every label here has a home.
                 plan.placement[name] = tuple(sorted(
-                    {plan.home[label] for label in interest.labels}
+                    {plan.home[label] for label in labels}
                 ))
             plan.time_primary[name] = plan.placement[name][0]
 
@@ -508,10 +556,10 @@ class ShardRouter:
         n = self.n_shards
         old = self._plan
         plan.home = dict(old.home)
-        if old.split is not None:
-            plan.split = (old.split[0], old.split[1], dict(old.split[2]))
-        split_label = plan.split[0] if plan.split is not None else None
-        split_axis = plan.split[1] if plan.split is not None else None
+        plan.splits = {
+            label: (axis, dict(value_shard))
+            for label, (axis, value_shard) in old.splits.items()
+        }
         loads = [0] * n
         surviving: dict[str, tuple[int, ...]] = {}
         for name, rule in named:
@@ -523,18 +571,21 @@ class ShardRouter:
             placement = surviving.get(name)
             if placement is None:
                 interest = interests[name]
-                if interest.by_label is None:
+                labels = interest.labels
+                if labels is None:
                     placement = tuple(range(n))
-                elif split_label in interest.labels:
-                    if interest.labels == frozenset((split_label,)):
-                        value = _axis_value(interest, split_label, split_axis)
+                elif labels & plan.splits.keys():
+                    if len(labels) == 1:
+                        label = next(iter(labels))
+                        axis, value_shard = plan.splits[label]
+                        value = _axis_value(interest, label, axis)
                         if value is None:  # residual: sees the whole label
                             placement = tuple(range(n))
                         else:
-                            shard = plan.split[2].get(value)
+                            shard = value_shard.get(value)
                             if shard is None:
                                 shard = min(range(n), key=lambda i: (loads[i], i))
-                                plan.split[2][value] = shard
+                                value_shard[value] = shard
                             placement = (shard,)
                     else:
                         # A spanning rule on a split label must be able to
@@ -555,26 +606,29 @@ class ShardRouter:
             plan.time_primary[name] = placement[0]
 
     @staticmethod
-    def _pick_axis(label, names, interests) -> "str | None":
-        """The most selective shared *attribute* axis of one label's rules.
+    def _pick_axis(label, names, interests) -> "tuple[str, str] | None":
+        """The most selective shared axis of one label's rules.
 
-        Same tie-breaking as :meth:`_LabelBucket.build` (rule count, then
-        distinct values, then name), restricted to ``attr`` discriminators:
-        an event carries an attribute value unambiguously or not at all,
-        so attr-routing can never under-deliver across shards.
+        Same tie-breaking as the engine trie's bucket split (rule count,
+        then distinct values), preferring ``attr`` axes on full ties: an
+        event carries an attribute value unambiguously or not at all,
+        while a child axis can be ambiguous on the event side and then
+        costs an all-shards delivery (see ``_AMBIGUOUS``).
         """
-        counts: dict[str, int] = {}
-        values: dict[str, set] = {}
+        counts: dict[tuple[str, str], int] = {}
+        values: dict[tuple[str, str], set] = {}
         for nm in names:
             for disc in interests[nm].discriminators(label):
-                if disc.kind != "attr":
-                    continue
-                counts[disc.key] = counts.get(disc.key, 0) + 1
-                values.setdefault(disc.key, set()).add(disc.value)
-        viable = [key for key in counts if counts[key] >= 2 and len(values[key]) >= 2]
+                axis = disc.axis
+                counts[axis] = counts.get(axis, 0) + 1
+                values.setdefault(axis, set()).add(disc.value)
+        viable = [axis for axis in counts
+                  if counts[axis] >= 2 and len(values[axis]) >= 2]
         if not viable:
             return None
-        return max(viable, key=lambda key: (counts[key], len(values[key]), key))
+        return max(viable, key=lambda axis: (
+            counts[axis], len(values[axis]), axis[0] == "attr", axis[1]
+        ))
 
     def _apply_plan(self, named, plan: _Plan) -> None:
         """Push each shard its slice, migrating evaluator state.
@@ -616,6 +670,10 @@ class ShardRouter:
                 (name, rule) for name, rule in named
                 if si in plan.placement[name]
             )
+            # sync_rules rebuilt from bare (name, rule) pairs, so the
+            # shard engine has no rule-set structure to compile combinator
+            # specs from: push the router's qualified-name table instead.
+            engine._groups = self._group_specs
             if arrivals[si]:
                 engine._touched.update(arrivals[si])
                 engine._schedule_wakeups()
@@ -653,6 +711,20 @@ class ShardRouter:
 
     def _enqueue(self, seq: int, event: Event) -> None:
         fire = self._fire_shard(event.term)
+        if fire is _AMBIGUOUS:
+            # The event shows a split label's axis ambiguously: any value
+            # shard might hold a matching rule, so every shard gets a copy
+            # whose fire field *names* the rules that shard may fire — the
+            # rules it is time-primary for.  Each interested rule is
+            # time-primary on exactly one of its replicas, so it still
+            # fires exactly once; the other copies count dedups.
+            primary = self._plan.primary_names
+            for si in range(self.n_shards):
+                box = self._inboxes[si]
+                box.append((seq, event, primary[si], frozenset()))
+                if len(box) > self.inbox_peaks[si]:
+                    self.inbox_peaks[si] = len(box)
+            return
         if self._plan.has_wildcard:
             shards = range(self.n_shards)  # wildcard replicas see everything
         else:
@@ -664,19 +736,22 @@ class ShardRouter:
             if len(box) > self.inbox_peaks[si]:
                 self.inbox_peaks[si] = len(box)
 
-    def _fire_shard(self, term) -> int:
+    def _fire_shard(self, term):
         """The one shard that executes actions for this event.
 
         All rules the event can fire live there (the label's home — or,
         for a split label, the shard owning the event's axis value, with
         residual replicas everywhere), so local installation order is
-        global firing order.
+        global firing order.  Returns ``_AMBIGUOUS`` when the event shows
+        a split label's axis ambiguously and no single shard suffices.
         """
         label = term.label
-        split = self._plan.split
-        if split is not None and label == split[0]:
-            _label, axis, value_shard = split
-            value = term.attr(axis)
+        split = self._plan.splits.get(label)
+        if split is not None:
+            (kind, key), value_shard = split
+            value, ambiguous = extract_axis_value(term, kind, key)
+            if ambiguous:
+                return _AMBIGUOUS
             if value is None:
                 return shard_of(label, self.n_shards)
             shard = value_shard.get(value)
@@ -761,6 +836,23 @@ class ShardRouter:
                 break
             if budgets[best] == 0:
                 break  # oldest shard over budget: yield to the scheduler
+            if isinstance(self._inboxes[best][0][2], frozenset):
+                # Ambiguous event: several shards fire disjoint rule sets
+                # for the *same* seq, so all its copies are consumed as
+                # one unit and the answers fire merged in installation
+                # order (popping shard-by-shard would fire shard-major).
+                involved = [si for si in range(self.n_shards)
+                            if self._inboxes[si]
+                            and self._inboxes[si][0][0] == best_seq]
+                if any(budgets[si] == 0 for si in involved):
+                    break  # the whole unit defers to the next drain
+                for si in involved:
+                    if budgets[si] is not None:
+                        budgets[si] -= 1
+                if best_seq > self._started_seq:
+                    self._started_seq = best_seq
+                self._fire_ambiguous_inline(involved)
+                continue
             if budgets[best] is not None:
                 budgets[best] -= 1
             seq, event, fire, exclude = self._inboxes[best].popleft()
@@ -772,6 +864,52 @@ class ShardRouter:
                                                 exclude=exclude)
             finally:
                 self._dispatch_depth -= 1
+
+    def _fire_ambiguous_inline(self, involved: list) -> None:
+        """Pop and dispatch one ambiguous event's copies, firing merged.
+
+        Each involved shard advances its replicas with the copy's fire
+        *set* (the rules it is time-primary for) under the engine's
+        collector seam, then the collected answers fire in global
+        installation order — grouped (combinator) winners after ungrouped
+        answers, exactly as a single engine's dispatch resolves them.  On
+        an engine failure the already-collected prefix still fires before
+        the error propagates, mirroring the threaded barrier's error path.
+        """
+        rows: list = []
+        order = self._plan.order
+        group_specs = self._group_specs
+        self._dispatch_depth += 1
+        try:
+            try:
+                for si in involved:
+                    _seq, event, fire_for, exclude = self._inboxes[si].popleft()
+                    engine = self.engines[si]
+                    collected: list = []
+                    engine.collector = collected
+                    try:
+                        engine.handle_event(event, exclude=exclude,
+                                            fire_for=fire_for)
+                    finally:
+                        engine.collector = None
+                        for k, (name, rule, bindings) in enumerate(collected):
+                            rows.append((name in group_specs,
+                                         order.get(name, len(order)), k,
+                                         si, rule, bindings))
+            except BaseException:
+                rows.sort(key=lambda row: row[:3])
+                for _g, _o, _k, si, rule, bindings in rows:
+                    self.engines[si]._fire(rule, bindings)
+                raise
+            rows.sort(key=lambda row: row[:3])
+            for _g, _o, _k, si, rule, bindings in rows:
+                self.engines[si]._fire(rule, bindings)
+        finally:
+            self._dispatch_depth -= 1
+            for si in involved:
+                engine = self.engines[si]
+                if engine._touched:
+                    engine._schedule_wakeups()
 
     # -- threaded execution (epoch/barrier, see repro.runtime) ----------------
 
@@ -796,6 +934,21 @@ class ShardRouter:
                     best, best_seq = si, box[0][0]
             if best < 0 or budgets[best] == 0:
                 break
+            if isinstance(self._inboxes[best][0][2], frozenset):
+                # Ambiguous event: all copies enter the epoch together or
+                # not at all (the barrier merge interleaves their answers
+                # across shards, so a split unit would misorder firings).
+                involved = [si for si in range(self.n_shards)
+                            if self._inboxes[si]
+                            and self._inboxes[si][0][0] == best_seq]
+                if any(budgets[si] == 0 for si in involved):
+                    break
+                for si in involved:
+                    if budgets[si] is not None:
+                        budgets[si] -= 1
+                    segments[si].append(self._inboxes[si].popleft())
+                top = best_seq
+                continue
             if budgets[best] is not None:
                 budgets[best] -= 1
             segments[best].append(self._inboxes[best].popleft())
@@ -808,17 +961,18 @@ class ShardRouter:
 
         Runs on the shard's pinned worker thread.  The engine's
         ``collector`` seam turns every would-be firing into a collected
-        ``(seq, k, shard, rule, bindings)`` row — *k* is the answer's
-        position within its event, so the barrier can restore the exact
-        inline firing order — and defers wake-up scheduling (the clock is
-        not thread-safe) to the barrier.  Replica deliveries
-        (``fire=False``) count their dedup suppressions engine-locally,
-        exactly as inline.  An engine exception records the failing
-        position in ``failed_at[si]`` before propagating, so the barrier
-        can still fire everything that logically precedes the failure —
-        including the failing event's *own* already-collected answers
-        (inline fires each evaluator's answers as the dispatch loop
-        reaches it, so answers produced before the raise have fired).
+        ``(seq, k, shard, name, rule, bindings)`` row — *k* is the
+        answer's position within its event, so the barrier can restore
+        the exact inline firing order — and defers wake-up scheduling
+        (the clock is not thread-safe) to the barrier.  Replica
+        deliveries (``fire=False`` or a fire *set* without the rule)
+        count their dedup suppressions engine-locally, exactly as inline.
+        An engine exception records the failing position in
+        ``failed_at[si]`` before propagating, so the barrier can still
+        fire everything that logically precedes the failure — including
+        the failing event's *own* already-collected answers (inline fires
+        each evaluator's answers as the dispatch loop reaches it, so
+        answers produced before the raise have fired).
         """
         engine = self.engines[si]
 
@@ -827,7 +981,11 @@ class ShardRouter:
                 collected: list = []
                 engine.collector = collected
                 try:
-                    engine.handle_event(event, fire=fire, exclude=exclude)
+                    if isinstance(fire, frozenset):
+                        engine.handle_event(event, exclude=exclude,
+                                            fire_for=fire)
+                    else:
+                        engine.handle_event(event, fire=fire, exclude=exclude)
                 except BaseException:
                     failed_at[si] = seq
                     raise
@@ -835,8 +993,8 @@ class ShardRouter:
                     engine.collector = None
                     # Flush even on failure: the pre-raise answers of the
                     # failing event are part of the inline prefix.
-                    for k, (rule, bindings) in enumerate(collected):
-                        out.append((seq, k, si, rule, bindings))
+                    for k, (name, rule, bindings) in enumerate(collected):
+                        out.append((seq, k, si, name, rule, bindings))
 
         return job
 
@@ -888,36 +1046,49 @@ class ShardRouter:
     def _fire_merged(self, buffers: list, before=None) -> None:
         """Fire collected answers in global ``(arrival, install)`` order.
 
-        Each worker's buffer is already sorted by ``(seq, k)`` and only
-        one shard fires per event, so a k-way merge restores the exact
-        inline sequence.  If a fired action *uninstalls* a rule, answers
-        that rule collected for later events are skipped — inline, those
-        events would have dispatched after the uninstall and never
-        reached it (answers for the same event still fire: dispatch
-        snapshots survive an uninstall inline too).  ``before`` is the
-        error path's failure point, a ``(seq, shard)`` pair: rows of
-        earlier events fire, rows of the failing event fire only when
-        their shard processed it no later than the failing shard did in
-        the inline tie-break (lowest shard first) — i.e. the exact inline
-        pre-failure prefix.
+        Each worker's buffer is already sorted by ``(seq, k)``; within one
+        event one shard fires — except ambiguous events, whose disjoint
+        per-shard answers interleave by installation order, combinator
+        winners after ungrouped answers, exactly as one engine's dispatch
+        emits them (within one shard that *is* ``k`` order, so the richer
+        key never reorders the single-shard case).  If a fired action
+        *uninstalls* a rule, answers that rule collected for later events
+        are skipped — inline, those events would have dispatched after
+        the uninstall and never reached it (answers for the same event
+        still fire: dispatch snapshots survive an uninstall inline too).
+        ``before`` is the error path's failure point, a ``(seq, shard)``
+        pair: rows of earlier events fire, rows of the failing event fire
+        only when their shard processed it no later than the failing
+        shard did in the inline tie-break (lowest shard first) — i.e. the
+        exact inline pre-failure prefix.
         """
         removed: dict[str, int] = {}  # rule name -> seq it disappeared at
         names_before = self._named
-        for seq, _k, si, rule, bindings in heapq.merge(
-                *buffers, key=lambda row: row[:3]):
+        order = self._plan.order
+        group_specs = self._group_specs
+        fallback = len(order)
+
+        def merge_key(row):
+            seq, k, _si, name = row[0], row[1], row[2], row[3]
+            return (seq, name in group_specs, order.get(name, fallback), k)
+
+        for seq, _k, si, name, rule, bindings in heapq.merge(
+                *buffers, key=merge_key):
             if before is not None:
                 fseq, fsi = before
-                if seq > fseq or (seq == fseq and si > fsi):
-                    break  # rows of one seq share a shard: prefix is contiguous
-            dropped_at = removed.get(rule.name)
+                if seq > fseq:
+                    break
+                if seq == fseq and si > fsi:
+                    continue  # the failing event's not-yet-reached shards
+            dropped_at = removed.get(name)
             if dropped_at is not None and seq > dropped_at:
                 continue
             self.engines[si]._fire(rule, bindings)
             if self._named is not names_before:
-                survivors = {name for name, _rule in self._named}
-                for name, _old in names_before:
-                    if name not in survivors:
-                        removed.setdefault(name, seq)
+                survivors = {have for have, _rule in self._named}
+                for have, _old in names_before:
+                    if have not in survivors:
+                        removed.setdefault(have, seq)
                 names_before = self._named
 
     # -- wake-ups -------------------------------------------------------------
@@ -997,10 +1168,51 @@ class ShardRouter:
         time_primary = self._plan.time_primary
         self._dispatch_depth += 1  # installs from absence firings must freeze
         try:
-            for _gseq, si, name, rule, evaluator, engine in merged:
-                engine.advance_evaluator(when, rule, evaluator,
-                                         fire=(si == time_primary[name]))
-                advanced[engine] = None
+            if self._group_specs:
+                # Combinator members may answer at a shared deadline on
+                # different engines: buffer every engine's grouped answers
+                # through the wake-up, then resolve the groups once,
+                # globally, in installation order — a per-engine
+                # resolution would fire different groups' winners in
+                # engine order instead.
+                buffered: dict = {}
+                for _gseq, _si, _name, _rule, _evaluator, engine in merged:
+                    if engine not in buffered:
+                        buffered[engine] = []
+                        engine._group_buffer = buffered[engine]
+                try:
+                    for _gseq, si, name, rule, evaluator, engine in merged:
+                        engine.advance_evaluator(when, rule, evaluator,
+                                                 fire=(si == time_primary[name]))
+                        advanced[engine] = None
+                finally:
+                    for engine in buffered:
+                        engine._group_buffer = None
+                order = self._plan.order
+                deferred = [
+                    (order[row[0]], engine, row)
+                    for engine, rows in buffered.items()
+                    for row in rows
+                ]
+                deferred.sort(key=lambda item: item[0])
+                if deferred:
+                    best: dict = {}
+                    for _gseq, _engine, (_name, _rule, _answers, spec) in deferred:
+                        gid, _kind, prec = spec
+                        if gid not in best or prec > best[gid]:
+                            best[gid] = prec
+                    for _gseq, engine, (name, rule, answers, spec) in deferred:
+                        gid, _kind, prec = spec
+                        if prec != best[gid]:
+                            engine.stats.firings_suppressed += len(answers)
+                            continue
+                        for answer in answers:
+                            engine._fire(rule, answer.bindings)
+            else:
+                for _gseq, si, name, rule, evaluator, engine in merged:
+                    engine.advance_evaluator(when, rule, evaluator,
+                                             fire=(si == time_primary[name]))
+                    advanced[engine] = None
         finally:
             self._dispatch_depth -= 1
         return advanced
@@ -1028,12 +1240,21 @@ class ShardRouter:
                     raise
                 finally:
                     engine.collector = None
-                for k, (r, b) in enumerate(collected):
+                for k, (_name, r, b) in enumerate(collected):
                     out.append((row_idx, k, si, r, b))
 
         return job
 
     def _advance_threaded(self, when: float, merged: list) -> dict:
+        if self._group_specs and any(
+                name in self._group_specs
+                for _gseq, _si, name, _rule, _evaluator, _host in merged):
+            # A grouped rule is due: winner resolution must see every
+            # engine's buffered answers for the instant, which the
+            # per-worker collect model cannot provide — run the instant
+            # inline (wake-ups are rare next to event dispatch, and
+            # correctness beats parallelism for one instant).
+            return self._advance_inline(when, merged)
         advanced: dict = {}
         time_primary = self._plan.time_primary
         per_shard: list[list] = [[] for _ in range(self.n_shards)]
@@ -1139,15 +1360,16 @@ class ShardRouter:
         )
 
 
-def _axis_value(interest: EventInterest, label: str, axis: str):
+def _axis_value(interest: EventInterest, label: str, axis: "tuple[str, str]"):
     """The constant *interest* pins on (label, axis), or None (residual).
 
-    Mirrors ``_LabelBucket.build``'s choice when a rule somehow pins
-    several constants on one axis: the canonically smallest.
+    *axis* is a ``(kind, key)`` pair.  Mirrors the engine trie's routing
+    choice when a rule somehow pins several constants on one axis: the
+    canonically smallest.
     """
     on_axis = sorted(
         (disc for disc in interest.discriminators(label)
-         if disc.kind == "attr" and disc.key == axis),
+         if disc.axis == axis),
         key=lambda disc: canonical_str(disc.value),
     )
     return on_axis[0].value if on_axis else None

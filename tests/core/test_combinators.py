@@ -1,0 +1,204 @@
+"""Overlapping-rule combinators: priority, first-match, specificity.
+
+Unit coverage for the Pucella-style combinator groups compiled into
+dispatch (see ``core/rulesets.py``): winner selection per answered event,
+tie semantics, suppression accounting, and the structural guard rails
+(groups hold rules only, no nested subsets).
+"""
+
+import pytest
+
+from repro import EngineConfig, Simulation
+from repro.core import (
+    RuleSet,
+    eca,
+    first_match,
+    priority_group,
+    specificity_override,
+)
+from repro.core.actions import PyAction
+from repro.core.rulesets import compile_group_specs
+from repro.errors import RuleError
+from repro.events import EAtom, ENot, ESeq, EWithin
+from repro.terms import Var, d, q
+
+
+def node_with(sim_and_rules, **config_kwargs):
+    sim = Simulation(latency=0.0)
+    node = sim.reactive_node("http://c.example",
+                             config=EngineConfig(**config_kwargs))
+    node.install(*sim_and_rules)
+    return sim, node
+
+
+def recorder(fired, tag):
+    return PyAction(lambda n, b, t=tag: fired.append(t), "record")
+
+
+class TestPriorityGroup:
+    def test_highest_answering_priority_wins(self):
+        fired = []
+        pg = priority_group("pg")
+        pg.add(eca("low", EAtom(q("stock", Var("X"))), recorder(fired, "low")),
+               priority=1.0)
+        pg.add(eca("high", EAtom(q("stock", sym="ACME")), recorder(fired, "high")),
+               priority=2.0)
+        sim, node = node_with([pg])
+        sim.scheduler.at(0.0, lambda: node.raise_local(d("stock", 1, sym="ACME")))
+        sim.scheduler.at(1.0, lambda: node.raise_local(d("stock", 2, sym="IBM")))
+        sim.run()
+        # ACME: both answer, high wins.  IBM: only low answers — a
+        # non-answering high member suppresses nothing.
+        assert fired == ["high", "low"]
+        assert node.stats.firings_suppressed == 1
+
+    def test_priority_ties_all_fire_in_install_order(self):
+        fired = []
+        pg = priority_group("pg")
+        pg.add(eca("a", EAtom(q("stock", Var("X"))), recorder(fired, "a")),
+               priority=5.0)
+        pg.add(eca("b", EAtom(q("stock", Var("X"))), recorder(fired, "b")),
+               priority=5.0)
+        pg.add(eca("c", EAtom(q("stock", Var("X"))), recorder(fired, "c")),
+               priority=1.0)
+        sim, node = node_with([pg])
+        node.raise_local(d("stock", 1))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert node.stats.firings_suppressed == 1
+
+    def test_grouped_absence_answers_resolve_at_the_deadline(self):
+        fired = []
+        absence = EWithin(ESeq(EAtom(q("ticket", Var("T"))),
+                               ENot(q("reply", Var("T")))), 5.0)
+        pg = priority_group("pg")
+        pg.add(eca("page", absence, recorder(fired, "page")), priority=2.0)
+        pg.add(eca("mail", absence, recorder(fired, "mail")), priority=1.0)
+        sim, node = node_with([pg])
+        node.raise_local(d("ticket", 1))
+        sim.run()
+        assert fired == ["page"]  # one escalation, not both
+        assert node.stats.firings_suppressed == 1
+
+
+class TestFirstMatchGroup:
+    def test_first_answering_member_wins_with_overlapping_discriminators(self):
+        fired = []
+        fm = first_match("fm")
+        fm.add(eca("acme", EAtom(q("stock", sym="ACME")), recorder(fired, "acme")))
+        fm.add(eca("tech", EAtom(q("stock", sector="tech")), recorder(fired, "tech")))
+        fm.add(eca("any", EAtom(q("stock", Var("X"))), recorder(fired, "any")))
+        sim, node = node_with([fm])
+        at = sim.scheduler.at
+        at(0.0, lambda: node.raise_local(d("stock", 1, sym="ACME", sector="tech")))
+        at(1.0, lambda: node.raise_local(d("stock", 2, sector="tech")))
+        at(2.0, lambda: node.raise_local(d("stock", 3, sym="IBM")))
+        sim.run()
+        # Overlap resolves to the earliest member that answered each event.
+        assert fired == ["acme", "tech", "any"]
+        assert node.stats.firings_suppressed == 3  # tech+any, any, —, any
+
+    def test_exactly_one_member_fires_even_on_identical_queries(self):
+        fired = []
+        fm = first_match("fm")
+        fm.add(eca("one", EAtom(q("a", Var("X"))), recorder(fired, "one")))
+        fm.add(eca("two", EAtom(q("a", Var("X"))), recorder(fired, "two")))
+        sim, node = node_with([fm])
+        node.raise_local(d("a", 1))
+        sim.run()
+        assert fired == ["one"]
+
+
+class TestSpecificityGroup:
+    def test_constant_overrides_wildcard(self):
+        fired = []
+        so = specificity_override("so")
+        so.add(eca("loose", EAtom(q("stock", Var("X"))), recorder(fired, "loose")))
+        so.add(eca("tight", EAtom(q("stock", sym="ACME")), recorder(fired, "tight")))
+        sim, node = node_with([so])
+        sim.scheduler.at(0.0, lambda: node.raise_local(d("stock", 1, sym="ACME")))
+        sim.scheduler.at(1.0, lambda: node.raise_local(d("stock", 2, sym="IBM")))
+        sim.run()
+        # ACME: the 1-constant member overrides the 0-constant wildcard;
+        # IBM: only the wildcard answers, so it fires unsuppressed.
+        assert fired == ["tight", "loose"]
+        assert node.stats.firings_suppressed == 1
+
+    def test_two_constants_beat_one(self):
+        fired = []
+        so = specificity_override("so")
+        so.add(eca("one", EAtom(q("stock", sym="ACME")), recorder(fired, "one")))
+        so.add(eca("two", EAtom(q("stock", q("venue", "NYSE"), sym="ACME")),
+                recorder(fired, "two")))
+        sim, node = node_with([so])
+        node.raise_local(d("stock", d("venue", "NYSE"), sym="ACME"))
+        sim.run()
+        assert fired == ["two"]
+        assert node.stats.firings_suppressed == 1
+
+    def test_equal_specificity_ties_all_fire(self):
+        fired = []
+        so = specificity_override("so")
+        so.add(eca("a", EAtom(q("stock", sym="ACME")), recorder(fired, "a")))
+        so.add(eca("b", EAtom(q("stock", sector="tech")), recorder(fired, "b")))
+        sim, node = node_with([so])
+        node.raise_local(d("stock", 1, sym="ACME", sector="tech"))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert node.stats.firings_suppressed == 0
+
+
+class TestGroupStructure:
+    def test_groups_reject_nested_subsets(self):
+        pg = priority_group("pg")
+        with pytest.raises(RuleError, match="rules only"):
+            pg.subset("inner")
+        with pytest.raises(RuleError, match="rules only"):
+            pg.first_match("inner")
+
+    def test_ruleset_subset_accessor_rejects_group_names(self):
+        rs = RuleSet("app")
+        rs.priority_group("overlap")
+        with pytest.raises(RuleError, match="priority"):
+            rs.subset("overlap")
+        with pytest.raises(RuleError, match="different kind"):
+            rs.first_match("overlap")
+
+    def test_nested_group_qualifies_and_compiles(self):
+        rs = RuleSet("app")
+        fm = rs.first_match("overlap")
+        fm.add(eca("pin", EAtom(q("a", sym="S")), recorder([], "p")))
+        fm.add(eca("any", EAtom(q("a", Var("X"))), recorder([], "a")))
+        rs.add(eca("plain", EAtom(q("b", Var("X"))), recorder([], "b")))
+        specs = compile_group_specs([rs])
+        assert set(specs) == {"app/overlap/pin", "app/overlap/any"}
+        gid, kind, prec = specs["app/overlap/pin"]
+        assert (gid, kind) == ("app/overlap", "first_match")
+        assert prec > specs["app/overlap/any"][2]
+
+    def test_groups_resolve_within_not_across(self):
+        """Two independent groups answering one event each fire their own
+        winner — suppression never leaks across group boundaries."""
+        fired = []
+        fm1 = first_match("fm1")
+        fm1.add(eca("a", EAtom(q("stock", Var("X"))), recorder(fired, "fm1/a")))
+        fm1.add(eca("b", EAtom(q("stock", Var("X"))), recorder(fired, "fm1/b")))
+        fm2 = first_match("fm2")
+        fm2.add(eca("a", EAtom(q("stock", Var("X"))), recorder(fired, "fm2/a")))
+        sim, node = node_with([fm1, fm2])
+        node.raise_local(d("stock", 1))
+        sim.run()
+        assert fired == ["fm1/a", "fm2/a"]
+
+    def test_ungrouped_rules_interleave_with_group_winners(self):
+        fired = []
+        fm = first_match("fm")
+        fm.add(eca("win", EAtom(q("stock", Var("X"))), recorder(fired, "win")))
+        fm.add(eca("lose", EAtom(q("stock", Var("X"))), recorder(fired, "lose")))
+        plain = eca("plain", EAtom(q("stock", Var("X"))), recorder(fired, "plain"))
+        sim, node = node_with([plain, fm])
+        node.raise_local(d("stock", 1))
+        sim.run()
+        # Singles activate before rule sets; the winner fires after the
+        # ungrouped answers of the instant (deferred resolution).
+        assert fired == ["plain", "win"]

@@ -75,8 +75,8 @@ class TestPlacement:
                 recorder([], i))
             for i in range(8)
         ))
-        label, axis, value_shard = node.router._plan.split
-        assert (label, axis) == ("stock", "sym")
+        axis, value_shard = node.router._plan.splits["stock"]
+        assert axis == ("attr", "sym")
         assert len({shard for shard in value_shard.values()}) == 4
         assert all(len(engine.rules()) == 2 for engine in node.shards)
 
@@ -85,6 +85,76 @@ class TestPlacement:
         node.install(eca("wild", EAtom(q(LabelVar("L"))), recorder([], "w")))
         assert all(engine.rules() == ["wild"] for engine in node.shards)
         assert node.router.placement()["wild"] == (0, 1, 2, 3)
+
+    def test_hot_label_splits_on_a_child_axis(self):
+        sim, node = sharded_node(4)
+        node.install(*(
+            eca(f"r{i}", EAtom(q("order", q("venue", f"V{i}"))), recorder([], i))
+            for i in range(8)
+        ))
+        axis, value_shard = node.router._plan.splits["order"]
+        assert axis == ("child", "venue")
+        assert len({shard for shard in value_shard.values()}) == 4
+        assert all(len(engine.rules()) == 2 for engine in node.shards)
+
+    def test_two_hot_labels_split_independently(self):
+        sim, node = sharded_node(4)
+        node.install(*(
+            eca(f"s{i}", EAtom(q("stock", sym=f"S{i}")), recorder([], i))
+            for i in range(5)
+        ), *(
+            eca(f"o{i}", EAtom(q("order", q("venue", f"V{i}"))), recorder([], i))
+            for i in range(5)
+        ))
+        splits = node.router._plan.splits
+        assert splits["stock"][0] == ("attr", "sym")
+        assert splits["order"][0] == ("child", "venue")
+
+
+class TestAmbiguousRouting:
+    def test_ambiguous_event_fires_each_rule_exactly_once(self):
+        """An event with several `venue` children can match rules on any
+        value shard of the split label: every shard gets a copy, each
+        rule fires once, in installation order."""
+        sim, node = sharded_node(4)
+        fired = []
+        node.install(*(
+            eca(f"r{i}", EAtom(q("order", q("venue", f"V{i % 4}"), q("x", Var("X")))),
+                recorder(fired, i))
+            for i in range(8)
+        ))
+        assert node.router._plan.splits["order"][0] == ("child", "venue")
+        # venue V0 and V1 live on different shards; this event shows both.
+        term = d("order", d("venue", "V0"), d("venue", "V1"), d("x", 9))
+        node.raise_local(term)
+        sim.run()
+        assert fired == [0, 1, 4, 5]  # every V0/V1 rule once, install order
+        assert node.stats.rule_firings == 4
+        # The copies on the other shards advanced replicas without firing.
+        assert sum(s.events_processed for s in node.shard_stats) == 4
+
+    def test_ambiguous_event_under_threads_matches_inline(self):
+        def run(executor):
+            sim = Simulation(latency=0.0)
+            node = sim.reactive_node(
+                "http://s.example",
+                config=EngineConfig(shards=4, executor=executor))
+            fired = []
+            node.install(*(
+                eca(f"r{i}",
+                    EAtom(q("order", q("venue", f"V{i % 4}"), q("x", Var("X")))),
+                    recorder(fired, i))
+                for i in range(8)
+            ))
+            term = d("order", d("venue", "V1"), d("venue", "V3"), d("x", 1))
+            sim.scheduler.at(0.0, lambda: node.raise_local(term))
+            sim.scheduler.at(1.0, lambda: node.raise_local(d(
+                "order", d("venue", "V2"), d("x", 2))))
+            sim.run()
+            return fired, node.stats.rule_firings
+
+        assert run("threads") == run("inline")
+        assert run("inline")[0] == [1, 3, 5, 7, 2, 6]
 
 
 class TestExactlyOnceFiring:
